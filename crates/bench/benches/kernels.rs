@@ -1,0 +1,55 @@
+//! Criterion benches of the deployed kernels on the instruction-set
+//! simulator (backing Table I): simulation throughput and, via the
+//! reported custom measurements, cycles per inference on MAUPITI vs IBEX.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcount_bench::demo_quantized_model;
+use pcount_kernels::{Deployment, Target};
+use pcount_quant::{Precision, PrecisionAssignment};
+
+fn bench_inference_on_targets(c: &mut Criterion) {
+    let assignments = [
+        ("int8", PrecisionAssignment::uniform(Precision::Int8)),
+        (
+            "int8-4-4-8",
+            PrecisionAssignment::new([
+                Precision::Int8,
+                Precision::Int4,
+                Precision::Int4,
+                Precision::Int8,
+            ]),
+        ),
+    ];
+    let mut group = c.benchmark_group("deployed_inference");
+    group.sample_size(10);
+    for (name, assignment) in assignments {
+        let (model, x) = demo_quantized_model((8, 8, 16), assignment, 7);
+        let frame: Vec<f32> = x.data()[0..64].to_vec();
+        for target in [Target::Maupiti, Target::Ibex] {
+            let deployment = Deployment::new(&model, target).expect("deploy");
+            let cycles = deployment.run_frame(&frame).expect("run").cycles;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{target}"), format!("{name}/{cycles}cyc")),
+                &deployment,
+                |b, dep| b.iter(|| dep.run_frame(&frame).expect("run").cycles),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_golden_integer_model(c: &mut Criterion) {
+    let (model, x) = demo_quantized_model(
+        (8, 8, 16),
+        PrecisionAssignment::uniform(Precision::Int8),
+        9,
+    );
+    let frame: Vec<f32> = x.data()[0..64].to_vec();
+    let q = model.quantize_input(&frame);
+    c.bench_function("golden_integer_forward", |b| {
+        b.iter(|| model.forward_int(&q))
+    });
+}
+
+criterion_group!(benches, bench_inference_on_targets, bench_golden_integer_model);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches of the PIT DNAS (backing Fig. 5): cost of one search
+//! epoch and of the sub-network extraction, for both cost targets
+//! (parameters vs MACs ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_nas::{search, CostTarget, NasConfig};
+use pcount_nn::CnnConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search(c: &mut Criterion) {
+    let data = IrDataset::generate(&DatasetConfig::tiny(), 5);
+    let s1 = data.session_indices(0);
+    let (x, y) = data.gather_normalized(&s1);
+    let seed = CnnConfig::seed().with_channels(8, 8, 16);
+    let mut group = c.benchmark_group("pit_search");
+    group.sample_size(10);
+    for target in [CostTarget::Params, CostTarget::Macs] {
+        let cfg = NasConfig {
+            lambda: 0.5,
+            cost_target: target,
+            epochs: 1,
+            warmup_epochs: 0,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            verbose: false,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("one_epoch", format!("{target:?}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    search(seed, &x, &y, cfg, &mut rng).config
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benches of the majority-voting post-processing (backing
+//! Fig. 6): per-frame filter cost for several window lengths, confirming
+//! the paper's claim that the overhead is negligible compared with an
+//! inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcount_postproc::{apply_majority, MajorityVoter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_majority_voting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let stream: Vec<usize> = (0..10_000).map(|_| rng.gen_range(0..4)).collect();
+    let mut group = c.benchmark_group("majority_voting");
+    for window in [3usize, 5, 7, 9] {
+        group.bench_with_input(
+            BenchmarkId::new("stream_10k", window),
+            &window,
+            |b, &window| b.iter(|| apply_majority(&stream, window)),
+        );
+    }
+    group.finish();
+
+    c.bench_function("single_push_window5", |b| {
+        let mut voter = MajorityVoter::new(5);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % stream.len();
+            voter.push(stream[i])
+        })
+    });
+}
+
+criterion_group!(benches, bench_majority_voting);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches of the quantisation pipeline (backing Fig. 5's
+//! precision exploration): fake-quant QAT forward passes vs pure-integer
+//! inference, per-tensor weight quantisation, and BN folding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcount_bench::demo_quantized_model;
+use pcount_nn::Mode;
+use pcount_quant::{
+    fake_quant_tensor, weight_scale, Precision, PrecisionAssignment,
+};
+use pcount_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_integer_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_paths");
+    group.sample_size(20);
+    for (name, assignment) in [
+        ("int8", PrecisionAssignment::uniform(Precision::Int8)),
+        ("int4", {
+            PrecisionAssignment::new([
+                Precision::Int8,
+                Precision::Int4,
+                Precision::Int4,
+                Precision::Int4,
+            ])
+        }),
+    ] {
+        let (model, x) = demo_quantized_model((8, 8, 16), assignment, 11);
+        let frame = x.data()[0..64].to_vec();
+        let q = model.quantize_input(&frame);
+        group.bench_with_input(BenchmarkId::new("integer_forward", name), &model, |b, m| {
+            b.iter(|| m.forward_int(&q))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fake_quant_forward(c: &mut Criterion) {
+    use pcount_dataset::{DatasetConfig, IrDataset};
+    use pcount_nn::{CnnConfig, TrainConfig};
+    use pcount_quant::{fold_sequential, QatCnn};
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = IrDataset::generate(&DatasetConfig::tiny(), 0);
+    let fold = &data.leave_one_session_out()[0];
+    let (x_train, y_train) = data.gather_normalized(fold.train.as_slice());
+    let arch = CnnConfig::seed().with_channels(8, 8, 16);
+    let mut net = arch.build(&mut rng);
+    let _ = pcount_nn::train_classifier(
+        &mut net,
+        &x_train,
+        &y_train,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+        &mut rng,
+    );
+    let folded = fold_sequential(arch, &net).expect("fold");
+    let mut qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
+    qat.calibrate(&x_train);
+    let batch = pcount_nn::batch_select(&x_train, &(0..32).collect::<Vec<_>>());
+    c.bench_function("fake_quant_forward_batch32", |b| {
+        b.iter(|| qat.forward(&batch, Mode::Eval))
+    });
+}
+
+fn bench_weight_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let weights = Tensor::randn(&[64, 64, 3, 3], 0.1, &mut rng);
+    let mut group = c.benchmark_group("weight_quantization");
+    for p in [Precision::Int8, Precision::Int4] {
+        group.bench_with_input(BenchmarkId::new("fake_quant", format!("{p}")), &p, |b, &p| {
+            b.iter(|| {
+                let scale = weight_scale(&weights, p);
+                fake_quant_tensor(&weights, scale, p.qmax())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_integer_vs_batch,
+    bench_fake_quant_forward,
+    bench_weight_quantization
+);
+criterion_main!(benches);

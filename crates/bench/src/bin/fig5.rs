@@ -1,0 +1,71 @@
+//! Figure 5: architecture and precision search-space exploration.
+//!
+//! Prints the seed point, the FP32 Pareto front produced by the PIT λ
+//! sweep, and the per-precision quantised fronts in the BAS-vs-memory
+//! plane, plus the iso-accuracy memory/MAC reduction ratios quoted in
+//! Sec. IV-B of the paper.
+//!
+//! `PCOUNT_QUICK=1 cargo run --release -p pcount-bench --bin fig5` for a
+//! fast smoke run.
+
+use pcount_bench::{experiment_flow_config, format_points};
+use pcount_core::{pareto_front_by, run_flow};
+use std::collections::BTreeMap;
+
+fn main() {
+    let cfg = experiment_flow_config();
+    eprintln!(
+        "fig5: running flow with {} lambdas x {} assignments ...",
+        cfg.lambdas.len(),
+        cfg.assignments.len()
+    );
+    let result = run_flow(&cfg);
+
+    println!("=== Figure 5: architecture & precision exploration (BAS vs memory) ===\n");
+    println!(
+        "seed (blue star): {} bytes, {} MACs, BAS {:.3}\n",
+        result.seed_point.memory_bytes, result.seed_point.macs, result.seed_point.bas
+    );
+    let fp32_front = pareto_front_by(&result.fp32_points, false);
+    println!("{}", format_points("FP32 PIT front (grey curve):", &fp32_front));
+
+    // Group the quantised candidates by precision assignment, mirroring the
+    // per-colour curves of the figure.
+    let mut by_assignment: BTreeMap<String, Vec<pcount_core::ParetoPoint>> = BTreeMap::new();
+    for c in &result.quantized {
+        by_assignment
+            .entry(c.assignment.to_string())
+            .or_default()
+            .push(c.point());
+    }
+    for (assignment, points) in &by_assignment {
+        let mut sorted = points.clone();
+        sorted.sort_by_key(|p| p.memory_bytes);
+        println!("{}", format_points(&format!("{assignment} curve (all λ):"), &sorted));
+        let front = pareto_front_by(points, false);
+        println!("{}", format_points(&format!("{assignment} Pareto front:"), &front));
+    }
+
+    // Iso-accuracy reduction ratios (paper: 89x / 26.7x for NAS alone and
+    // 147x / 234x after quantisation).
+    let seed = &result.seed_point;
+    let iso = |points: &[pcount_core::ParetoPoint]| {
+        points
+            .iter()
+            .filter(|p| p.bas >= seed.bas - 0.01)
+            .map(|p| {
+                (
+                    seed.memory_bytes as f64 / p.memory_bytes as f64,
+                    seed.macs as f64 / p.macs as f64,
+                )
+            })
+            .fold((1.0f64, 1.0f64), |acc, r| (acc.0.max(r.0), acc.1.max(r.1)))
+    };
+    let (nas_mem, nas_macs) = iso(&result.fp32_points);
+    let all_quant: Vec<_> = result.quantized_points();
+    let (q_mem, q_macs) = iso(&all_quant);
+    println!("iso-accuracy reductions vs the seed (paper: 89x mem / 26.7x MACs after NAS,");
+    println!("147x mem / 234x MACs after NAS+quantisation):");
+    println!("  after NAS          : {nas_mem:.1}x memory, {nas_macs:.1}x MACs");
+    println!("  after NAS + quant  : {q_mem:.1}x memory, {q_macs:.1}x MACs");
+}

@@ -1,0 +1,49 @@
+//! Figure 7: comparison against the hand-tuned manual-grid baseline of
+//! Xie et al. in the BAS-vs-memory and BAS-vs-MACs planes.
+//!
+//! `PCOUNT_QUICK=1 cargo run --release -p pcount-bench --bin fig7`
+
+use pcount_bench::{experiment_flow_config, format_points, quick_mode};
+use pcount_core::{manual_grid_baseline, pareto_front_by, run_flow, BaselineConfig};
+
+fn main() {
+    let flow_cfg = experiment_flow_config();
+    let baseline_cfg = if quick_mode() {
+        BaselineConfig::quick()
+    } else {
+        BaselineConfig::default_experiment()
+    };
+    eprintln!("fig7: running the automated flow ...");
+    let result = run_flow(&flow_cfg);
+    eprintln!("fig7: running the manual-grid baseline ...");
+    let baseline = manual_grid_baseline(&baseline_cfg);
+
+    println!("=== Figure 7: comparison against the hand-tuned SotA baseline ===\n");
+    for (plane, use_macs) in [("BAS vs memory", false), ("BAS vs MACs", true)] {
+        println!("--- {plane} ---");
+        let ours = pareto_front_by(&result.majority_points(), use_macs);
+        let sota = pareto_front_by(&baseline, use_macs);
+        println!("{}", format_points("this flow (majority voting):", &ours));
+        println!("{}", format_points("manual grid baseline [4]:", &sota));
+    }
+
+    // Iso-accuracy ratios against the baseline (paper: up to 2.4x smaller /
+    // 3.3x fewer MACs above 80% BAS; 4.2x / 2.9x at the small end).
+    let ours = pareto_front_by(&result.majority_points(), false);
+    let sota = pareto_front_by(&baseline, false);
+    if let (Some(small_ours), Some(small_sota)) = (ours.first(), sota.first()) {
+        println!(
+            "smallest models: ours {} B (BAS {:.3}) vs baseline {} B (BAS {:.3}) -> {:.1}x memory",
+            small_ours.memory_bytes,
+            small_ours.bas,
+            small_sota.memory_bytes,
+            small_sota.bas,
+            small_sota.memory_bytes as f64 / small_ours.memory_bytes as f64
+        );
+    }
+    let best_ours = ours.iter().map(|p| p.bas).fold(0.0f64, f64::max);
+    let best_sota = sota.iter().map(|p| p.bas).fold(0.0f64, f64::max);
+    println!(
+        "best accuracy: ours {best_ours:.3} vs baseline {best_sota:.3} (paper: baseline +0.009)"
+    );
+}

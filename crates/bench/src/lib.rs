@@ -1,0 +1,108 @@
+//! Shared helpers for the benchmark harness and the experiment binaries
+//! that regenerate the paper's figures and tables.
+//!
+//! Binaries:
+//!
+//! * `fig5` — architecture + precision search-space exploration
+//!   (BAS vs memory, seed / FP32 front / per-precision fronts).
+//! * `fig6` — Pareto fronts with and without majority voting
+//!   (BAS vs memory and BAS vs MACs).
+//! * `fig7` — comparison against the hand-tuned manual-grid baseline.
+//! * `table1` — deployment of the Top / −5 % / Mini models on STM32,
+//!   IBEX and MAUPITI (code size, data size, latency, energy).
+//!
+//! Every binary honours the `PCOUNT_QUICK=1` environment variable to run a
+//! seconds-scale configuration instead of the minutes-scale default.
+
+use pcount_core::FlowConfig;
+use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_nn::{train_classifier, CnnConfig, TrainConfig};
+use pcount_quant::{
+    fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Returns `true` when the `PCOUNT_QUICK` environment variable asks for the
+/// reduced, seconds-scale experiment configuration.
+pub fn quick_mode() -> bool {
+    std::env::var("PCOUNT_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The flow configuration selected by [`quick_mode`].
+pub fn experiment_flow_config() -> FlowConfig {
+    if quick_mode() {
+        FlowConfig::quick()
+    } else {
+        FlowConfig::default_experiment()
+    }
+}
+
+/// Builds a small trained + quantised model used by the micro-benchmarks
+/// (kernel latency, integer inference), without running the full flow.
+pub fn demo_quantized_model(
+    channels: (usize, usize, usize),
+    assignment: PrecisionAssignment,
+    seed: u64,
+) -> (QuantizedCnn, pcount_tensor::Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = IrDataset::generate(&DatasetConfig::tiny(), seed);
+    let fold = &data.leave_one_session_out()[0];
+    let (x_train, y_train) = data.gather_normalized(fold.train.as_slice());
+    let arch = CnnConfig::seed().with_channels(channels.0, channels.1, channels.2);
+    let mut net = arch.build(&mut rng);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 64,
+        learning_rate: 2e-3,
+        weight_decay: 0.0,
+        verbose: false,
+    };
+    let _ = train_classifier(&mut net, &x_train, &y_train, &cfg, &mut rng);
+    let folded = fold_sequential(arch, &net).expect("canonical layout");
+    let mut qat = QatCnn::from_folded(&folded, assignment);
+    qat.calibrate(&x_train);
+    (QuantizedCnn::from_qat(&qat), x_train)
+}
+
+/// A convenient INT8 demo model.
+pub fn demo_int8_model(seed: u64) -> (QuantizedCnn, pcount_tensor::Tensor) {
+    demo_quantized_model((8, 8, 16), PrecisionAssignment::uniform(Precision::Int8), seed)
+}
+
+/// Formats a series of Pareto points as an aligned text table.
+pub fn format_points(title: &str, points: &[pcount_core::ParetoPoint]) -> String {
+    let mut out = format!("{title}\n  {:<34} {:>10} {:>12} {:>8}\n", "label", "memory[B]", "MACs", "BAS");
+    for p in points {
+        out.push_str(&format!(
+            "  {:<34} {:>10} {:>12} {:>8.3}\n",
+            p.label, p.memory_bytes, p.macs, p.bas
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_model_is_deployable_size() {
+        let (model, x) = demo_int8_model(1);
+        assert!(model.weight_bytes() < 16 * 1024);
+        assert_eq!(x.shape()[2], 8);
+    }
+
+    #[test]
+    fn format_points_includes_every_point() {
+        let points = vec![
+            pcount_core::ParetoPoint::new("a", 0.5, 100, 200),
+            pcount_core::ParetoPoint::new("b", 0.6, 300, 400),
+        ];
+        let text = format_points("title", &points);
+        assert!(text.contains("title"));
+        assert!(text.contains('a'));
+        assert!(text.contains("300"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,446 @@
+//! The end-to-end optimisation flow.
+
+use crate::pareto::ParetoPoint;
+use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_nas::{search, CostTarget, NasConfig};
+use pcount_nn::{
+    balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
+};
+use pcount_postproc::apply_majority;
+use pcount_quant::{
+    fold_sequential, qat_finetune, PrecisionAssignment, QatCnn, QatConfig, Precision,
+    QuantizedCnn,
+};
+use pcount_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a full flow run.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// The seed architecture the DNAS starts from.
+    pub seed_architecture: CnnConfig,
+    /// Synthetic dataset configuration.
+    pub dataset: DatasetConfig,
+    /// Seed for dataset generation.
+    pub dataset_seed: u64,
+    /// Seed for training/search randomness.
+    pub rng_seed: u64,
+    /// DNAS strength sweep.
+    pub lambdas: Vec<f64>,
+    /// DNAS hyper-parameters (the `lambda` field is overridden per sweep
+    /// point).
+    pub nas: NasConfig,
+    /// Seed-training / fine-tuning hyper-parameters.
+    pub train: TrainConfig,
+    /// QAT fine-tuning hyper-parameters.
+    pub qat: QatConfig,
+    /// Precision assignments to explore for every discovered architecture.
+    pub assignments: Vec<PrecisionAssignment>,
+    /// Majority-voting window length.
+    pub majority_window: usize,
+    /// How many cross-validation folds to evaluate (1..=4).
+    pub max_folds: usize,
+}
+
+impl FlowConfig {
+    /// A minutes-scale configuration used by the experiment binaries.
+    ///
+    /// The seed is scaled down from the paper's 64-64-64 configuration and
+    /// the precision sweep is restricted to the four assignments the paper
+    /// plots in Fig. 5, so that every figure regenerates in CPU-minutes;
+    /// widen `lambdas`, `assignments`, `max_folds` and the dataset scale
+    /// for a closer (but slower) reproduction.
+    pub fn default_experiment() -> Self {
+        Self {
+            seed_architecture: CnnConfig::seed().with_channels(24, 24, 32),
+            dataset: DatasetConfig::challenging().scaled(0.35),
+            dataset_seed: 2024,
+            rng_seed: 7,
+            lambdas: vec![0.3, 1.5, 5.0],
+            nas: NasConfig {
+                cost_target: CostTarget::Params,
+                epochs: 8,
+                warmup_epochs: 2,
+                batch_size: 128,
+                learning_rate: 2e-3,
+                verbose: false,
+                lambda: 0.0,
+            },
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 128,
+                learning_rate: 1e-3,
+                weight_decay: 1e-4,
+                verbose: false,
+            },
+            qat: QatConfig {
+                epochs: 2,
+                batch_size: 128,
+                learning_rate: 5e-4,
+                verbose: false,
+            },
+            assignments: vec![
+                PrecisionAssignment::uniform(Precision::Int8),
+                PrecisionAssignment::new([
+                    Precision::Int8,
+                    Precision::Int4,
+                    Precision::Int8,
+                    Precision::Int8,
+                ]),
+                PrecisionAssignment::new([
+                    Precision::Int8,
+                    Precision::Int4,
+                    Precision::Int4,
+                    Precision::Int8,
+                ]),
+                PrecisionAssignment::new([
+                    Precision::Int8,
+                    Precision::Int4,
+                    Precision::Int4,
+                    Precision::Int4,
+                ]),
+            ],
+            majority_window: 5,
+            max_folds: 1,
+        }
+    }
+
+    /// A seconds-scale configuration used by tests and doc examples.
+    pub fn quick() -> Self {
+        Self {
+            seed_architecture: CnnConfig::seed().with_channels(6, 6, 12),
+            dataset: DatasetConfig::tiny(),
+            dataset_seed: 1,
+            rng_seed: 1,
+            lambdas: vec![0.2, 2.0],
+            nas: NasConfig {
+                cost_target: CostTarget::Params,
+                epochs: 4,
+                warmup_epochs: 1,
+                batch_size: 64,
+                learning_rate: 3e-3,
+                verbose: false,
+                lambda: 0.0,
+            },
+            train: TrainConfig {
+                epochs: 4,
+                batch_size: 64,
+                learning_rate: 2e-3,
+                weight_decay: 0.0,
+                verbose: false,
+            },
+            qat: QatConfig {
+                epochs: 2,
+                batch_size: 64,
+                learning_rate: 5e-4,
+                verbose: false,
+            },
+            assignments: vec![
+                PrecisionAssignment::uniform(Precision::Int8),
+                PrecisionAssignment::new([
+                    Precision::Int8,
+                    Precision::Int4,
+                    Precision::Int4,
+                    Precision::Int8,
+                ]),
+                PrecisionAssignment::new([
+                    Precision::Int8,
+                    Precision::Int4,
+                    Precision::Int4,
+                    Precision::Int4,
+                ]),
+            ],
+            majority_window: 5,
+            max_folds: 1,
+        }
+    }
+}
+
+/// One quantised candidate produced by the flow (architecture + precision
+/// assignment), with its cross-validated accuracy and cost metrics.
+#[derive(Debug, Clone)]
+pub struct CandidateModel {
+    /// Human-readable label, e.g. `"λ=0.3 INT 8-4-4-8"`.
+    pub label: String,
+    /// Architecture discovered by the DNAS.
+    pub config: CnnConfig,
+    /// Precision assignment.
+    pub assignment: PrecisionAssignment,
+    /// Cross-validated single-frame balanced accuracy.
+    pub bas: f64,
+    /// Cross-validated balanced accuracy with majority voting.
+    pub bas_majority: f64,
+    /// Model memory (packed weights + 32-bit biases) in bytes.
+    pub memory_bytes: usize,
+    /// MAC operations per inference.
+    pub macs: usize,
+    /// Integer model from the last evaluated fold, ready for deployment.
+    pub quantized: QuantizedCnn,
+}
+
+impl CandidateModel {
+    /// The candidate as a Pareto point using its single-frame accuracy.
+    pub fn point(&self) -> ParetoPoint {
+        ParetoPoint::new(self.label.clone(), self.bas, self.memory_bytes, self.macs)
+    }
+
+    /// The candidate as a Pareto point using its majority-voted accuracy.
+    pub fn majority_point(&self) -> ParetoPoint {
+        ParetoPoint::new(
+            format!("{} +maj", self.label),
+            self.bas_majority,
+            self.memory_bytes,
+            self.macs,
+        )
+    }
+}
+
+/// The output of [`run_flow`].
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The floating-point seed network (blue star of Fig. 5).
+    pub seed_point: ParetoPoint,
+    /// The FP32 architectures found by the λ sweep (grey front of Fig. 5).
+    pub fp32_points: Vec<ParetoPoint>,
+    /// Every (architecture, precision) candidate after QAT.
+    pub quantized: Vec<CandidateModel>,
+    /// Majority-voting window used for the post-processed metrics.
+    pub majority_window: usize,
+}
+
+impl FlowResult {
+    /// Pareto points of all quantised candidates (single-frame accuracy).
+    pub fn quantized_points(&self) -> Vec<ParetoPoint> {
+        self.quantized.iter().map(CandidateModel::point).collect()
+    }
+
+    /// Pareto points of all quantised candidates after majority voting.
+    pub fn majority_points(&self) -> Vec<ParetoPoint> {
+        self.quantized
+            .iter()
+            .map(CandidateModel::majority_point)
+            .collect()
+    }
+}
+
+/// Snapshot of all trainable parameters of a network.
+fn snapshot_params(net: &mut Sequential) -> Vec<Tensor> {
+    net.params_and_grads()
+        .into_iter()
+        .map(|(p, _)| p.clone())
+        .collect()
+}
+
+/// Restores a parameter snapshot taken with [`snapshot_params`].
+fn restore_params(net: &mut Sequential, snapshot: &[Tensor]) {
+    let params = net.params_and_grads();
+    assert_eq!(params.len(), snapshot.len(), "parameter count changed");
+    for ((p, _), saved) in params.into_iter().zip(snapshot.iter()) {
+        *p = saved.clone();
+    }
+}
+
+/// Runs the complete optimisation flow.
+pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+    let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
+    let num_classes = dataset.num_classes();
+    let folds: Vec<_> = dataset
+        .leave_one_session_out()
+        .into_iter()
+        .take(cfg.max_folds.max(1))
+        .collect();
+    // Search data: session 1 (index 0) only, as in the paper.
+    let s1 = dataset.session_indices(0);
+    let (x_s1, y_s1) = dataset.gather_normalized(&s1);
+
+    // --- Seed evaluation -------------------------------------------------
+    let mut seed_bas_sum = 0.0;
+    for fold in &folds {
+        let (x_train, y_train) = dataset.gather_normalized(fold.train.as_slice());
+        let (x_test, y_test) = dataset.gather_normalized(fold.test.as_slice());
+        let mut seed_net = cfg.seed_architecture.build(&mut rng);
+        let _ = train_classifier(&mut seed_net, &x_train, &y_train, &cfg.train, &mut rng);
+        seed_bas_sum += evaluate(&mut seed_net, &x_test, &y_test, num_classes);
+    }
+    let seed_point = ParetoPoint::new(
+        "seed FP32",
+        seed_bas_sum / folds.len() as f64,
+        cfg.seed_architecture.memory_bytes_fp32(),
+        cfg.seed_architecture.macs(),
+    );
+
+    // --- λ sweep: DNAS + fine-tuning + mixed-precision QAT ---------------
+    let mut fp32_points = Vec::new();
+    let mut quantized = Vec::new();
+    for &lambda in &cfg.lambdas {
+        let nas_cfg = NasConfig {
+            lambda,
+            ..cfg.nas
+        };
+        let mut outcome = search(cfg.seed_architecture, &x_s1, &y_s1, &nas_cfg, &mut rng);
+        let arch = outcome.config;
+        let snapshot = snapshot_params(&mut outcome.network);
+
+        let mut fp32_sum = 0.0;
+        let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); cfg.assignments.len()];
+        let mut last_quantized: Vec<Option<QuantizedCnn>> = vec![None; cfg.assignments.len()];
+        for fold in &folds {
+            let (x_train, y_train) = dataset.gather_normalized(fold.train.as_slice());
+            let (x_test, y_test) = dataset.gather_normalized(fold.test.as_slice());
+            restore_params(&mut outcome.network, &snapshot);
+            let _ = train_classifier(
+                &mut outcome.network,
+                &x_train,
+                &y_train,
+                &cfg.train,
+                &mut rng,
+            );
+            fp32_sum += evaluate(&mut outcome.network, &x_test, &y_test, num_classes);
+            let folded = fold_sequential(arch, &outcome.network)
+                .expect("NAS-extracted networks always have the canonical layout");
+            for (ai, &assignment) in cfg.assignments.iter().enumerate() {
+                let mut qat = QatCnn::from_folded(&folded, assignment);
+                let _ = qat_finetune(&mut qat, &x_train, &y_train, &cfg.qat, &mut rng);
+                let preds = batched_predict(&mut qat, &x_test);
+                let bas = balanced_accuracy(&preds, &y_test, num_classes);
+                let smoothed = apply_majority(&preds, cfg.majority_window);
+                let bas_majority = balanced_accuracy(&smoothed, &y_test, num_classes);
+                sums[ai].0 += bas;
+                sums[ai].1 += bas_majority;
+                last_quantized[ai] = Some(QuantizedCnn::from_qat(&qat));
+            }
+        }
+        let nf = folds.len() as f64;
+        fp32_points.push(ParetoPoint::new(
+            format!("λ={lambda} FP32 {arch:?}"),
+            fp32_sum / nf,
+            arch.memory_bytes_fp32(),
+            arch.macs(),
+        ));
+        for (ai, &assignment) in cfg.assignments.iter().enumerate() {
+            let q = last_quantized[ai].take().expect("at least one fold ran");
+            quantized.push(CandidateModel {
+                label: format!("λ={lambda} {assignment}"),
+                config: arch,
+                assignment,
+                bas: sums[ai].0 / nf,
+                bas_majority: sums[ai].1 / nf,
+                memory_bytes: assignment.memory_bytes(&arch),
+                macs: arch.macs(),
+                quantized: q,
+            });
+        }
+    }
+
+    FlowResult {
+        seed_point,
+        fp32_points,
+        quantized,
+        majority_window: cfg.majority_window,
+    }
+}
+
+fn batched_predict(qat: &mut QatCnn, x: &Tensor) -> Vec<usize> {
+    let n = x.shape()[0];
+    let mut preds = Vec::with_capacity(n);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + 256).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let xb = pcount_nn::batch_select(x, &idx);
+        preds.extend(qat.predict(&xb));
+        start = end;
+    }
+    preds
+}
+
+/// Selects the three models deployed in Table I from the quantised
+/// candidates: the most accurate (`Top`), the smallest within 5 BAS points
+/// of the top (`-5%`) and the smallest overall (`Mini`).
+///
+/// Returns `None` if `candidates` is empty.
+pub fn select_table1_models(
+    candidates: &[CandidateModel],
+) -> Option<(CandidateModel, CandidateModel, CandidateModel)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let top = candidates
+        .iter()
+        .max_by(|a, b| a.bas_majority.partial_cmp(&b.bas_majority).expect("finite"))?
+        .clone();
+    let mini = candidates
+        .iter()
+        .min_by_key(|c| c.memory_bytes)?
+        .clone();
+    let minus5 = candidates
+        .iter()
+        .filter(|c| c.bas_majority >= top.bas_majority - 0.05)
+        .min_by_key(|c| c.memory_bytes)?
+        .clone();
+    Some((top, minus5, mini))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_front_by;
+
+    #[test]
+    fn quick_flow_produces_consistent_results() {
+        let cfg = FlowConfig::quick();
+        let result = run_flow(&cfg);
+        assert_eq!(result.fp32_points.len(), cfg.lambdas.len());
+        assert_eq!(
+            result.quantized.len(),
+            cfg.lambdas.len() * cfg.assignments.len()
+        );
+        // Accuracies are probabilities.
+        for p in result
+            .fp32_points
+            .iter()
+            .chain(std::iter::once(&result.seed_point))
+        {
+            assert!((0.0..=1.0).contains(&p.bas));
+        }
+        for c in &result.quantized {
+            assert!((0.0..=1.0).contains(&c.bas));
+            assert!((0.0..=1.0).contains(&c.bas_majority));
+            assert!(c.memory_bytes > 0);
+            assert!(c.macs > 0);
+            // Quantised models are never larger than the FP32 seed.
+            assert!(c.memory_bytes < cfg.seed_architecture.memory_bytes_fp32());
+        }
+        // The Pareto front of the quantised candidates is non-empty.
+        let front = pareto_front_by(&result.quantized_points(), false);
+        assert!(!front.is_empty());
+        // Table-I model selection works.
+        let (top, minus5, mini) = select_table1_models(&result.quantized).expect("models");
+        assert!(top.bas_majority >= minus5.bas_majority - 1e-9);
+        assert!(mini.memory_bytes <= minus5.memory_bytes);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = CnnConfig::seed().with_channels(2, 2, 4);
+        let mut net = cfg.build(&mut rng);
+        let snapshot = snapshot_params(&mut net);
+        // Perturb all parameters, then restore.
+        for (p, _) in net.params_and_grads() {
+            p.map_inplace(|v| v + 1.0);
+        }
+        restore_params(&mut net, &snapshot);
+        let now = snapshot_params(&mut net);
+        for (a, b) in now.iter().zip(snapshot.iter()) {
+            assert!(a.approx_eq(b, 0.0));
+        }
+    }
+
+    #[test]
+    fn table1_selection_handles_empty_input() {
+        assert!(select_table1_models(&[]).is_none());
+    }
+}

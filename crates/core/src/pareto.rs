@@ -1,0 +1,120 @@
+//! Pareto-front utilities for the accuracy-vs-cost planes of Figs. 5–7.
+
+/// One point in the Balanced-Accuracy vs hardware-cost space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Human-readable label (architecture + precision).
+    pub label: String,
+    /// Balanced accuracy (0..1).
+    pub bas: f64,
+    /// Model memory footprint in bytes.
+    pub memory_bytes: usize,
+    /// Multiply-accumulate operations per inference.
+    pub macs: usize,
+}
+
+impl ParetoPoint {
+    /// Creates a point.
+    pub fn new(label: impl Into<String>, bas: f64, memory_bytes: usize, macs: usize) -> Self {
+        Self {
+            label: label.into(),
+            bas,
+            memory_bytes,
+            macs,
+        }
+    }
+}
+
+/// Extracts the Pareto-optimal subset of `points`: maximise BAS, minimise
+/// the chosen cost (`memory_bytes` or `macs`). The result is sorted by
+/// increasing cost.
+pub fn pareto_front_by(points: &[ParetoPoint], use_macs: bool) -> Vec<ParetoPoint> {
+    let cost = |p: &ParetoPoint| if use_macs { p.macs } else { p.memory_bytes };
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for candidate in points {
+        let dominated = points.iter().any(|other| {
+            (other.bas > candidate.bas && cost(other) <= cost(candidate))
+                || (other.bas >= candidate.bas && cost(other) < cost(candidate))
+        });
+        if !dominated {
+            front.push(candidate.clone());
+        }
+    }
+    front.sort_by(|a, b| cost(a).cmp(&cost(b)));
+    front.dedup_by(|a, b| a.bas == b.bas && cost(a) == cost(b));
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(bas: f64, mem: usize, macs: usize) -> ParetoPoint {
+        ParetoPoint::new(format!("{bas}-{mem}"), bas, mem, macs)
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let points = vec![p(0.9, 1000, 10), p(0.8, 1000, 10), p(0.85, 2000, 20)];
+        let front = pareto_front_by(&points, false);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].bas, 0.9);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let points = vec![p(0.7, 100, 1), p(0.8, 200, 2), p(0.9, 300, 3)];
+        let front = pareto_front_by(&points, false);
+        assert_eq!(front.len(), 3);
+        // Sorted by cost.
+        assert!(front.windows(2).all(|w| w[0].memory_bytes <= w[1].memory_bytes));
+    }
+
+    #[test]
+    fn memory_and_mac_fronts_can_differ() {
+        // Point A: small memory, many MACs. Point B: large memory, few MACs.
+        let points = vec![p(0.8, 100, 1000), p(0.8, 1000, 100)];
+        let mem_front = pareto_front_by(&points, false);
+        let mac_front = pareto_front_by(&points, true);
+        assert_eq!(mem_front.len(), 1);
+        assert_eq!(mem_front[0].memory_bytes, 100);
+        assert_eq!(mac_front.len(), 1);
+        assert_eq!(mac_front[0].macs, 100);
+    }
+
+    proptest! {
+        #[test]
+        fn front_points_are_mutually_non_dominated(
+            raw in proptest::collection::vec((0.0f64..1.0, 1usize..10_000, 1usize..10_000), 1..40)
+        ) {
+            let points: Vec<ParetoPoint> =
+                raw.iter().map(|&(b, m, c)| p(b, m, c)).collect();
+            let front = pareto_front_by(&points, false);
+            prop_assert!(!front.is_empty());
+            for a in &front {
+                for b in &front {
+                    let strictly_dominates = b.bas >= a.bas
+                        && b.memory_bytes <= a.memory_bytes
+                        && (b.bas > a.bas || b.memory_bytes < a.memory_bytes);
+                    prop_assert!(!strictly_dominates, "front contains dominated point");
+                }
+            }
+        }
+
+        #[test]
+        fn best_accuracy_point_is_always_on_the_front(
+            raw in proptest::collection::vec((0.0f64..1.0, 1usize..10_000), 1..40)
+        ) {
+            let points: Vec<ParetoPoint> =
+                raw.iter().map(|&(b, m)| p(b, m, m)).collect();
+            let best = points
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.bas.partial_cmp(&b.bas).unwrap())
+                .unwrap();
+            let front = pareto_front_by(&points, false);
+            prop_assert!(front.iter().any(|q| (q.bas - best.bas).abs() < 1e-12));
+        }
+    }
+}

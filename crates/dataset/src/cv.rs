@@ -1,0 +1,71 @@
+//! Cross-validation split bookkeeping.
+
+/// A list of sample indices belonging to one side of a split.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplitIndices(pub Vec<usize>);
+
+impl SplitIndices {
+    /// Number of samples in this split.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The indices as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl From<Vec<usize>> for SplitIndices {
+    fn from(v: Vec<usize>) -> Self {
+        Self(v)
+    }
+}
+
+impl AsRef<[usize]> for SplitIndices {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+/// One leave-one-session-out cross-validation fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CvFold {
+    /// Session index used as the held-out test set.
+    pub test_session: usize,
+    /// Training sample indices (all other sessions).
+    pub train: SplitIndices,
+    /// Test sample indices (the held-out session, temporal order preserved).
+    pub test: SplitIndices,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_indices_basic_accessors() {
+        let s = SplitIndices::from(vec![3, 1, 2]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.as_slice(), &[3, 1, 2]);
+        assert_eq!(s.as_ref(), &[3, 1, 2]);
+        assert!(SplitIndices::default().is_empty());
+    }
+
+    #[test]
+    fn cv_fold_holds_session_and_splits() {
+        let fold = CvFold {
+            test_session: 2,
+            train: vec![0, 1].into(),
+            test: vec![2, 3].into(),
+        };
+        assert_eq!(fold.test_session, 2);
+        assert_eq!(fold.train.len() + fold.test.len(), 4);
+    }
+}

@@ -1,0 +1,290 @@
+//! Thermal scene simulation: ambient field, people as warm blobs, sensor
+//! noise, temporal dynamics.
+
+use rand::Rng;
+
+/// Side length of the IR array (8x8, like the LINAIGE sensor).
+pub const GRID_SIZE: usize = 8;
+
+/// Maximum number of simultaneously present people (labels are 0..=3).
+pub const MAX_PEOPLE: usize = 3;
+
+/// Per-session generation parameters.
+///
+/// Sessions differ in ambient temperature, noise level and the thermal
+/// contrast of people, reproducing the environment-to-environment domain
+/// shift of the real LINAIGE sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// Number of frames to generate for this session.
+    pub num_frames: usize,
+    /// Mean ambient temperature in °C.
+    pub ambient_temp: f32,
+    /// Standard deviation of the slowly varying ambient field.
+    pub ambient_drift: f32,
+    /// Per-pixel sensor noise standard deviation.
+    pub sensor_noise: f32,
+    /// Minimum person-over-ambient temperature contrast.
+    pub person_contrast_min: f32,
+    /// Maximum person-over-ambient temperature contrast.
+    pub person_contrast_max: f32,
+    /// Gaussian blob radius (in pixels) of a person's thermal footprint.
+    pub person_sigma: f32,
+    /// Probability that the person count changes between consecutive frames.
+    pub count_change_prob: f64,
+    /// Per-class prior used when the count changes, `MAX_PEOPLE + 1` values.
+    pub class_prior: [f64; MAX_PEOPLE + 1],
+}
+
+impl SessionConfig {
+    /// A session preset resembling the paper's largest session.
+    pub fn preset(session: usize, num_frames: usize) -> Self {
+        // Each session gets a slightly different environment.
+        let ambient = [21.0, 23.5, 19.5, 25.0, 22.0][session % 5];
+        let noise = [0.25, 0.35, 0.30, 0.40, 0.28][session % 5];
+        let contrast = [3.5, 2.8, 3.2, 2.5, 3.0][session % 5];
+        Self {
+            num_frames,
+            ambient_temp: ambient,
+            ambient_drift: 0.4,
+            sensor_noise: noise,
+            person_contrast_min: contrast,
+            person_contrast_max: contrast + 2.0,
+            person_sigma: 1.0,
+            count_change_prob: 0.06,
+            class_prior: [0.42, 0.30, 0.18, 0.10],
+        }
+    }
+}
+
+/// Full dataset generation configuration: one [`SessionConfig`] per session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Ordered session configurations; index 0 is the paper's "Session 1"
+    /// (the largest, always kept in the training set).
+    pub sessions: Vec<SessionConfig>,
+}
+
+impl DatasetConfig {
+    /// Default configuration: 5 sessions with LINAIGE-like relative sizes
+    /// (a few thousand frames in total, scaled down from the real 25110 so
+    /// CPU training stays fast).
+    pub fn standard() -> Self {
+        Self {
+            sessions: vec![
+                SessionConfig::preset(0, 1600),
+                SessionConfig::preset(1, 450),
+                SessionConfig::preset(2, 450),
+                SessionConfig::preset(3, 450),
+                SessionConfig::preset(4, 450),
+            ],
+        }
+    }
+
+    /// A tiny configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        Self {
+            sessions: vec![
+                SessionConfig::preset(0, 200),
+                SessionConfig::preset(1, 80),
+                SessionConfig::preset(2, 80),
+                SessionConfig::preset(3, 80),
+                SessionConfig::preset(4, 80),
+            ],
+        }
+    }
+
+    /// A harder variant of [`DatasetConfig::standard`]: noisier sensors and
+    /// weaker person-over-ambient contrast, so single-frame classifiers top
+    /// out well below 100 % balanced accuracy (as on the real LINAIGE
+    /// recordings) and temporal post-processing has headroom to help.
+    pub fn challenging() -> Self {
+        let mut cfg = Self::standard();
+        for s in &mut cfg.sessions {
+            s.sensor_noise *= 2.4;
+            s.person_contrast_min *= 0.55;
+            s.person_contrast_max *= 0.60;
+            s.ambient_drift *= 1.5;
+        }
+        cfg
+    }
+
+    /// Scales every session's frame count by `factor` (at least 8 frames).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        for s in &mut self.sessions {
+            s.num_frames = ((s.num_frames as f64 * factor).round() as usize).max(8);
+        }
+        self
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// A simulated person: position in pixel coordinates, thermal contrast.
+#[derive(Debug, Clone, Copy)]
+struct Person {
+    x: f32,
+    y: f32,
+    contrast: f32,
+}
+
+/// Stateful per-session simulator producing temporally correlated frames.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionSimulator {
+    cfg: SessionConfig,
+    people: Vec<Person>,
+    ambient_offset: f32,
+}
+
+impl SessionSimulator {
+    pub(crate) fn new<R: Rng>(cfg: SessionConfig, rng: &mut R) -> Self {
+        let initial_count = sample_class(&cfg.class_prior, rng);
+        let mut sim = Self {
+            cfg,
+            people: Vec::new(),
+            ambient_offset: 0.0,
+        };
+        sim.set_count(initial_count, rng);
+        sim
+    }
+
+    fn spawn_person<R: Rng>(&self, rng: &mut R) -> Person {
+        Person {
+            x: rng.gen_range(1.0..(GRID_SIZE as f32 - 1.0)),
+            y: rng.gen_range(1.0..(GRID_SIZE as f32 - 1.0)),
+            contrast: rng.gen_range(self.cfg.person_contrast_min..self.cfg.person_contrast_max),
+        }
+    }
+
+    fn set_count<R: Rng>(&mut self, count: usize, rng: &mut R) {
+        while self.people.len() > count {
+            self.people.pop();
+        }
+        while self.people.len() < count {
+            let p = self.spawn_person(rng);
+            self.people.push(p);
+        }
+    }
+
+    /// Advances the simulation by one frame and renders it.
+    pub(crate) fn next_frame<R: Rng>(&mut self, rng: &mut R) -> (Vec<f32>, usize) {
+        // Occasionally change the number of people.
+        if rng.gen_bool(self.cfg.count_change_prob) {
+            let new_count = sample_class(&self.cfg.class_prior, rng);
+            self.set_count(new_count, rng);
+        }
+        // People take a small random-walk step and stay inside the array.
+        for p in &mut self.people {
+            p.x = (p.x + rng.gen_range(-0.5..0.5)).clamp(0.0, GRID_SIZE as f32 - 1.0);
+            p.y = (p.y + rng.gen_range(-0.5..0.5)).clamp(0.0, GRID_SIZE as f32 - 1.0);
+        }
+        // Slowly drifting ambient offset.
+        self.ambient_offset = 0.95 * self.ambient_offset
+            + rng.gen_range(-self.cfg.ambient_drift..self.cfg.ambient_drift) * 0.05;
+
+        let mut frame = vec![self.cfg.ambient_temp + self.ambient_offset; GRID_SIZE * GRID_SIZE];
+        let two_sigma_sq = 2.0 * self.cfg.person_sigma * self.cfg.person_sigma;
+        for p in &self.people {
+            for gy in 0..GRID_SIZE {
+                for gx in 0..GRID_SIZE {
+                    let dx = gx as f32 - p.x;
+                    let dy = gy as f32 - p.y;
+                    let blob = p.contrast * (-(dx * dx + dy * dy) / two_sigma_sq).exp();
+                    frame[gy * GRID_SIZE + gx] += blob;
+                }
+            }
+        }
+        for v in &mut frame {
+            // Box-Muller noise.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            *v += z * self.cfg.sensor_noise;
+        }
+        (frame, self.people.len())
+    }
+}
+
+fn sample_class<R: Rng>(prior: &[f64; MAX_PEOPLE + 1], rng: &mut R) -> usize {
+    let total: f64 = prior.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &p) in prior.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    MAX_PEOPLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_differ_across_sessions() {
+        let a = SessionConfig::preset(0, 10);
+        let b = SessionConfig::preset(1, 10);
+        assert_ne!(a.ambient_temp, b.ambient_temp);
+    }
+
+    #[test]
+    fn challenging_config_is_noisier_than_standard() {
+        let std_cfg = DatasetConfig::standard();
+        let hard = DatasetConfig::challenging();
+        for (a, b) in std_cfg.sessions.iter().zip(hard.sessions.iter()) {
+            assert!(b.sensor_noise > a.sensor_noise);
+            assert!(b.person_contrast_min < a.person_contrast_min);
+        }
+    }
+
+    #[test]
+    fn scaled_config_changes_frame_counts() {
+        let cfg = DatasetConfig::standard().scaled(0.5);
+        assert_eq!(cfg.sessions[0].num_frames, 800);
+        let tiny = DatasetConfig::tiny().scaled(0.0);
+        assert!(tiny.sessions.iter().all(|s| s.num_frames >= 8));
+    }
+
+    #[test]
+    fn simulator_count_matches_people_rendered() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SessionConfig::preset(0, 10);
+        let mut sim = SessionSimulator::new(cfg, &mut rng);
+        for _ in 0..50 {
+            let (frame, count) = sim.next_frame(&mut rng);
+            assert_eq!(frame.len(), 64);
+            assert!(count <= MAX_PEOPLE);
+            assert!(frame.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn class_sampling_respects_prior_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let prior = [0.0, 1.0, 0.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(sample_class(&prior, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn frames_stay_near_ambient_when_empty() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = SessionConfig::preset(0, 10);
+        cfg.class_prior = [1.0, 0.0, 0.0, 0.0];
+        cfg.count_change_prob = 1.0;
+        let mut sim = SessionSimulator::new(cfg.clone(), &mut rng);
+        let (frame, count) = sim.next_frame(&mut rng);
+        assert_eq!(count, 0);
+        for v in frame {
+            assert!((v - cfg.ambient_temp).abs() < 3.0);
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! The execution engine and its IBEX-style cycle model.
+
+use crate::instr::{decode, BranchOp, Instr, LoadOp, StoreOp};
+use crate::memory::{Memory, IMEM_BASE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Simulation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The PC left the instruction memory or was misaligned.
+    BadFetch {
+        /// Offending program counter.
+        pc: u32,
+    },
+    /// The fetched word is not a supported instruction.
+    IllegalInstruction {
+        /// Offending program counter.
+        pc: u32,
+        /// Raw instruction word.
+        word: u32,
+    },
+    /// A load or store touched an invalid data address.
+    BadMemoryAccess {
+        /// Offending program counter.
+        pc: u32,
+        /// Offending data address.
+        addr: u32,
+    },
+    /// The program did not halt within the instruction budget.
+    Timeout {
+        /// The instruction budget that was exhausted.
+        max_instructions: u64,
+    },
+    /// The program image does not fit in instruction memory.
+    ProgramTooLarge {
+        /// Program size in bytes.
+        program_bytes: usize,
+        /// Instruction memory size in bytes.
+        imem_bytes: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadFetch { pc } => write!(f, "instruction fetch failed at pc {pc:#x}"),
+            SimError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#x}")
+            }
+            SimError::BadMemoryAccess { pc, addr } => {
+                write!(f, "invalid data access to {addr:#x} at pc {pc:#x}")
+            }
+            SimError::Timeout { max_instructions } => {
+                write!(f, "program did not halt within {max_instructions} instructions")
+            }
+            SimError::ProgramTooLarge {
+                program_bytes,
+                imem_bytes,
+            } => write!(
+                f,
+                "program of {program_bytes} bytes does not fit in {imem_bytes} bytes of instruction memory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-mnemonic instruction counts collected during execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl Trace {
+    /// Number of executed instructions with the given mnemonic class.
+    pub fn count(&self, mnemonic: &str) -> u64 {
+        self.counts.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// All (mnemonic, count) pairs in alphabetical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total SDOTP instructions (both widths).
+    pub fn sdotp_count(&self) -> u64 {
+        self.count("sdotp8") + self.count("sdotp4")
+    }
+
+    fn record(&mut self, mnemonic: &'static str) {
+        *self.counts.entry(mnemonic).or_insert(0) += 1;
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Consumed clock cycles under the IBEX-style timing model.
+    pub cycles: u64,
+}
+
+/// A single-hart RV32IM + SDOTP processor model.
+///
+/// The cycle model follows the public IBEX documentation: single-issue,
+/// in-order, most instructions retire in 1 cycle, loads/stores take 2,
+/// taken branches 3, jumps 2 and divisions 37. The SDOTP unit is
+/// single-cycle by construction (the paper replicates multipliers instead
+/// of sharing them).
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Instruction and data memories.
+    pub mem: Memory,
+    /// Total cycles consumed so far.
+    pub cycles: u64,
+    /// Total instructions retired so far.
+    pub instret: u64,
+    /// Per-mnemonic execution counts.
+    pub trace: Trace,
+    halted: bool,
+}
+
+/// Cycles for a load or store (IBEX data interface).
+const CYCLES_MEM: u64 = 2;
+/// Cycles for a taken branch.
+const CYCLES_BRANCH_TAKEN: u64 = 3;
+/// Cycles for a jump.
+const CYCLES_JUMP: u64 = 2;
+/// Cycles for a division / remainder.
+const CYCLES_DIV: u64 = 37;
+
+impl Cpu {
+    /// Creates a CPU with the given memory sizes.
+    pub fn new(imem_size: usize, dmem_size: usize) -> Self {
+        Self {
+            regs: [0; 32],
+            pc: IMEM_BASE,
+            mem: Memory::new(imem_size, dmem_size),
+            cycles: 0,
+            instret: 0,
+            trace: Trace::default(),
+            halted: false,
+        }
+    }
+
+    /// Creates a CPU with MAUPITI's 16 KB + 16 KB memories.
+    pub fn new_default() -> Self {
+        Self::new(16 * 1024, 16 * 1024)
+    }
+
+    /// Reads a register (x0 always reads 0).
+    pub fn reg(&self, index: u8) -> u32 {
+        self.regs[index as usize]
+    }
+
+    /// Writes a register (writes to x0 are ignored).
+    pub fn set_reg(&mut self, index: u8, value: u32) {
+        if index != 0 {
+            self.regs[index as usize] = value;
+        }
+    }
+
+    /// Whether the core has executed an `ecall`/`ebreak`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Encodes `program` and loads it at the start of instruction memory,
+    /// resetting the PC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProgramTooLarge`] if the image does not fit.
+    pub fn load_program(&mut self, program: &[Instr]) -> Result<(), SimError> {
+        let mut bytes = Vec::with_capacity(program.len() * 4);
+        for instr in program {
+            bytes.extend_from_slice(&instr.encode().to_le_bytes());
+        }
+        self.load_program_bytes(&bytes)
+    }
+
+    /// Loads an already-encoded program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ProgramTooLarge`] if the image does not fit.
+    pub fn load_program_bytes(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        self.mem
+            .load_imem(bytes)
+            .map_err(|imem_bytes| SimError::ProgramTooLarge {
+                program_bytes: bytes.len(),
+                imem_bytes,
+            })?;
+        self.pc = IMEM_BASE;
+        self.halted = false;
+        Ok(())
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on fetch, decode or memory faults.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.halted {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let word = self.mem.fetch(pc).ok_or(SimError::BadFetch { pc })?;
+        let instr = decode(word).map_err(|word| SimError::IllegalInstruction { pc, word })?;
+        self.trace.record(instr.mnemonic());
+        self.instret += 1;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut cost = 1u64;
+        match instr {
+            Instr::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 12),
+            Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm as u32) << 12)),
+            Instr::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                next_pc = pc.wrapping_add(offset as u32);
+                cost = CYCLES_JUMP;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
+                self.set_reg(rd, next_pc);
+                next_pc = target;
+                cost = CYCLES_JUMP;
+            }
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.reg(rs1);
+                let b = self.reg(rs2);
+                let taken = match op {
+                    BranchOp::Beq => a == b,
+                    BranchOp::Bne => a != b,
+                    BranchOp::Blt => (a as i32) < (b as i32),
+                    BranchOp::Bge => (a as i32) >= (b as i32),
+                    BranchOp::Bltu => a < b,
+                    BranchOp::Bgeu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    cost = CYCLES_BRANCH_TAKEN;
+                }
+            }
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let (len, signed) = match op {
+                    LoadOp::Lb => (1, true),
+                    LoadOp::Lh => (2, true),
+                    LoadOp::Lw => (4, false),
+                    LoadOp::Lbu => (1, false),
+                    LoadOp::Lhu => (2, false),
+                };
+                let raw = self
+                    .mem
+                    .load(addr, len)
+                    .ok_or(SimError::BadMemoryAccess { pc, addr })?;
+                let value = if signed {
+                    let bits = 8 * len as u32;
+                    (((raw << (32 - bits)) as i32) >> (32 - bits)) as u32
+                } else {
+                    raw
+                };
+                self.set_reg(rd, value);
+                cost = CYCLES_MEM;
+            }
+            Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u32);
+                let len = match op {
+                    StoreOp::Sb => 1,
+                    StoreOp::Sh => 2,
+                    StoreOp::Sw => 4,
+                };
+                self.mem
+                    .store(addr, self.reg(rs2), len)
+                    .ok_or(SimError::BadMemoryAccess { pc, addr })?;
+                cost = CYCLES_MEM;
+            }
+            Instr::Addi { rd, rs1, imm } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_add(imm as u32));
+            }
+            Instr::Slti { rd, rs1, imm } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < imm) as u32);
+            }
+            Instr::Sltiu { rd, rs1, imm } => {
+                self.set_reg(rd, (self.reg(rs1) < imm as u32) as u32);
+            }
+            Instr::Xori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) ^ imm as u32),
+            Instr::Ori { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) | imm as u32),
+            Instr::Andi { rd, rs1, imm } => self.set_reg(rd, self.reg(rs1) & imm as u32),
+            Instr::Slli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) << (shamt & 31)),
+            Instr::Srli { rd, rs1, shamt } => self.set_reg(rd, self.reg(rs1) >> (shamt & 31)),
+            Instr::Srai { rd, rs1, shamt } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (shamt & 31)) as u32);
+            }
+            Instr::Add { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_add(self.reg(rs2)));
+            }
+            Instr::Sub { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_sub(self.reg(rs2)));
+            }
+            Instr::Sll { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1) << (self.reg(rs2) & 31));
+            }
+            Instr::Slt { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) < (self.reg(rs2) as i32)) as u32);
+            }
+            Instr::Sltu { rd, rs1, rs2 } => {
+                self.set_reg(rd, (self.reg(rs1) < self.reg(rs2)) as u32);
+            }
+            Instr::Xor { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) ^ self.reg(rs2)),
+            Instr::Srl { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1) >> (self.reg(rs2) & 31));
+            }
+            Instr::Sra { rd, rs1, rs2 } => {
+                self.set_reg(rd, ((self.reg(rs1) as i32) >> (self.reg(rs2) & 31)) as u32);
+            }
+            Instr::Or { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) | self.reg(rs2)),
+            Instr::And { rd, rs1, rs2 } => self.set_reg(rd, self.reg(rs1) & self.reg(rs2)),
+            Instr::Mul { rd, rs1, rs2 } => {
+                self.set_reg(rd, self.reg(rs1).wrapping_mul(self.reg(rs2)));
+            }
+            Instr::Mulh { rd, rs1, rs2 } => {
+                let prod = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as i32 as i64);
+                self.set_reg(rd, (prod >> 32) as u32);
+            }
+            Instr::Mulhsu { rd, rs1, rs2 } => {
+                let prod = (self.reg(rs1) as i32 as i64) * (self.reg(rs2) as u64 as i64);
+                self.set_reg(rd, (prod >> 32) as u32);
+            }
+            Instr::Mulhu { rd, rs1, rs2 } => {
+                let prod = (self.reg(rs1) as u64) * (self.reg(rs2) as u64);
+                self.set_reg(rd, (prod >> 32) as u32);
+            }
+            Instr::Div { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let q = if b == 0 {
+                    -1
+                } else if a == i32::MIN && b == -1 {
+                    a
+                } else {
+                    a / b
+                };
+                self.set_reg(rd, q as u32);
+                cost = CYCLES_DIV;
+            }
+            Instr::Divu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let q = if b == 0 { u32::MAX } else { self.reg(rs1) / b };
+                self.set_reg(rd, q);
+                cost = CYCLES_DIV;
+            }
+            Instr::Rem { rd, rs1, rs2 } => {
+                let a = self.reg(rs1) as i32;
+                let b = self.reg(rs2) as i32;
+                let r = if b == 0 {
+                    a
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    a % b
+                };
+                self.set_reg(rd, r as u32);
+                cost = CYCLES_DIV;
+            }
+            Instr::Remu { rd, rs1, rs2 } => {
+                let b = self.reg(rs2);
+                let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
+                self.set_reg(rd, r);
+                cost = CYCLES_DIV;
+            }
+            Instr::Sdotp8 { rd, rs1, rs2 } => {
+                let acc = self.reg(rd) as i32;
+                self.set_reg(rd, (acc + sdotp8(self.reg(rs1), self.reg(rs2))) as u32);
+            }
+            Instr::Sdotp4 { rd, rs1, rs2 } => {
+                let acc = self.reg(rd) as i32;
+                self.set_reg(rd, (acc + sdotp4(self.reg(rs1), self.reg(rs2))) as u32);
+            }
+            Instr::Ecall | Instr::Ebreak => {
+                self.halted = true;
+            }
+        }
+        self.pc = next_pc;
+        self.cycles += cost;
+        Ok(())
+    }
+
+    /// Runs until the program halts (via `ecall`/`ebreak`) or the budget of
+    /// `max_instructions` is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the budget is exhausted, or any
+    /// fault raised by [`Cpu::step`].
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunSummary, SimError> {
+        let start_instret = self.instret;
+        let start_cycles = self.cycles;
+        while !self.halted {
+            if self.instret - start_instret >= max_instructions {
+                return Err(SimError::Timeout { max_instructions });
+            }
+            self.step()?;
+        }
+        Ok(RunSummary {
+            instructions: self.instret - start_instret,
+            cycles: self.cycles - start_cycles,
+        })
+    }
+}
+
+/// Reference semantics of the 8-bit SDOTP: sum of four signed byte products.
+pub(crate) fn sdotp8(a: u32, b: u32) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..4 {
+        let x = ((a >> (8 * i)) & 0xFF) as u8 as i8 as i32;
+        let y = ((b >> (8 * i)) & 0xFF) as u8 as i8 as i32;
+        acc += x * y;
+    }
+    acc
+}
+
+/// Reference semantics of the 4-bit SDOTP: sum of eight signed nibble
+/// products.
+pub(crate) fn sdotp4(a: u32, b: u32) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..8 {
+        let x = ((a >> (4 * i)) & 0xF) as i32;
+        let y = ((b >> (4 * i)) & 0xF) as i32;
+        let xs = if x >= 8 { x - 16 } else { x };
+        let ys = if y >= 8 { y - 16 } else { y };
+        acc += xs * ys;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DMEM_BASE;
+    use crate::reg;
+    use proptest::prelude::*;
+
+    fn run_program(program: &[Instr]) -> Cpu {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(program).unwrap();
+        cpu.run(100_000).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_immediates_work() {
+        let cpu = run_program(&[
+            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 100 },
+            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: -3 },
+            Instr::Add { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Sub { rd: reg::A3, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Mul { rd: reg::A4, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Ebreak,
+        ]);
+        assert_eq!(cpu.reg(reg::A2) as i32, 97);
+        assert_eq!(cpu.reg(reg::A3) as i32, 103);
+        assert_eq!(cpu.reg(reg::A4) as i32, -300);
+    }
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let cpu = run_program(&[
+            Instr::Addi { rd: reg::ZERO, rs1: reg::ZERO, imm: 55 },
+            Instr::Ebreak,
+        ]);
+        assert_eq!(cpu.reg(reg::ZERO), 0);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[
+            Instr::Lui { rd: reg::A0, imm: (DMEM_BASE >> 12) as i32 },
+            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: -77 },
+            Instr::Store { op: StoreOp::Sw, rs1: reg::A0, rs2: reg::A1, offset: 16 },
+            Instr::Load { op: LoadOp::Lw, rd: reg::A2, rs1: reg::A0, offset: 16 },
+            Instr::Store { op: StoreOp::Sb, rs1: reg::A0, rs2: reg::A1, offset: 20 },
+            Instr::Load { op: LoadOp::Lb, rd: reg::A3, rs1: reg::A0, offset: 20 },
+            Instr::Load { op: LoadOp::Lbu, rd: reg::A4, rs1: reg::A0, offset: 20 },
+            Instr::Ebreak,
+        ])
+        .unwrap();
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(reg::A2) as i32, -77);
+        assert_eq!(cpu.reg(reg::A3) as i32, -77);
+        assert_eq!(cpu.reg(reg::A4), 0xB3); // low byte of -77, zero-extended
+    }
+
+    #[test]
+    fn branches_and_loops_count_correctly() {
+        // Sum 1..=10 with a loop.
+        let cpu = run_program(&[
+            Instr::Addi { rd: reg::T0, rs1: reg::ZERO, imm: 10 }, // counter
+            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 0 },  // acc
+            // loop:
+            Instr::Add { rd: reg::A0, rs1: reg::A0, rs2: reg::T0 },
+            Instr::Addi { rd: reg::T0, rs1: reg::T0, imm: -1 },
+            Instr::Branch { op: BranchOp::Bne, rs1: reg::T0, rs2: reg::ZERO, offset: -8 },
+            Instr::Ebreak,
+        ]);
+        assert_eq!(cpu.reg(reg::A0), 55);
+    }
+
+    #[test]
+    fn jal_and_jalr_link_and_jump() {
+        let cpu = run_program(&[
+            Instr::Jal { rd: reg::RA, offset: 12 },             // skip the next two instrs
+            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 1 }, // skipped
+            Instr::Ebreak,                                       // skipped
+            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: 7 },
+            Instr::Jalr { rd: reg::ZERO, rs1: reg::RA, offset: 4 }, // return past the first addi
+            Instr::Ebreak,
+        ]);
+        assert_eq!(cpu.reg(reg::A0), 0);
+        assert_eq!(cpu.reg(reg::A1), 7);
+        assert_eq!(cpu.reg(reg::RA), 4);
+    }
+
+    #[test]
+    fn division_semantics_follow_the_spec() {
+        let cpu = run_program(&[
+            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: -7 },
+            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: 2 },
+            Instr::Div { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Rem { rd: reg::A3, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Div { rd: reg::A4, rs1: reg::A0, rs2: reg::ZERO },
+            Instr::Ebreak,
+        ]);
+        assert_eq!(cpu.reg(reg::A2) as i32, -3);
+        assert_eq!(cpu.reg(reg::A3) as i32, -1);
+        assert_eq!(cpu.reg(reg::A4) as i32, -1); // divide by zero => -1
+    }
+
+    #[test]
+    fn sdotp8_matches_scalar_reference() {
+        // a = [1, -2, 3, -4], b = [5, 6, -7, 8] packed little-endian.
+        let a = u32::from_le_bytes([1i8 as u8, (-2i8) as u8, 3i8 as u8, (-4i8) as u8]);
+        let b = u32::from_le_bytes([5i8 as u8, 6i8 as u8, (-7i8) as u8, 8i8 as u8]);
+        assert_eq!(sdotp8(a, b), 1 * 5 - 2 * 6 - 3 * 7 - 4 * 8);
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[
+            Instr::Sdotp8 { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Sdotp8 { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Ebreak,
+        ])
+        .unwrap();
+        cpu.set_reg(reg::A0, a);
+        cpu.set_reg(reg::A1, b);
+        cpu.set_reg(reg::A2, 100);
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(reg::A2) as i32, 100 + 2 * sdotp8(a, b));
+        assert_eq!(cpu.trace.sdotp_count(), 2);
+    }
+
+    #[test]
+    fn sdotp4_handles_signed_nibbles() {
+        // Nibbles: [7, -8, 1, -1, 0, 3, -3, 2] (little-endian nibble order).
+        let lanes: [i32; 8] = [7, -8, 1, -1, 0, 3, -3, 2];
+        let mut a = 0u32;
+        for (i, &v) in lanes.iter().enumerate() {
+            a |= ((v & 0xF) as u32) << (4 * i);
+        }
+        let b = a; // dot product with itself = sum of squares
+        let expected: i32 = lanes.iter().map(|&v| v * v).sum();
+        assert_eq!(sdotp4(a, b), expected);
+    }
+
+    #[test]
+    fn cycle_model_charges_more_for_memory_and_branches() {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[
+            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 1 },
+            Instr::Ebreak,
+        ])
+        .unwrap();
+        let alu_only = cpu.run(10).unwrap();
+        assert_eq!(alu_only.instructions, 2);
+        assert_eq!(alu_only.cycles, 2);
+
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[
+            Instr::Lui { rd: reg::A0, imm: (DMEM_BASE >> 12) as i32 },
+            Instr::Store { op: StoreOp::Sw, rs1: reg::A0, rs2: reg::ZERO, offset: 0 },
+            Instr::Load { op: LoadOp::Lw, rd: reg::A1, rs1: reg::A0, offset: 0 },
+            Instr::Ebreak,
+        ])
+        .unwrap();
+        let with_mem = cpu.run(10).unwrap();
+        assert_eq!(with_mem.instructions, 4);
+        assert_eq!(with_mem.cycles, 1 + 2 + 2 + 1);
+    }
+
+    #[test]
+    fn runaway_programs_time_out() {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[Instr::Jal { rd: reg::ZERO, offset: 0 }]).unwrap();
+        assert!(matches!(cpu.run(100), Err(SimError::Timeout { .. })));
+    }
+
+    #[test]
+    fn illegal_instruction_is_reported() {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program_bytes(&0xFFFF_FFFFu32.to_le_bytes()).unwrap();
+        assert!(matches!(
+            cpu.run(10),
+            Err(SimError::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_store_is_reported() {
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&[
+            Instr::Store { op: StoreOp::Sw, rs1: reg::ZERO, rs2: reg::ZERO, offset: 0 },
+            Instr::Ebreak,
+        ])
+        .unwrap();
+        assert!(matches!(
+            cpu.run(10),
+            Err(SimError::BadMemoryAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn program_too_large_is_rejected() {
+        let mut cpu = Cpu::new(16, 16);
+        let program = vec![Instr::Ebreak; 5];
+        assert!(matches!(
+            cpu.load_program(&program),
+            Err(SimError::ProgramTooLarge { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn sdotp8_equals_scalar_loop(a in any::<u32>(), b in any::<u32>()) {
+            let mut expected = 0i64;
+            for i in 0..4 {
+                let x = ((a >> (8 * i)) & 0xFF) as u8 as i8 as i64;
+                let y = ((b >> (8 * i)) & 0xFF) as u8 as i8 as i64;
+                expected += x * y;
+            }
+            prop_assert_eq!(sdotp8(a, b) as i64, expected);
+        }
+
+        #[test]
+        fn sdotp4_equals_scalar_loop(a in any::<u32>(), b in any::<u32>()) {
+            let mut expected = 0i64;
+            for i in 0..8 {
+                let xs = ((a >> (4 * i)) & 0xF) as i64;
+                let ys = ((b >> (4 * i)) & 0xF) as i64;
+                let xs = if xs >= 8 { xs - 16 } else { xs };
+                let ys = if ys >= 8 { ys - 16 } else { ys };
+                expected += xs * ys;
+            }
+            prop_assert_eq!(sdotp4(a, b) as i64, expected);
+        }
+    }
+}

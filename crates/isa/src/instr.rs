@@ -1,0 +1,600 @@
+//! Instruction definitions, binary encoding and decoding.
+
+/// Conditional branch comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Branch if equal.
+    Beq,
+    /// Branch if not equal.
+    Bne,
+    /// Branch if less than (signed).
+    Blt,
+    /// Branch if greater or equal (signed).
+    Bge,
+    /// Branch if less than (unsigned).
+    Bltu,
+    /// Branch if greater or equal (unsigned).
+    Bgeu,
+}
+
+/// Memory load widths / sign behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// Load signed byte.
+    Lb,
+    /// Load signed half-word.
+    Lh,
+    /// Load word.
+    Lw,
+    /// Load unsigned byte.
+    Lbu,
+    /// Load unsigned half-word.
+    Lhu,
+}
+
+/// Memory store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// Store byte.
+    Sb,
+    /// Store half-word.
+    Sh,
+    /// Store word.
+    Sw,
+}
+
+/// One RV32IM (+ MAUPITI SDOTP) instruction.
+///
+/// Immediates are stored sign-extended; `Lui`/`Auipc` store the 20-bit
+/// upper-immediate value (the architectural effect is `imm << 12`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Instr {
+    Lui { rd: u8, imm: i32 },
+    Auipc { rd: u8, imm: i32 },
+    Jal { rd: u8, offset: i32 },
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
+    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
+    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
+    Addi { rd: u8, rs1: u8, imm: i32 },
+    Slti { rd: u8, rs1: u8, imm: i32 },
+    Sltiu { rd: u8, rs1: u8, imm: i32 },
+    Xori { rd: u8, rs1: u8, imm: i32 },
+    Ori { rd: u8, rs1: u8, imm: i32 },
+    Andi { rd: u8, rs1: u8, imm: i32 },
+    Slli { rd: u8, rs1: u8, shamt: u8 },
+    Srli { rd: u8, rs1: u8, shamt: u8 },
+    Srai { rd: u8, rs1: u8, shamt: u8 },
+    Add { rd: u8, rs1: u8, rs2: u8 },
+    Sub { rd: u8, rs1: u8, rs2: u8 },
+    Sll { rd: u8, rs1: u8, rs2: u8 },
+    Slt { rd: u8, rs1: u8, rs2: u8 },
+    Sltu { rd: u8, rs1: u8, rs2: u8 },
+    Xor { rd: u8, rs1: u8, rs2: u8 },
+    Srl { rd: u8, rs1: u8, rs2: u8 },
+    Sra { rd: u8, rs1: u8, rs2: u8 },
+    Or { rd: u8, rs1: u8, rs2: u8 },
+    And { rd: u8, rs1: u8, rs2: u8 },
+    Mul { rd: u8, rs1: u8, rs2: u8 },
+    Mulh { rd: u8, rs1: u8, rs2: u8 },
+    Mulhsu { rd: u8, rs1: u8, rs2: u8 },
+    Mulhu { rd: u8, rs1: u8, rs2: u8 },
+    Div { rd: u8, rs1: u8, rs2: u8 },
+    Divu { rd: u8, rs1: u8, rs2: u8 },
+    Rem { rd: u8, rs1: u8, rs2: u8 },
+    Remu { rd: u8, rs1: u8, rs2: u8 },
+    /// MAUPITI SDOTP on four signed 8-bit lanes:
+    /// `rd += Σ_i sext8(rs1[i]) * sext8(rs2[i])`.
+    Sdotp8 { rd: u8, rs1: u8, rs2: u8 },
+    /// MAUPITI SDOTP on eight signed 4-bit lanes:
+    /// `rd += Σ_i sext4(rs1[i]) * sext4(rs2[i])`.
+    Sdotp4 { rd: u8, rs1: u8, rs2: u8 },
+    Ecall,
+    Ebreak,
+}
+
+const OPC_LUI: u32 = 0x37;
+const OPC_AUIPC: u32 = 0x17;
+const OPC_JAL: u32 = 0x6F;
+const OPC_JALR: u32 = 0x67;
+const OPC_BRANCH: u32 = 0x63;
+const OPC_LOAD: u32 = 0x03;
+const OPC_STORE: u32 = 0x23;
+const OPC_OP_IMM: u32 = 0x13;
+const OPC_OP: u32 = 0x33;
+const OPC_SYSTEM: u32 = 0x73;
+/// `custom-0` opcode used by the MAUPITI SDOTP extension.
+const OPC_CUSTOM0: u32 = 0x0B;
+
+fn enc_r(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_i(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn enc_s(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(imm: i32, rs2: u8, rs1: u8, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3F) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | opcode
+}
+
+fn enc_u(imm20: i32, rd: u8, opcode: u32) -> u32 {
+    ((imm20 as u32 & 0xF_FFFF) << 12) | ((rd as u32) << 7) | opcode
+}
+
+fn enc_j(imm: i32, rd: u8, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xFF) << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+impl Instr {
+    /// Encodes the instruction as a 32-bit RISC-V word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        match self {
+            Lui { rd, imm } => enc_u(imm, rd, OPC_LUI),
+            Auipc { rd, imm } => enc_u(imm, rd, OPC_AUIPC),
+            Jal { rd, offset } => enc_j(offset, rd, OPC_JAL),
+            Jalr { rd, rs1, offset } => enc_i(offset, rs1, 0, rd, OPC_JALR),
+            Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let f3 = match op {
+                    BranchOp::Beq => 0,
+                    BranchOp::Bne => 1,
+                    BranchOp::Blt => 4,
+                    BranchOp::Bge => 5,
+                    BranchOp::Bltu => 6,
+                    BranchOp::Bgeu => 7,
+                };
+                enc_b(offset, rs2, rs1, f3, OPC_BRANCH)
+            }
+            Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let f3 = match op {
+                    LoadOp::Lb => 0,
+                    LoadOp::Lh => 1,
+                    LoadOp::Lw => 2,
+                    LoadOp::Lbu => 4,
+                    LoadOp::Lhu => 5,
+                };
+                enc_i(offset, rs1, f3, rd, OPC_LOAD)
+            }
+            Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let f3 = match op {
+                    StoreOp::Sb => 0,
+                    StoreOp::Sh => 1,
+                    StoreOp::Sw => 2,
+                };
+                enc_s(offset, rs2, rs1, f3, OPC_STORE)
+            }
+            Addi { rd, rs1, imm } => enc_i(imm, rs1, 0, rd, OPC_OP_IMM),
+            Slti { rd, rs1, imm } => enc_i(imm, rs1, 2, rd, OPC_OP_IMM),
+            Sltiu { rd, rs1, imm } => enc_i(imm, rs1, 3, rd, OPC_OP_IMM),
+            Xori { rd, rs1, imm } => enc_i(imm, rs1, 4, rd, OPC_OP_IMM),
+            Ori { rd, rs1, imm } => enc_i(imm, rs1, 6, rd, OPC_OP_IMM),
+            Andi { rd, rs1, imm } => enc_i(imm, rs1, 7, rd, OPC_OP_IMM),
+            Slli { rd, rs1, shamt } => enc_r(0, shamt, rs1, 1, rd, OPC_OP_IMM),
+            Srli { rd, rs1, shamt } => enc_r(0, shamt, rs1, 5, rd, OPC_OP_IMM),
+            Srai { rd, rs1, shamt } => enc_r(0x20, shamt, rs1, 5, rd, OPC_OP_IMM),
+            Add { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 0, rd, OPC_OP),
+            Sub { rd, rs1, rs2 } => enc_r(0x20, rs2, rs1, 0, rd, OPC_OP),
+            Sll { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 1, rd, OPC_OP),
+            Slt { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 2, rd, OPC_OP),
+            Sltu { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 3, rd, OPC_OP),
+            Xor { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 4, rd, OPC_OP),
+            Srl { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 5, rd, OPC_OP),
+            Sra { rd, rs1, rs2 } => enc_r(0x20, rs2, rs1, 5, rd, OPC_OP),
+            Or { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 6, rd, OPC_OP),
+            And { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 7, rd, OPC_OP),
+            Mul { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 0, rd, OPC_OP),
+            Mulh { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 1, rd, OPC_OP),
+            Mulhsu { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 2, rd, OPC_OP),
+            Mulhu { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 3, rd, OPC_OP),
+            Div { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 4, rd, OPC_OP),
+            Divu { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 5, rd, OPC_OP),
+            Rem { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 6, rd, OPC_OP),
+            Remu { rd, rs1, rs2 } => enc_r(1, rs2, rs1, 7, rd, OPC_OP),
+            Sdotp8 { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 0, rd, OPC_CUSTOM0),
+            Sdotp4 { rd, rs1, rs2 } => enc_r(0, rs2, rs1, 1, rd, OPC_CUSTOM0),
+            Ecall => 0x0000_0073,
+            Ebreak => 0x0010_0073,
+        }
+    }
+
+    /// Returns `true` for the SDOTP extension instructions.
+    pub fn is_sdotp(self) -> bool {
+        matches!(self, Instr::Sdotp8 { .. } | Instr::Sdotp4 { .. })
+    }
+
+    /// Short mnemonic for tracing.
+    pub fn mnemonic(self) -> &'static str {
+        use Instr::*;
+        match self {
+            Lui { .. } => "lui",
+            Auipc { .. } => "auipc",
+            Jal { .. } => "jal",
+            Jalr { .. } => "jalr",
+            Branch { .. } => "branch",
+            Load { .. } => "load",
+            Store { .. } => "store",
+            Addi { .. } | Slti { .. } | Sltiu { .. } | Xori { .. } | Ori { .. } | Andi { .. }
+            | Slli { .. } | Srli { .. } | Srai { .. } => "alu-imm",
+            Add { .. } | Sub { .. } | Sll { .. } | Slt { .. } | Sltu { .. } | Xor { .. }
+            | Srl { .. } | Sra { .. } | Or { .. } | And { .. } => "alu",
+            Mul { .. } | Mulh { .. } | Mulhsu { .. } | Mulhu { .. } => "mul",
+            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => "div",
+            Sdotp8 { .. } => "sdotp8",
+            Sdotp4 { .. } => "sdotp4",
+            Ecall => "ecall",
+            Ebreak => "ebreak",
+        }
+    }
+}
+
+/// Decodes a 32-bit RISC-V word into an [`Instr`].
+///
+/// # Errors
+///
+/// Returns the raw word if it is not a supported RV32IM / SDOTP encoding.
+pub fn decode(word: u32) -> Result<Instr, u32> {
+    let opcode = word & 0x7F;
+    let rd = ((word >> 7) & 0x1F) as u8;
+    let funct3 = (word >> 12) & 7;
+    let rs1 = ((word >> 15) & 0x1F) as u8;
+    let rs2 = ((word >> 20) & 0x1F) as u8;
+    let funct7 = word >> 25;
+    let imm_i = sext(word >> 20, 12);
+    let imm_s = sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12);
+    let imm_b = sext(
+        ((word >> 31) << 12) | (((word >> 7) & 1) << 11) | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1),
+        13,
+    );
+    let imm_u = ((word >> 12) & 0xF_FFFF) as i32;
+    let imm_j = sext(
+        ((word >> 31) << 20) | (((word >> 12) & 0xFF) << 12) | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1),
+        21,
+    );
+    let instr = match opcode {
+        OPC_LUI => Instr::Lui { rd, imm: imm_u },
+        OPC_AUIPC => Instr::Auipc { rd, imm: imm_u },
+        OPC_JAL => Instr::Jal { rd, offset: imm_j },
+        OPC_JALR if funct3 == 0 => Instr::Jalr {
+            rd,
+            rs1,
+            offset: imm_i,
+        },
+        OPC_BRANCH => {
+            let op = match funct3 {
+                0 => BranchOp::Beq,
+                1 => BranchOp::Bne,
+                4 => BranchOp::Blt,
+                5 => BranchOp::Bge,
+                6 => BranchOp::Bltu,
+                7 => BranchOp::Bgeu,
+                _ => return Err(word),
+            };
+            Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: imm_b,
+            }
+        }
+        OPC_LOAD => {
+            let op = match funct3 {
+                0 => LoadOp::Lb,
+                1 => LoadOp::Lh,
+                2 => LoadOp::Lw,
+                4 => LoadOp::Lbu,
+                5 => LoadOp::Lhu,
+                _ => return Err(word),
+            };
+            Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset: imm_i,
+            }
+        }
+        OPC_STORE => {
+            let op = match funct3 {
+                0 => StoreOp::Sb,
+                1 => StoreOp::Sh,
+                2 => StoreOp::Sw,
+                _ => return Err(word),
+            };
+            Instr::Store {
+                op,
+                rs1,
+                rs2,
+                offset: imm_s,
+            }
+        }
+        OPC_OP_IMM => match funct3 {
+            0 => Instr::Addi { rd, rs1, imm: imm_i },
+            2 => Instr::Slti { rd, rs1, imm: imm_i },
+            3 => Instr::Sltiu { rd, rs1, imm: imm_i },
+            4 => Instr::Xori { rd, rs1, imm: imm_i },
+            6 => Instr::Ori { rd, rs1, imm: imm_i },
+            7 => Instr::Andi { rd, rs1, imm: imm_i },
+            1 => Instr::Slli { rd, rs1, shamt: rs2 },
+            5 if funct7 == 0 => Instr::Srli { rd, rs1, shamt: rs2 },
+            5 if funct7 == 0x20 => Instr::Srai { rd, rs1, shamt: rs2 },
+            _ => return Err(word),
+        },
+        OPC_OP => match (funct7, funct3) {
+            (0, 0) => Instr::Add { rd, rs1, rs2 },
+            (0x20, 0) => Instr::Sub { rd, rs1, rs2 },
+            (0, 1) => Instr::Sll { rd, rs1, rs2 },
+            (0, 2) => Instr::Slt { rd, rs1, rs2 },
+            (0, 3) => Instr::Sltu { rd, rs1, rs2 },
+            (0, 4) => Instr::Xor { rd, rs1, rs2 },
+            (0, 5) => Instr::Srl { rd, rs1, rs2 },
+            (0x20, 5) => Instr::Sra { rd, rs1, rs2 },
+            (0, 6) => Instr::Or { rd, rs1, rs2 },
+            (0, 7) => Instr::And { rd, rs1, rs2 },
+            (1, 0) => Instr::Mul { rd, rs1, rs2 },
+            (1, 1) => Instr::Mulh { rd, rs1, rs2 },
+            (1, 2) => Instr::Mulhsu { rd, rs1, rs2 },
+            (1, 3) => Instr::Mulhu { rd, rs1, rs2 },
+            (1, 4) => Instr::Div { rd, rs1, rs2 },
+            (1, 5) => Instr::Divu { rd, rs1, rs2 },
+            (1, 6) => Instr::Rem { rd, rs1, rs2 },
+            (1, 7) => Instr::Remu { rd, rs1, rs2 },
+            _ => return Err(word),
+        },
+        OPC_CUSTOM0 => match (funct7, funct3) {
+            (0, 0) => Instr::Sdotp8 { rd, rs1, rs2 },
+            (0, 1) => Instr::Sdotp4 { rd, rs1, rs2 },
+            _ => return Err(word),
+        },
+        OPC_SYSTEM => match word {
+            0x0000_0073 => Instr::Ecall,
+            0x0010_0073 => Instr::Ebreak,
+            _ => return Err(word),
+        },
+        _ => return Err(word),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_encodings_match_the_spec() {
+        // addi a0, zero, 5  ->  0x00500513
+        assert_eq!(
+            Instr::Addi {
+                rd: 10,
+                rs1: 0,
+                imm: 5
+            }
+            .encode(),
+            0x0050_0513
+        );
+        // add a0, a1, a2 -> 0x00C58533
+        assert_eq!(
+            Instr::Add {
+                rd: 10,
+                rs1: 11,
+                rs2: 12
+            }
+            .encode(),
+            0x00C5_8533
+        );
+        // lw a0, 8(sp) -> 0x00812503
+        assert_eq!(
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: 10,
+                rs1: 2,
+                offset: 8
+            }
+            .encode(),
+            0x0081_2503
+        );
+        // sw a0, 8(sp) -> 0x00A12423
+        assert_eq!(
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: 2,
+                rs2: 10,
+                offset: 8
+            }
+            .encode(),
+            0x00A1_2423
+        );
+        assert_eq!(Instr::Ecall.encode(), 0x0000_0073);
+        assert_eq!(Instr::Ebreak.encode(), 0x0010_0073);
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        for imm in [-1, -5, -2048, 2047] {
+            let i = Instr::Addi {
+                rd: 3,
+                rs1: 4,
+                imm,
+            };
+            assert_eq!(decode(i.encode()), Ok(i));
+        }
+        for offset in [-4096, -2, 0, 2, 4094] {
+            let b = Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: 5,
+                rs2: 6,
+                offset,
+            };
+            assert_eq!(decode(b.encode()), Ok(b));
+        }
+        for offset in [-1048576, -4, 0, 4, 1048574] {
+            let j = Instr::Jal { rd: 1, offset };
+            assert_eq!(decode(j.encode()), Ok(j));
+        }
+    }
+
+    #[test]
+    fn sdotp_uses_custom0_opcode() {
+        let w = Instr::Sdotp8 {
+            rd: 10,
+            rs1: 11,
+            rs2: 12,
+        }
+        .encode();
+        assert_eq!(w & 0x7F, 0x0B);
+        assert_eq!(
+            decode(w),
+            Ok(Instr::Sdotp8 {
+                rd: 10,
+                rs1: 11,
+                rs2: 12
+            })
+        );
+        let w4 = Instr::Sdotp4 {
+            rd: 5,
+            rs1: 6,
+            rs2: 7,
+        }
+        .encode();
+        assert_eq!(decode(w4).unwrap().mnemonic(), "sdotp4");
+    }
+
+    #[test]
+    fn unknown_words_are_rejected() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    fn arb_reg() -> impl Strategy<Value = u8> {
+        0u8..32
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        prop_oneof![
+            (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Instr::Addi {
+                rd,
+                rs1,
+                imm
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Add {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Mulh {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Sdotp8 {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Sdotp4 {
+                rd,
+                rs1,
+                rs2
+            }),
+            (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Load {
+                op: LoadOp::Lb,
+                rd,
+                rs1,
+                offset
+            }),
+            (arb_reg(), arb_reg(), -2048i32..2048).prop_map(|(rs1, rs2, offset)| Instr::Store {
+                op: StoreOp::Sw,
+                rs1,
+                rs2,
+                offset
+            }),
+            (arb_reg(), arb_reg(), -2048i32..2047, 0u8..6).prop_map(
+                |(rs1, rs2, raw, opsel)| {
+                    let op = [
+                        BranchOp::Beq,
+                        BranchOp::Bne,
+                        BranchOp::Blt,
+                        BranchOp::Bge,
+                        BranchOp::Bltu,
+                        BranchOp::Bgeu
+                    ][opsel as usize];
+                    Instr::Branch {
+                        op,
+                        rs1,
+                        rs2,
+                        offset: raw * 2,
+                    }
+                }
+            ),
+            (arb_reg(), 0i32..0xF_FFFF).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+            (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Instr::Srai {
+                rd,
+                rs1,
+                shamt
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trip(instr in arb_instr()) {
+            prop_assert_eq!(decode(instr.encode()), Ok(instr));
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! A small macro-assembler with labels and pseudo-instructions.
+
+use pcount_isa::{BranchOp, Instr, LoadOp, StoreOp};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    BranchTo {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        label: String,
+    },
+    JumpTo {
+        rd: u8,
+        label: String,
+    },
+}
+
+/// A two-pass assembler: emit instructions and symbolic branches, then
+/// resolve label offsets with [`Assembler::assemble`].
+///
+/// # Example
+///
+/// ```
+/// use pcount_isa::reg;
+/// use pcount_kernels::Assembler;
+///
+/// let mut asm = Assembler::new();
+/// asm.li(reg::A0, 3);
+/// asm.label("loop");
+/// asm.addi(reg::A0, reg::A0, -1);
+/// asm.bne(reg::A0, reg::ZERO, "loop");
+/// asm.ebreak();
+/// let program = asm.assemble().unwrap();
+/// assert!(program.len() >= 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        let previous = self.labels.insert(name.clone(), self.items.len());
+        assert!(previous.is_none(), "label `{name}` defined twice");
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.items.push(Item::Fixed(instr));
+    }
+
+    /// Loads a 32-bit constant (expands to `addi` or `lui`+`addi`).
+    pub fn li(&mut self, rd: u8, value: i32) {
+        if (-2048..2048).contains(&value) {
+            self.emit(Instr::Addi {
+                rd,
+                rs1: 0,
+                imm: value,
+            });
+        } else {
+            // Split into upper 20 / lower 12 bits compensating for the sign
+            // extension of the addi immediate.
+            let lo = ((value << 20) >> 20) as i64;
+            let hi = ((value as i64 - lo) >> 12) as i32 & 0xF_FFFF;
+            self.emit(Instr::Lui { rd, imm: hi });
+            if lo != 0 {
+                self.emit(Instr::Addi {
+                    rd,
+                    rs1: rd,
+                    imm: lo as i32,
+                });
+            }
+        }
+    }
+
+    /// Register move (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: u8, rs: u8) {
+        self.emit(Instr::Addi { rd, rs1: rs, imm: 0 });
+    }
+
+    /// `addi` convenience wrapper.
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.emit(Instr::Addi { rd, rs1, imm });
+    }
+
+    /// `add` convenience wrapper.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Add { rd, rs1, rs2 });
+    }
+
+    /// `sub` convenience wrapper.
+    pub fn sub(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Sub { rd, rs1, rs2 });
+    }
+
+    /// `mul` convenience wrapper.
+    pub fn mul(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Mul { rd, rs1, rs2 });
+    }
+
+    /// `slli` convenience wrapper.
+    pub fn slli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.emit(Instr::Slli { rd, rs1, shamt });
+    }
+
+    /// `srli` convenience wrapper.
+    pub fn srli(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.emit(Instr::Srli { rd, rs1, shamt });
+    }
+
+    /// `srai` convenience wrapper.
+    pub fn srai(&mut self, rd: u8, rs1: u8, shamt: u8) {
+        self.emit(Instr::Srai { rd, rs1, shamt });
+    }
+
+    /// `andi` convenience wrapper.
+    pub fn andi(&mut self, rd: u8, rs1: u8, imm: i32) {
+        self.emit(Instr::Andi { rd, rs1, imm });
+    }
+
+    /// `or` convenience wrapper.
+    pub fn or(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Or { rd, rs1, rs2 });
+    }
+
+    /// Byte load (signed).
+    pub fn lb(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.emit(Instr::Load {
+            op: LoadOp::Lb,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Byte load (unsigned).
+    pub fn lbu(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.emit(Instr::Load {
+            op: LoadOp::Lbu,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Word load.
+    pub fn lw(&mut self, rd: u8, rs1: u8, offset: i32) {
+        self.emit(Instr::Load {
+            op: LoadOp::Lw,
+            rd,
+            rs1,
+            offset,
+        });
+    }
+
+    /// Byte store.
+    pub fn sb(&mut self, rs2: u8, rs1: u8, offset: i32) {
+        self.emit(Instr::Store {
+            op: StoreOp::Sb,
+            rs1,
+            rs2,
+            offset,
+        });
+    }
+
+    /// Word store.
+    pub fn sw(&mut self, rs2: u8, rs1: u8, offset: i32) {
+        self.emit(Instr::Store {
+            op: StoreOp::Sw,
+            rs1,
+            rs2,
+            offset,
+        });
+    }
+
+    /// `sdotp8` (MAUPITI extension).
+    pub fn sdotp8(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Sdotp8 { rd, rs1, rs2 });
+    }
+
+    /// `sdotp4` (MAUPITI extension).
+    pub fn sdotp4(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Sdotp4 { rd, rs1, rs2 });
+    }
+
+    /// `mulh` convenience wrapper.
+    pub fn mulh(&mut self, rd: u8, rs1: u8, rs2: u8) {
+        self.emit(Instr::Mulh { rd, rs1, rs2 });
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, op: BranchOp, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.items.push(Item::BranchTo {
+            op,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
+    }
+
+    /// `beq` to a label.
+    pub fn beq(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchOp::Beq, rs1, rs2, label);
+    }
+
+    /// `bne` to a label.
+    pub fn bne(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchOp::Bne, rs1, rs2, label);
+    }
+
+    /// `blt` (signed) to a label.
+    pub fn blt(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchOp::Blt, rs1, rs2, label);
+    }
+
+    /// `bge` (signed) to a label.
+    pub fn bge(&mut self, rs1: u8, rs2: u8, label: impl Into<String>) {
+        self.branch(BranchOp::Bge, rs1, rs2, label);
+    }
+
+    /// Unconditional jump to a label (`jal x0, label`).
+    pub fn jump(&mut self, label: impl Into<String>) {
+        self.items.push(Item::JumpTo {
+            rd: 0,
+            label: label.into(),
+        });
+    }
+
+    /// Call a label (`jal ra, label`).
+    pub fn call(&mut self, label: impl Into<String>) {
+        self.items.push(Item::JumpTo {
+            rd: 1,
+            label: label.into(),
+        });
+    }
+
+    /// Return from a call (`jalr x0, ra, 0`).
+    pub fn ret(&mut self) {
+        self.emit(Instr::Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        });
+    }
+
+    /// Halt the core.
+    pub fn ebreak(&mut self) {
+        self.emit(Instr::Ebreak);
+    }
+
+    /// Resolves labels and returns the final instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the name of the first undefined label referenced by a branch
+    /// or jump.
+    pub fn assemble(&self) -> Result<Vec<Instr>, String> {
+        let mut out = Vec::with_capacity(self.items.len());
+        for (index, item) in self.items.iter().enumerate() {
+            let instr = match item {
+                Item::Fixed(i) => *i,
+                Item::BranchTo {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| format!("undefined label `{label}`"))?;
+                    let offset = (target as i64 - index as i64) * 4;
+                    Instr::Branch {
+                        op: *op,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    }
+                }
+                Item::JumpTo { rd, label } => {
+                    let target = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| format!("undefined label `{label}`"))?;
+                    let offset = (target as i64 - index as i64) * 4;
+                    Instr::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    }
+                }
+            };
+            out.push(instr);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcount_isa::{reg, Cpu};
+
+    fn run(asm: &Assembler) -> Cpu {
+        let program = asm.assemble().expect("assemble");
+        let mut cpu = Cpu::new_default();
+        cpu.load_program(&program).unwrap();
+        cpu.run(1_000_000).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn li_handles_small_large_and_negative_constants() {
+        for &value in &[0i32, 1, -1, 2047, -2048, 2048, 0x1234_5678, -123_456, i32::MIN, i32::MAX]
+        {
+            let mut asm = Assembler::new();
+            asm.li(reg::A0, value);
+            asm.ebreak();
+            let cpu = run(&asm);
+            assert_eq!(cpu.reg(reg::A0) as i32, value, "li {value}");
+        }
+    }
+
+    #[test]
+    fn loops_with_labels_execute_correctly() {
+        // Compute 7! iteratively.
+        let mut asm = Assembler::new();
+        asm.li(reg::A0, 1);
+        asm.li(reg::T0, 7);
+        asm.label("loop");
+        asm.mul(reg::A0, reg::A0, reg::T0);
+        asm.addi(reg::T0, reg::T0, -1);
+        asm.bne(reg::T0, reg::ZERO, "loop");
+        asm.ebreak();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(reg::A0), 5040);
+    }
+
+    #[test]
+    fn call_and_ret_implement_subroutines() {
+        let mut asm = Assembler::new();
+        asm.li(reg::A0, 5);
+        asm.call("double");
+        asm.call("double");
+        asm.ebreak();
+        asm.label("double");
+        asm.add(reg::A0, reg::A0, reg::A0);
+        asm.ret();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(reg::A0), 20);
+    }
+
+    #[test]
+    fn forward_and_backward_jumps_resolve() {
+        let mut asm = Assembler::new();
+        asm.li(reg::A1, 0);
+        asm.jump("skip");
+        asm.li(reg::A1, 99); // never executed
+        asm.label("skip");
+        asm.li(reg::A0, 42);
+        asm.ebreak();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(reg::A0), 42);
+        assert_eq!(cpu.reg(reg::A1), 0);
+    }
+
+    #[test]
+    fn undefined_labels_are_reported() {
+        let mut asm = Assembler::new();
+        asm.jump("nowhere");
+        assert!(asm.assemble().unwrap_err().contains("nowhere"));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_labels_panic() {
+        let mut asm = Assembler::new();
+        asm.label("x");
+        asm.label("x");
+    }
+}

@@ -1,0 +1,572 @@
+//! Deployment of a quantised CNN onto the instruction-set simulator.
+
+use crate::asm::Assembler;
+use crate::kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
+use crate::layout::MemoryPlan;
+use pcount_isa::{reg, Cpu, SimError};
+use pcount_quant::QuantizedCnn;
+use pcount_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The execution target of a deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The MAUPITI core: IBEX pipeline plus the SDOTP SIMD extension.
+    Maupiti,
+    /// A vanilla IBEX core without custom instructions (scalar kernels).
+    Ibex,
+}
+
+impl Target {
+    /// Whether kernels may use the SDOTP instructions.
+    pub fn uses_simd(self) -> bool {
+        matches!(self, Target::Maupiti)
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Maupiti => write!(f, "MAUPITI"),
+            Target::Ibex => write!(f, "IBEX"),
+        }
+    }
+}
+
+/// Error building a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The generated program does not fit the instruction memory.
+    CodeTooLarge {
+        /// Program size in bytes.
+        code_bytes: usize,
+        /// Instruction memory size in bytes.
+        imem_bytes: usize,
+    },
+    /// Weights plus buffers do not fit the data memory.
+    DataTooLarge {
+        /// Required data bytes.
+        data_bytes: usize,
+        /// Data memory size in bytes.
+        dmem_bytes: usize,
+    },
+    /// Internal assembly error (undefined label).
+    Assembly(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::CodeTooLarge {
+                code_bytes,
+                imem_bytes,
+            } => write!(f, "code of {code_bytes} B exceeds {imem_bytes} B of instruction memory"),
+            DeployError::DataTooLarge {
+                data_bytes,
+                dmem_bytes,
+            } => write!(f, "data of {data_bytes} B exceeds {dmem_bytes} B of data memory"),
+            DeployError::Assembly(msg) => write!(f, "assembly error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Result of one inference on the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceRun {
+    /// Raw 32-bit logits.
+    pub logits: Vec<i32>,
+    /// Predicted class (argmax of the logits).
+    pub prediction: usize,
+    /// Cycles consumed by this inference.
+    pub cycles: u64,
+    /// Instructions retired by this inference.
+    pub instructions: u64,
+    /// SDOTP instructions executed (0 on the vanilla IBEX target).
+    pub sdotp: u64,
+}
+
+/// Static footprint and per-inference cost of a deployed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploymentReport {
+    /// Program size in bytes.
+    pub code_bytes: usize,
+    /// Data memory usage in bytes (weights, buffers, input, logits).
+    pub data_bytes: usize,
+    /// Weight/bias bytes only.
+    pub weight_bytes: usize,
+    /// Cycles per inference (measured on a sample frame).
+    pub cycles: u64,
+    /// Instructions per inference.
+    pub instructions: u64,
+    /// SDOTP instructions per inference.
+    pub sdotp: u64,
+}
+
+/// A quantised model compiled for a target and loaded into a simulated
+/// MAUPITI/IBEX memory system, ready to run inferences.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    target: Target,
+    model: QuantizedCnn,
+    plan: MemoryPlan,
+    code_bytes: usize,
+    base_cpu: Cpu,
+}
+
+impl Deployment {
+    /// Compiles `model` for `target` with MAUPITI's 16 KB + 16 KB memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the program or the data image does not
+    /// fit the on-chip memories.
+    pub fn new(model: &QuantizedCnn, target: Target) -> Result<Self, DeployError> {
+        Self::with_memory(model, target, 16 * 1024, 16 * 1024)
+    }
+
+    /// Compiles `model` with explicit memory sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] if the program or data image does not fit.
+    pub fn with_memory(
+        model: &QuantizedCnn,
+        target: Target,
+        imem_bytes: usize,
+        dmem_bytes: usize,
+    ) -> Result<Self, DeployError> {
+        let plan = MemoryPlan::new(model);
+        if plan.total_bytes > dmem_bytes {
+            return Err(DeployError::DataTooLarge {
+                data_bytes: plan.total_bytes,
+                dmem_bytes,
+            });
+        }
+        let program = build_program(model, &plan, target).map_err(DeployError::Assembly)?;
+        let code_bytes = program.len() * 4;
+        if code_bytes > imem_bytes {
+            return Err(DeployError::CodeTooLarge {
+                code_bytes,
+                imem_bytes,
+            });
+        }
+        let mut cpu = Cpu::new(imem_bytes, dmem_bytes);
+        cpu.load_program(&program)
+            .map_err(|e| DeployError::Assembly(e.to_string()))?;
+        cpu.mem
+            .write_dmem(plan.weight_addr[0], &plan.weight_image);
+        Ok(Self {
+            target,
+            model: model.clone(),
+            plan,
+            code_bytes,
+            base_cpu: cpu,
+        })
+    }
+
+    /// The deployment target.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// The memory plan (addresses and sizes in data memory).
+    pub fn plan(&self) -> &MemoryPlan {
+        &self.plan
+    }
+
+    /// Program size in bytes.
+    pub fn code_size_bytes(&self) -> usize {
+        self.code_bytes
+    }
+
+    /// Data memory usage in bytes.
+    pub fn data_size_bytes(&self) -> usize {
+        self.plan.total_bytes
+    }
+
+    /// Weight/bias bytes in data memory.
+    pub fn weight_bytes(&self) -> usize {
+        self.plan.weight_bytes
+    }
+
+    /// Runs one inference on an ambient-normalised 8x8 frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults (which indicate a code-generation bug).
+    pub fn run_frame(&self, frame: &[f32]) -> Result<InferenceRun, SimError> {
+        let mut cpu = self.base_cpu.clone();
+        let input = self.plan.pack_input(&self.model, frame);
+        cpu.mem.write_dmem(self.plan.input_addr, &input);
+        let summary = cpu.run(50_000_000)?;
+        let mut logits = Vec::with_capacity(self.model.config.num_classes);
+        for i in 0..self.model.config.num_classes {
+            let bytes = cpu
+                .mem
+                .read_dmem(self.plan.logits_addr + 4 * i as u32, 4);
+            logits.push(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
+        }
+        let prediction = logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, &v)| (v, std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(InferenceRun {
+            logits,
+            prediction,
+            cycles: summary.cycles,
+            instructions: summary.instructions,
+            sdotp: cpu.trace.sdotp_count(),
+        })
+    }
+
+    /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn predict_batch(&self, x: &Tensor) -> Result<Vec<usize>, SimError> {
+        let n = x.shape()[0];
+        let pixels: usize = x.shape()[1..].iter().product();
+        (0..n)
+            .map(|i| {
+                self.run_frame(&x.data()[i * pixels..(i + 1) * pixels])
+                    .map(|r| r.prediction)
+            })
+            .collect()
+    }
+
+    /// Builds a static + dynamic cost report using `frame` as the sample
+    /// input for the cycle measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn report(&self, frame: &[f32]) -> Result<DeploymentReport, SimError> {
+        let run = self.run_frame(frame)?;
+        Ok(DeploymentReport {
+            code_bytes: self.code_bytes,
+            data_bytes: self.data_size_bytes(),
+            weight_bytes: self.weight_bytes(),
+            cycles: run.cycles,
+            instructions: run.instructions,
+            sdotp: run.sdotp,
+        })
+    }
+}
+
+/// Builds the complete program: per-layer call sequence followed by the
+/// (deduplicated) kernel bodies.
+fn build_program(
+    model: &QuantizedCnn,
+    plan: &MemoryPlan,
+    target: Target,
+) -> Result<Vec<pcount_isa::Instr>, String> {
+    let p = model.assignment.layers();
+    let geo = &plan.geometry;
+    let simd = target.uses_simd();
+    let mut asm = Assembler::new();
+
+    // Kernel labels, deduplicated by variant.
+    let mut conv_kernels: HashMap<String, KernelVariant> = HashMap::new();
+    let mut fc_kernels: HashMap<String, KernelVariant> = HashMap::new();
+    let conv_label = |v: KernelVariant| format!("conv3x3_{}", v.suffix());
+    let fc_label = |v: KernelVariant| format!("fc_{}", v.suffix());
+
+    let conv1_variant = KernelVariant {
+        input: p[0],
+        output: OutputFormat::Packed(p[1]),
+        simd,
+    };
+    let conv2_variant = KernelVariant {
+        input: p[1],
+        output: OutputFormat::Packed(p[2]),
+        simd,
+    };
+    let fc1_variant = KernelVariant {
+        input: p[2],
+        output: OutputFormat::Packed(p[3]),
+        simd,
+    };
+    let fc2_variant = KernelVariant {
+        input: p[3],
+        output: OutputFormat::Raw32,
+        simd,
+    };
+    conv_kernels.insert(conv_label(conv1_variant), conv1_variant);
+    conv_kernels.insert(conv_label(conv2_variant), conv2_variant);
+    fc_kernels.insert(fc_label(fc1_variant), fc1_variant);
+    fc_kernels.insert(fc_label(fc2_variant), fc2_variant);
+    let pool_label = "maxpool2x2".to_string();
+
+    let rq_mult = |i: usize| model.layers[i].requant.map(|r| r.mult).unwrap_or(0);
+
+    // Layer 1: conv1 from the input buffer into buffer A.
+    asm.li(reg::A0, plan.input_addr as i32);
+    asm.li(reg::A1, plan.weight_addr[0] as i32);
+    asm.li(reg::A2, plan.bias_addr[0] as i32);
+    asm.li(reg::A3, plan.buf_a_addr as i32);
+    asm.li(reg::A4, geo.h as i32);
+    asm.li(reg::A5, p[0].storage_bytes(geo.cin_pad) as i32);
+    asm.li(reg::A6, geo.c1 as i32);
+    asm.li(reg::A7, geo.c1_pad as i32);
+    asm.li(reg::S2, rq_mult(0));
+    asm.li(reg::S3, p[1].qmax());
+    asm.call(conv_label(conv1_variant));
+
+    // Max pool: buffer A -> buffer B.
+    asm.li(reg::A0, plan.buf_a_addr as i32);
+    asm.li(reg::A1, plan.buf_b_addr as i32);
+    asm.li(reg::A4, geo.h as i32);
+    asm.li(reg::A5, geo.c1_pad as i32);
+    asm.call(&pool_label);
+
+    // Layer 2: conv2 from buffer B into buffer A.
+    asm.li(reg::A0, plan.buf_b_addr as i32);
+    asm.li(reg::A1, plan.weight_addr[1] as i32);
+    asm.li(reg::A2, plan.bias_addr[1] as i32);
+    asm.li(reg::A3, plan.buf_a_addr as i32);
+    asm.li(reg::A4, geo.pooled as i32);
+    asm.li(reg::A5, p[1].storage_bytes(geo.c1_pad) as i32);
+    asm.li(reg::A6, geo.c2 as i32);
+    asm.li(reg::A7, geo.c2_pad as i32);
+    asm.li(reg::S2, rq_mult(1));
+    asm.li(reg::S3, p[2].qmax());
+    asm.call(conv_label(conv2_variant));
+
+    // Layer 3: fc1 from buffer A into buffer B.
+    asm.li(reg::A0, plan.buf_a_addr as i32);
+    asm.li(reg::A1, plan.weight_addr[2] as i32);
+    asm.li(reg::A2, plan.bias_addr[2] as i32);
+    asm.li(reg::A3, plan.buf_b_addr as i32);
+    asm.li(reg::A4, geo.f1 as i32);
+    asm.li(
+        reg::A5,
+        p[2].storage_bytes(geo.pooled * geo.pooled * geo.c2_pad) as i32,
+    );
+    asm.li(reg::S2, rq_mult(2));
+    asm.li(reg::S3, p[3].qmax());
+    asm.call(fc_label(fc1_variant));
+
+    // Layer 4: fc2 from buffer B into the logits.
+    asm.li(reg::A0, plan.buf_b_addr as i32);
+    asm.li(reg::A1, plan.weight_addr[3] as i32);
+    asm.li(reg::A2, plan.bias_addr[3] as i32);
+    asm.li(reg::A3, plan.logits_addr as i32);
+    asm.li(reg::A4, geo.classes as i32);
+    asm.li(reg::A5, p[3].storage_bytes(geo.f1_pad) as i32);
+    asm.li(reg::S2, 0);
+    asm.li(reg::S3, 0);
+    asm.call(fc_label(fc2_variant));
+    asm.ebreak();
+
+    // Kernel bodies (shared across layers that use the same variant).
+    for (label, variant) in &conv_kernels {
+        emit_conv3x3(&mut asm, label, *variant);
+    }
+    for (label, variant) in &fc_kernels {
+        emit_fc(&mut asm, label, *variant);
+    }
+    emit_maxpool2x2(&mut asm, &pool_label, p[1]);
+
+    asm.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcount_nn::{CnnConfig, TrainConfig};
+    use pcount_quant::{
+        fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig,
+    };
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_dataset(n: usize, rng: &mut StdRng) -> (Tensor, Vec<usize>) {
+        let mut x = Tensor::zeros(&[n, 1, 8, 8]);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = rng.gen_range(0..4usize);
+            let (cy, cx) = [(2, 2), (2, 6), (6, 2), (6, 6)][class];
+            for dy in 0..2usize {
+                for dx in 0..2usize {
+                    x.set(&[i, 0, cy + dy - 1, cx + dx - 1], 3.0);
+                }
+            }
+            for h in 0..8 {
+                for w in 0..8 {
+                    let v = x.at(&[i, 0, h, w]) + rng.gen_range(-0.2..0.2);
+                    x.set(&[i, 0, h, w], v);
+                }
+            }
+            y.push(class);
+        }
+        (x, y)
+    }
+
+    fn quantized_model(assignment: PrecisionAssignment, rng: &mut StdRng) -> (QuantizedCnn, Tensor) {
+        let (x, y) = toy_dataset(120, rng);
+        let cfg = CnnConfig::seed().with_channels(5, 6, 10);
+        let mut net = cfg.build(rng);
+        let tc = TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            weight_decay: 0.0,
+            verbose: false,
+        };
+        let _ = pcount_nn::train_classifier(&mut net, &x, &y, &tc, rng);
+        let folded = fold_sequential(cfg, &net).expect("fold");
+        let mut qat = QatCnn::from_folded(&folded, assignment);
+        let qc = QatConfig {
+            epochs: 2,
+            batch_size: 32,
+            learning_rate: 5e-4,
+            verbose: false,
+        };
+        let _ = qat_finetune(&mut qat, &x, &y, &qc, rng);
+        (QuantizedCnn::from_qat(&qat), x)
+    }
+
+    fn check_bit_exact(assignment: PrecisionAssignment, target: Target, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (model, x) = quantized_model(assignment, &mut rng);
+        let deployment = Deployment::new(&model, target).expect("deploy");
+        let pixels = 64usize;
+        for i in 0..10 {
+            let frame = &x.data()[i * pixels..(i + 1) * pixels];
+            let run = deployment.run_frame(frame).expect("run");
+            let golden = model.forward_int(&model.quantize_input(frame));
+            assert_eq!(
+                run.logits, golden,
+                "deployed logits differ from the integer golden model \
+                 (frame {i}, {assignment}, {target})"
+            );
+        }
+    }
+
+    #[test]
+    fn maupiti_int8_matches_golden_model_bit_exactly() {
+        check_bit_exact(
+            PrecisionAssignment::uniform(Precision::Int8),
+            Target::Maupiti,
+            0,
+        );
+    }
+
+    #[test]
+    fn ibex_int8_matches_golden_model_bit_exactly() {
+        check_bit_exact(
+            PrecisionAssignment::uniform(Precision::Int8),
+            Target::Ibex,
+            1,
+        );
+    }
+
+    #[test]
+    fn maupiti_mixed_8444_matches_golden_model() {
+        check_bit_exact(
+            PrecisionAssignment::new([
+                Precision::Int8,
+                Precision::Int4,
+                Precision::Int4,
+                Precision::Int4,
+            ]),
+            Target::Maupiti,
+            2,
+        );
+    }
+
+    #[test]
+    fn ibex_mixed_8448_matches_golden_model() {
+        check_bit_exact(
+            PrecisionAssignment::new([
+                Precision::Int8,
+                Precision::Int4,
+                Precision::Int4,
+                Precision::Int8,
+            ]),
+            Target::Ibex,
+            3,
+        );
+    }
+
+    #[test]
+    fn maupiti_uses_sdotp_and_ibex_does_not() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (model, x) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        let frame = &x.data()[0..64];
+        let maupiti = Deployment::new(&model, Target::Maupiti).unwrap();
+        let ibex = Deployment::new(&model, Target::Ibex).unwrap();
+        let run_m = maupiti.run_frame(frame).unwrap();
+        let run_i = ibex.run_frame(frame).unwrap();
+        assert!(run_m.sdotp > 0);
+        assert_eq!(run_i.sdotp, 0);
+        assert_eq!(run_m.logits, run_i.logits);
+        assert!(
+            run_m.cycles < run_i.cycles,
+            "SDOTP kernels should be faster ({} vs {})",
+            run_m.cycles,
+            run_i.cycles
+        );
+    }
+
+    #[test]
+    fn int4_weights_shrink_the_data_footprint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m8, _) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m4, _) = quantized_model(
+            PrecisionAssignment::new([
+                Precision::Int8,
+                Precision::Int4,
+                Precision::Int4,
+                Precision::Int4,
+            ]),
+            &mut rng,
+        );
+        let d8 = Deployment::new(&m8, Target::Maupiti).unwrap();
+        let d4 = Deployment::new(&m4, Target::Maupiti).unwrap();
+        assert!(d4.weight_bytes() < d8.weight_bytes());
+    }
+
+    #[test]
+    fn code_and_data_fit_the_chip_for_small_models() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (model, x) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        let d = Deployment::new(&model, Target::Maupiti).unwrap();
+        let report = d.report(&x.data()[0..64]).unwrap();
+        assert!(report.code_bytes <= 16 * 1024);
+        assert!(report.data_bytes <= 16 * 1024);
+        assert!(report.cycles > 0);
+        assert!(report.instructions > 0);
+    }
+
+    #[test]
+    fn oversized_models_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (x, y) = toy_dataset(40, &mut rng);
+        // The full seed network has ~76k parameters: far beyond 16 KB.
+        let cfg = CnnConfig::seed();
+        let mut net = cfg.build(&mut rng);
+        let tc = TrainConfig {
+            epochs: 1,
+            batch_size: 32,
+            learning_rate: 1e-3,
+            weight_decay: 0.0,
+            verbose: false,
+        };
+        let _ = pcount_nn::train_classifier(&mut net, &x, &y, &tc, &mut rng);
+        let folded = fold_sequential(cfg, &net).unwrap();
+        let qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
+        let model = QuantizedCnn::from_qat(&qat);
+        assert!(matches!(
+            Deployment::new(&model, Target::Maupiti),
+            Err(DeployError::DataTooLarge { .. })
+        ));
+    }
+}

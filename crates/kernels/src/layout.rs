@@ -1,0 +1,364 @@
+//! Memory layout and packing of activations and weights.
+
+use pcount_isa::DMEM_BASE;
+use pcount_quant::{Precision, QuantizedCnn, QuantizedLayer};
+
+/// Number of values processed by one SDOTP instruction at a precision.
+pub fn lane_count(precision: Precision) -> usize {
+    match precision {
+        Precision::Int8 => 4,
+        Precision::Int4 => 8,
+    }
+}
+
+/// Rounds a channel count up to the SIMD lane multiple of a precision.
+pub fn pad_channels(channels: usize, precision: Precision) -> usize {
+    let lanes = lane_count(precision);
+    channels.div_ceil(lanes) * lanes
+}
+
+/// Packs signed values into bytes: one per byte for INT8, two per byte
+/// (low nibble first) for INT4.
+pub fn pack_values(values: &[i8], precision: Precision) -> Vec<u8> {
+    match precision {
+        Precision::Int8 => values.iter().map(|&v| v as u8).collect(),
+        Precision::Int4 => {
+            let mut out = vec![0u8; values.len().div_ceil(2)];
+            for (i, &v) in values.iter().enumerate() {
+                let nibble = (v as u8) & 0xF;
+                if i % 2 == 0 {
+                    out[i / 2] = nibble;
+                } else {
+                    out[i / 2] |= nibble << 4;
+                }
+            }
+            out
+        }
+    }
+}
+
+fn align4(x: usize) -> usize {
+    x.div_ceil(4) * 4
+}
+
+/// Padded channel geometry of a deployed model.
+///
+/// Every activation tensor is stored channel-last with its channel count
+/// padded to the lane multiple of the precision of the *consuming* layer,
+/// so the SIMD inner loops never need leftover handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Input spatial size (8).
+    pub h: usize,
+    /// Spatial size after pooling (4).
+    pub pooled: usize,
+    /// Padded input channels (consumed by conv1).
+    pub cin_pad: usize,
+    /// conv1 output channels (real).
+    pub c1: usize,
+    /// conv1 output channels padded for conv2's precision.
+    pub c1_pad: usize,
+    /// conv2 output channels (real).
+    pub c2: usize,
+    /// conv2 output channels padded for fc1's precision.
+    pub c2_pad: usize,
+    /// fc1 output features (real).
+    pub f1: usize,
+    /// fc1 output features padded for fc2's precision.
+    pub f1_pad: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Geometry {
+    /// Derives the geometry of a quantised model.
+    pub fn of(model: &QuantizedCnn) -> Self {
+        let p = model.assignment.layers();
+        let cfg = &model.config;
+        Self {
+            h: cfg.input_size,
+            pooled: cfg.pooled_size(),
+            cin_pad: pad_channels(cfg.input_channels, p[0]),
+            c1: cfg.conv1_out,
+            c1_pad: pad_channels(cfg.conv1_out, p[1]),
+            c2: cfg.conv2_out,
+            c2_pad: pad_channels(cfg.conv2_out, p[2]),
+            f1: cfg.fc1_out,
+            f1_pad: pad_channels(cfg.fc1_out, p[3]),
+            classes: cfg.num_classes,
+        }
+    }
+}
+
+/// Placement of every data object inside the MAUPITI data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryPlan {
+    /// Padded channel geometry.
+    pub geometry: Geometry,
+    /// Address of the quantised input frame buffer.
+    pub input_addr: u32,
+    /// Bytes of the input buffer.
+    pub input_bytes: usize,
+    /// Weight base address per parameterised layer.
+    pub weight_addr: [u32; 4],
+    /// Bias base address per parameterised layer.
+    pub bias_addr: [u32; 4],
+    /// First ping-pong activation buffer.
+    pub buf_a_addr: u32,
+    /// Second ping-pong activation buffer.
+    pub buf_b_addr: u32,
+    /// Size of each activation buffer in bytes.
+    pub act_buf_bytes: usize,
+    /// Address of the 32-bit output logits.
+    pub logits_addr: u32,
+    /// Bytes occupied by weights and biases.
+    pub weight_bytes: usize,
+    /// Total data-memory bytes used (weights, activations, input, logits).
+    pub total_bytes: usize,
+    /// Packed weight/bias image, to be copied to `weight_addr[0]` onwards.
+    pub weight_image: Vec<u8>,
+}
+
+impl MemoryPlan {
+    /// Lays out a quantised model into data memory starting at `DMEM_BASE`.
+    pub fn new(model: &QuantizedCnn) -> Self {
+        let geo = Geometry::of(model);
+        let p = model.assignment.layers();
+
+        // Packed weight blobs in layer order.
+        let w1 = pack_conv_weights(&model.layers[0], geo.cin_pad, p[0]);
+        let w2 = pack_conv_weights(&model.layers[1], geo.c1_pad, p[1]);
+        let w3 = pack_fc1_weights(&model.layers[2], geo.c2, geo.c2_pad, geo.pooled, p[2]);
+        let w4 = pack_fc_weights(&model.layers[3], geo.f1, geo.f1_pad, p[3]);
+        let blobs = [w1, w2, w3, w4];
+
+        let mut image = Vec::new();
+        let mut weight_addr = [0u32; 4];
+        let mut bias_addr = [0u32; 4];
+        let base = DMEM_BASE;
+        for (i, blob) in blobs.iter().enumerate() {
+            weight_addr[i] = base + image.len() as u32;
+            image.extend_from_slice(blob);
+            while image.len() % 4 != 0 {
+                image.push(0);
+            }
+            bias_addr[i] = base + image.len() as u32;
+            for &b in &model.layers[i].bias_q {
+                image.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        let weight_bytes = image.len();
+
+        // Activation buffers (channel-last, padded, packed).
+        let conv1_out_bytes = p[1].storage_bytes(geo.h * geo.h * geo.c1_pad);
+        let pool_out_bytes = p[1].storage_bytes(geo.pooled * geo.pooled * geo.c1_pad);
+        let conv2_out_bytes = p[2].storage_bytes(geo.pooled * geo.pooled * geo.c2_pad);
+        let fc1_out_bytes = p[3].storage_bytes(geo.f1_pad);
+        let act_buf_bytes = align4(
+            conv1_out_bytes
+                .max(pool_out_bytes)
+                .max(conv2_out_bytes)
+                .max(fc1_out_bytes),
+        );
+        let input_bytes = align4(p[0].storage_bytes(geo.h * geo.h * geo.cin_pad));
+
+        let input_addr = base + align4(weight_bytes) as u32;
+        let buf_a_addr = input_addr + input_bytes as u32;
+        let buf_b_addr = buf_a_addr + act_buf_bytes as u32;
+        let logits_addr = buf_b_addr + act_buf_bytes as u32;
+        let total_bytes =
+            (logits_addr - base) as usize + geo.classes * 4;
+
+        Self {
+            geometry: geo,
+            input_addr,
+            input_bytes,
+            weight_addr,
+            bias_addr,
+            buf_a_addr,
+            buf_b_addr,
+            act_buf_bytes,
+            logits_addr,
+            weight_bytes,
+            total_bytes,
+            weight_image: image,
+        }
+    }
+
+    /// Quantises and packs one ambient-normalised 8x8 frame into the input
+    /// buffer layout (channel-last with padded channels).
+    pub fn pack_input(&self, model: &QuantizedCnn, frame: &[f32]) -> Vec<u8> {
+        let geo = &self.geometry;
+        let p = model.assignment.layers()[0];
+        let q = model.quantize_input(frame);
+        // Real layout is CHW with a single channel; spread into HWC padded.
+        let mut values = vec![0i8; geo.h * geo.h * geo.cin_pad];
+        for pix in 0..geo.h * geo.h {
+            values[pix * geo.cin_pad] = q[pix];
+        }
+        let mut packed = pack_values(&values, p);
+        packed.resize(self.input_bytes, 0);
+        packed
+    }
+}
+
+/// Reorders a convolution weight tensor from `[out][in][ky][kx]` to the
+/// channel-last deployed layout `[out][ky][kx][in_pad]` and packs it.
+pub(crate) fn pack_conv_weights(
+    layer: &QuantizedLayer,
+    in_pad: usize,
+    precision: Precision,
+) -> Vec<u8> {
+    let k = layer.kernel;
+    let (out_c, in_c) = (layer.out_features, layer.in_features);
+    let mut values = vec![0i8; out_c * k * k * in_pad];
+    for co in 0..out_c {
+        for ci in 0..in_c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let src = ((co * in_c + ci) * k + ky) * k + kx;
+                    let dst = ((co * k + ky) * k + kx) * in_pad + ci;
+                    values[dst] = layer.weight_q[src];
+                }
+            }
+        }
+    }
+    pack_values(&values, precision)
+}
+
+/// Reorders fc1 weights from the golden CHW-flatten order
+/// (`c * pooled^2 + pos`) to the deployed HWC-flatten order
+/// (`pos * c_pad + c`) and packs them.
+pub(crate) fn pack_fc1_weights(
+    layer: &QuantizedLayer,
+    c_real: usize,
+    c_pad: usize,
+    pooled: usize,
+    precision: Precision,
+) -> Vec<u8> {
+    let positions = pooled * pooled;
+    assert_eq!(layer.in_features, c_real * positions, "fc1 input mismatch");
+    let mut values = vec![0i8; layer.out_features * positions * c_pad];
+    for o in 0..layer.out_features {
+        for c in 0..c_real {
+            for pos in 0..positions {
+                let src = o * layer.in_features + c * positions + pos;
+                let dst = o * positions * c_pad + pos * c_pad + c;
+                values[dst] = layer.weight_q[src];
+            }
+        }
+    }
+    pack_values(&values, precision)
+}
+
+/// Pads a plain fully connected weight matrix to `in_pad` inputs and packs
+/// it.
+pub(crate) fn pack_fc_weights(
+    layer: &QuantizedLayer,
+    in_real: usize,
+    in_pad: usize,
+    precision: Precision,
+) -> Vec<u8> {
+    assert_eq!(layer.in_features, in_real, "fc input mismatch");
+    let mut values = vec![0i8; layer.out_features * in_pad];
+    for o in 0..layer.out_features {
+        for i in 0..in_real {
+            values[o * in_pad + i] = layer.weight_q[o * in_real + i];
+        }
+    }
+    pack_values(&values, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_and_padding_rules() {
+        assert_eq!(lane_count(Precision::Int8), 4);
+        assert_eq!(lane_count(Precision::Int4), 8);
+        assert_eq!(pad_channels(1, Precision::Int8), 4);
+        assert_eq!(pad_channels(4, Precision::Int8), 4);
+        assert_eq!(pad_channels(5, Precision::Int8), 8);
+        assert_eq!(pad_channels(3, Precision::Int4), 8);
+        assert_eq!(pad_channels(8, Precision::Int4), 8);
+        assert_eq!(pad_channels(9, Precision::Int4), 16);
+    }
+
+    #[test]
+    fn int8_packing_is_identity_bytes() {
+        let values = [1i8, -1, 127, -128];
+        let packed = pack_values(&values, Precision::Int8);
+        assert_eq!(packed, vec![1, 0xFF, 127, 0x80]);
+    }
+
+    #[test]
+    fn int4_packing_puts_even_indices_in_low_nibbles() {
+        let values = [1i8, -1, 7, -8];
+        let packed = pack_values(&values, Precision::Int4);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[0], 0xF1); // low nibble 1, high nibble 0xF (-1)
+        assert_eq!(packed[1], 0x87); // low 7, high 0x8 (-8)
+    }
+
+    #[test]
+    fn int4_packing_handles_odd_length() {
+        let packed = pack_values(&[3i8, 2, 1], Precision::Int4);
+        assert_eq!(packed, vec![0x23, 0x01]);
+    }
+
+    #[test]
+    fn conv_weight_reorder_is_channel_last() {
+        let layer = QuantizedLayer {
+            precision: Precision::Int8,
+            out_features: 1,
+            in_features: 2,
+            kernel: 3,
+            // weight[0][ci][ky][kx] = 10*ci + (ky*3+kx)
+            weight_q: (0..2)
+                .flat_map(|ci| (0..9).map(move |p| (10 * ci + p) as i8))
+                .collect(),
+            bias_q: vec![0],
+            requant: None,
+            out_precision: None,
+            relu: false,
+            in_scale: 1.0,
+            w_scale: 1.0,
+            out_scale: 1.0,
+        };
+        let packed = pack_conv_weights(&layer, 4, Precision::Int8);
+        assert_eq!(packed.len(), 9 * 4);
+        // Position (ky=0, kx=0): channels [0, 10, pad, pad].
+        assert_eq!(&packed[0..4], &[0, 10, 0, 0]);
+        // Position (ky=1, kx=2) = tap 5: channels [5, 15, 0, 0].
+        assert_eq!(&packed[5 * 4..5 * 4 + 4], &[5, 15, 0, 0]);
+    }
+
+    #[test]
+    fn fc1_weight_reorder_transposes_channel_and_position() {
+        // 1 output, 2 channels, 2x2 pooled map (4 positions).
+        let layer = QuantizedLayer {
+            precision: Precision::Int8,
+            out_features: 1,
+            in_features: 8,
+            kernel: 1,
+            // golden order: c*4 + pos -> value = 10*c + pos
+            weight_q: (0..2)
+                .flat_map(|c| (0..4).map(move |pos| (10 * c + pos) as i8))
+                .collect(),
+            bias_q: vec![0],
+            requant: None,
+            out_precision: None,
+            relu: false,
+            in_scale: 1.0,
+            w_scale: 1.0,
+            out_scale: 1.0,
+        };
+        let packed = pack_fc1_weights(&layer, 2, 4, 2, Precision::Int8);
+        assert_eq!(packed.len(), 4 * 4);
+        // Position 0: [c0 pos0, c1 pos0, pad, pad] = [0, 10, 0, 0]
+        assert_eq!(&packed[0..4], &[0, 10, 0, 0]);
+        // Position 3: [3, 13, 0, 0]
+        assert_eq!(&packed[12..16], &[3, 13, 0, 0]);
+    }
+}

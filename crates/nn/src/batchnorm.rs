@@ -1,0 +1,307 @@
+//! 2-D batch normalisation.
+
+use crate::layer::{Layer, Mode};
+use pcount_tensor::Tensor;
+
+/// Batch normalisation over the channel dimension of NCHW tensors.
+///
+/// During training the layer normalises with batch statistics and updates
+/// exponential running averages; during evaluation it uses the running
+/// statistics. `pcount-quant` folds this layer into the preceding
+/// convolution before quantisation, exactly as the paper does.
+///
+/// # Example
+///
+/// ```
+/// use pcount_nn::{BatchNorm2d, Layer, Mode};
+/// use pcount_tensor::Tensor;
+/// let mut bn = BatchNorm2d::new(3);
+/// let y = bn.forward(&Tensor::ones(&[2, 3, 4, 4]), Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 3, 4, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Number of channels.
+    pub channels: usize,
+    /// Scale parameter `gamma`, one per channel.
+    pub gamma: Tensor,
+    /// Shift parameter `beta`, one per channel.
+    pub beta: Tensor,
+    /// Gradient of `gamma`.
+    pub gamma_grad: Tensor,
+    /// Gradient of `beta`.
+    pub beta_grad: Tensor,
+    /// Running mean used in evaluation mode.
+    pub running_mean: Tensor,
+    /// Running variance used in evaluation mode.
+    pub running_var: Tensor,
+    /// Exponential-average momentum for the running statistics.
+    pub momentum: f32,
+    /// Numerical stabiliser added to the variance.
+    pub eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    std_inv: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "batchnorm needs at least one channel");
+        Self {
+            channels,
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            gamma_grad: Tensor::zeros(&[channels]),
+            beta_grad: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "batchnorm expects NCHW input");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.channels, "batchnorm channel mismatch");
+        let m = (n * h * w) as f32;
+        let xd = x.data();
+
+        let (mean, var) = match mode {
+            Mode::Train => {
+                let mut mean = vec![0.0f32; c];
+                let mut var = vec![0.0f32; c];
+                for ci in 0..c {
+                    let mut sum = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * h * w;
+                        for i in 0..h * w {
+                            sum += xd[base + i];
+                        }
+                    }
+                    mean[ci] = sum / m;
+                    let mut sq = 0.0;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * h * w;
+                        for i in 0..h * w {
+                            let d = xd[base + i] - mean[ci];
+                            sq += d * d;
+                        }
+                    }
+                    var[ci] = sq / m;
+                }
+                // Update running statistics.
+                for ci in 0..c {
+                    let rm = self.running_mean.data_mut();
+                    rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean[ci];
+                }
+                for ci in 0..c {
+                    let rv = self.running_var.data_mut();
+                    rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var[ci];
+                }
+                (mean, var)
+            }
+            Mode::Eval => (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            ),
+        };
+
+        let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(shape);
+        let mut out = Tensor::zeros(shape);
+        {
+            let xh = x_hat.data_mut();
+            let od = out.data_mut();
+            let g = self.gamma.data();
+            let b = self.beta.data();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    for i in 0..h * w {
+                        let v = (xd[base + i] - mean[ci]) * std_inv[ci];
+                        xh[base + i] = v;
+                        od[base + i] = g[ci] * v + b[ci];
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
+                x_hat,
+                std_inv,
+                input_shape: shape.to_vec(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before train forward");
+        let shape = &cache.input_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let m = (n * h * w) as f32;
+        let gd = grad_out.data();
+        let xh = cache.x_hat.data();
+        let mut grad_in = Tensor::zeros(shape);
+
+        // Per-channel reductions.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for i in 0..h * w {
+                    sum_dy[ci] += gd[base + i];
+                    sum_dy_xhat[ci] += gd[base + i] * xh[base + i];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.beta_grad.data_mut()[ci] += sum_dy[ci];
+            self.gamma_grad.data_mut()[ci] += sum_dy_xhat[ci];
+        }
+        let g = self.gamma.data();
+        {
+            let gi = grad_in.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * h * w;
+                    let k = g[ci] * cache.std_inv[ci] / m;
+                    for i in 0..h * w {
+                        gi[base + i] = k
+                            * (m * gd[base + i]
+                                - sum_dy[ci]
+                                - xh[base + i] * sum_dy_xhat[ci]);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.gamma, &mut self.gamma_grad),
+            (&mut self.beta, &mut self.beta_grad),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalised() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 10.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean should be ~0 and variance ~1.
+        let (n, c, h, w) = (4, 3, 5, 5);
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                for i in 0..h * w {
+                    vals.push(y.data()[(ni * c + ci) * h * w + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.running_mean = Tensor::from_vec(vec![2.0], &[1]);
+        bn.running_var = Tensor::from_vec(vec![4.0], &[1]);
+        let x = Tensor::full(&[1, 1, 2, 2], 4.0);
+        let y = bn.forward(&x, Mode::Eval);
+        // (4 - 2) / 2 = 1.0
+        assert!(y.approx_eq(&Tensor::ones(&[1, 1, 2, 2]), 1e-3));
+    }
+
+    #[test]
+    fn gamma_beta_scale_and_shift() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma = Tensor::from_vec(vec![3.0], &[1]);
+        bn.beta = Tensor::from_vec(vec![-1.0], &[1]);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], &[1, 1, 2, 2]);
+        let y = bn.forward(&x, Mode::Train);
+        // Normalised values are symmetric around 0, scaled by 3, shifted by -1.
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!((mean + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma = Tensor::from_vec(vec![1.5, 0.5], &[2]);
+        bn.beta = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        bn.zero_grad();
+        let y = bn.forward(&x, Mode::Train);
+        let gx = bn.backward(&y); // L = 0.5 ||y||^2
+        let eps = 1e-3;
+        for idx in [0usize, 3, 10, 20] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = 0.5 * bn.forward(&xp, Mode::Train).sq_norm();
+            let lm = 0.5 * bn.forward(&xm, Mode::Train).sq_norm();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 2e-2,
+                "bn grad mismatch at {idx}: {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_towards_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::randn(&[8, 1, 4, 4], 2.0, &mut rng).map(|v| v + 5.0);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        // Running statistics should converge to this batch's statistics
+        // (not the population's), so compare against the sample moments.
+        let batch_mean = x.mean();
+        let batch_var = x.map(|v| v * v).mean() - batch_mean * batch_mean;
+        assert!((bn.running_mean.data()[0] - batch_mean).abs() < 0.05);
+        assert!((bn.running_var.data()[0] - batch_var).abs() < 0.1);
+    }
+}

@@ -1,0 +1,366 @@
+//! 2-D convolution over NCHW tensors.
+
+use crate::layer::{Layer, Mode};
+use pcount_tensor::Tensor;
+use rand::Rng;
+
+/// A 2-D convolution layer with square kernels, zero padding and bias.
+///
+/// Weight layout is `[out_channels, in_channels, k, k]`; inputs and outputs
+/// are NCHW. The implementation is a straightforward nested loop — the
+/// people-counting models operate on 8x8 inputs so this is more than fast
+/// enough and keeps the arithmetic easy to cross-check against the integer
+/// kernels in `pcount-kernels`.
+///
+/// # Example
+///
+/// ```
+/// use pcount_nn::{Conv2d, Layer, Mode};
+/// use pcount_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(1, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[1, 1, 8, 8]), Mode::Eval);
+/// assert_eq!(y.shape(), &[1, 8, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Number of input channels.
+    pub in_channels: usize,
+    /// Number of output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+    /// Weights `[out, in, k, k]`.
+    pub weight: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+    /// Accumulated weight gradient.
+    pub weight_grad: Tensor,
+    /// Accumulated bias gradient.
+    pub bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-style weight initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight: Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, rng),
+            bias: Tensor::zeros(&[out_channels]),
+            weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a convolution with explicitly provided weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor shapes are inconsistent with the declared
+    /// dimensions.
+    pub fn from_parts(
+        weight: Tensor,
+        bias: Tensor,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        let shape = weight.shape().to_vec();
+        assert_eq!(shape.len(), 4, "conv weight must be [out, in, k, k]");
+        assert_eq!(shape[2], shape[3], "conv kernel must be square");
+        assert_eq!(bias.shape(), &[shape[0]], "bias must match out channels");
+        let (out_channels, in_channels, kernel) = (shape[0], shape[1], shape[2]);
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weight_grad: Tensor::zeros(&shape),
+            bias_grad: Tensor::zeros(&[out_channels]),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for a given input spatial size.
+    pub fn output_size(&self, input: usize) -> usize {
+        (input + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Forward pass using an externally supplied effective weight tensor
+    /// (used by the NAS masked layers); caches the input for backward.
+    pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "conv expects NCHW input");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.in_channels, "conv input channel mismatch");
+        let ho = self.output_size(h);
+        let wo = self.output_size(w);
+        let mut out = Tensor::zeros(&[n, self.out_channels, ho, wo]);
+        let xd = x.data();
+        let wd = weight.data();
+        let bd = self.bias.data();
+        let od = out.data_mut();
+        let k = self.kernel;
+        for ni in 0..n {
+            for co in 0..self.out_channels {
+                let wbase_co = co * self.in_channels * k * k;
+                let obase = (ni * self.out_channels + co) * ho * wo;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = bd[co];
+                        for ci in 0..self.in_channels {
+                            let ibase = (ni * c + ci) * h * w;
+                            let wbase = wbase_co + ci * k * k;
+                            for ky in 0..k {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix =
+                                        (ox * self.stride + kx) as isize - self.padding as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    acc += xd[ibase + iy as usize * w + ix as usize]
+                                        * wd[wbase + ky * k + kx];
+                                }
+                            }
+                        }
+                        od[obase + oy * wo + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    /// Backward pass using an externally supplied effective weight tensor;
+    /// accumulates into `weight_grad`/`bias_grad` and returns the input
+    /// gradient.
+    pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let xs = x.shape();
+        let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        let gs = grad_out.shape();
+        let (ho, wo) = (gs[2], gs[3]);
+        assert_eq!(gs[1], self.out_channels, "grad channel mismatch");
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let k = self.kernel;
+        let xd = x.data();
+        let wd = weight.data();
+        let gd = grad_out.data();
+        {
+            let wg = self.weight_grad.data_mut();
+            let bg = self.bias_grad.data_mut();
+            let gi = grad_in.data_mut();
+            for ni in 0..n {
+                for co in 0..self.out_channels {
+                    let wbase_co = co * self.in_channels * k * k;
+                    let obase = (ni * self.out_channels + co) * ho * wo;
+                    for oy in 0..ho {
+                        for ox in 0..wo {
+                            let g = gd[obase + oy * wo + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            bg[co] += g;
+                            for ci in 0..self.in_channels {
+                                let ibase = (ni * c + ci) * h * w;
+                                let wbase = wbase_co + ci * k * k;
+                                for ky in 0..k {
+                                    let iy =
+                                        (oy * self.stride + ky) as isize - self.padding as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..k {
+                                        let ix = (ox * self.stride + kx) as isize
+                                            - self.padding as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let xi = ibase + iy as usize * w + ix as usize;
+                                        let wi = wbase + ky * k + kx;
+                                        wg[wi] += g * xd[xi];
+                                        gi[xi] += g * wd[wi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let weight = self.weight.clone();
+        self.forward_with_weight(x, &weight)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let weight = self.weight.clone();
+        self.backward_with_weight(grad_out, &weight)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.weight_grad),
+            (&mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_diff_check(
+        conv: &mut Conv2d,
+        x: &Tensor,
+        loss: impl Fn(&Tensor) -> f32,
+        grad_loss: impl Fn(&Tensor) -> Tensor,
+    ) {
+        // Analytical gradients.
+        conv.zero_grad();
+        let y = conv.forward(x, Mode::Train);
+        let gy = grad_loss(&y);
+        let gx = conv.backward(&gy);
+        // Numerical gradient for a handful of input entries.
+        let eps = 1e-3;
+        for idx in [0usize, 7, 19, 33] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = loss(&conv.forward(&xp, Mode::Train));
+            let lm = loss(&conv.forward(&xm, Mode::Train));
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "input grad mismatch at {idx}: num {num} vs ana {ana}"
+            );
+        }
+        // Numerical gradient for a handful of weights.
+        let mut conv2 = conv.clone();
+        for idx in [0usize, 5, 11] {
+            let orig = conv2.weight.data()[idx];
+            conv2.weight.data_mut()[idx] = orig + eps;
+            let lp = loss(&conv2.forward(x, Mode::Train));
+            conv2.weight.data_mut()[idx] = orig - eps;
+            let lm = loss(&conv2.forward(x, Mode::Train));
+            conv2.weight.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = conv.weight_grad.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "weight grad mismatch at {idx}: num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.fill(1.0);
+        conv.bias.fill(0.0);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[2, 2, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3, 8, 8]);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 1, 3, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::ones(&[1, 1, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng);
+        conv.weight.fill(0.0);
+        conv.bias = Tensor::from_vec(vec![1.5, -2.0], &[2]);
+        let y = conv.forward(&Tensor::ones(&[1, 1, 2, 2]), Mode::Eval);
+        assert!(y.data()[..4].iter().all(|&v| (v - 1.5).abs() < 1e-6));
+        assert!(y.data()[4..].iter().all(|&v| (v + 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        // Loss = sum of squares / 2, so dL/dy = y.
+        finite_diff_check(&mut conv, &x, |y| 0.5 * y.sq_norm(), |y| y.clone());
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let w = Tensor::zeros(&[4, 2, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        let conv = Conv2d::from_parts(w, b, 1, 1);
+        assert_eq!(conv.out_channels, 4);
+        assert_eq!(conv.in_channels, 2);
+        assert_eq!(conv.kernel, 3);
+    }
+}

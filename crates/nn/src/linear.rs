@@ -1,0 +1,209 @@
+//! Fully connected (linear) layer.
+
+use crate::layer::{Layer, Mode};
+use pcount_tensor::Tensor;
+use rand::Rng;
+
+/// A fully connected layer computing `y = x W^T + b`.
+///
+/// Weight layout is `[out_features, in_features]`, matching the convention
+/// of the convolution layer (output dimension first) so that the NAS channel
+/// masks and the quantizer treat both uniformly.
+///
+/// # Example
+///
+/// ```
+/// use pcount_nn::{Layer, Linear, Mode};
+/// use pcount_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut fc = Linear::new(16, 4, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(&[3, 16]), Mode::Eval);
+/// assert_eq!(y.shape(), &[3, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+    /// Weights `[out, in]`.
+    pub weight: Tensor,
+    /// Bias `[out]`.
+    pub bias: Tensor,
+    /// Accumulated weight gradient.
+    pub weight_grad: Tensor,
+    /// Accumulated bias gradient.
+    pub bias_grad: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-style initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let std = (2.0 / in_features as f32).sqrt();
+        Self {
+            in_features,
+            out_features,
+            weight: Tensor::randn(&[out_features, in_features], std, rng),
+            bias: Tensor::zeros(&[out_features]),
+            weight_grad: Tensor::zeros(&[out_features, in_features]),
+            bias_grad: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a linear layer from explicit weights and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        let shape = weight.shape().to_vec();
+        assert_eq!(shape.len(), 2, "linear weight must be [out, in]");
+        assert_eq!(bias.shape(), &[shape[0]], "bias must match out features");
+        Self {
+            out_features: shape[0],
+            in_features: shape[1],
+            weight_grad: Tensor::zeros(&shape),
+            bias_grad: Tensor::zeros(&[shape[0]]),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Forward pass with an externally supplied effective weight tensor
+    /// (used by the NAS masked layers).
+    pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "linear expects [N, in] input");
+        assert_eq!(x.shape()[1], self.in_features, "linear input size mismatch");
+        self.cached_input = Some(x.clone());
+        x.matmul(&weight.transpose()).add_row_bias(&self.bias)
+    }
+
+    /// Backward pass with an externally supplied effective weight tensor.
+    pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = dY^T X, db = column sums of dY, dX = dY W.
+        let dw = grad_out.transpose().matmul(x);
+        self.weight_grad.axpy(1.0, &dw);
+        let n = grad_out.shape()[0];
+        let c = grad_out.shape()[1];
+        {
+            let bg = self.bias_grad.data_mut();
+            let gd = grad_out.data();
+            for i in 0..n {
+                for j in 0..c {
+                    bg[j] += gd[i * c + j];
+                }
+            }
+        }
+        grad_out.matmul(weight)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        let weight = self.weight.clone();
+        self.forward_with_weight(x, &weight)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let weight = self.weight.clone();
+        self.backward_with_weight(grad_out, &weight)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.weight_grad),
+            (&mut self.bias, &mut self.bias_grad),
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]);
+        let mut fc = Linear::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]);
+        let y = fc.forward(&x, Mode::Eval);
+        // Row 0: 1*1 + 0*2 + (-1)*3 + 0.5 = -1.5 ; Row 1: 4 - 6 - 0.5 = -2.5
+        assert!(y.approx_eq(&Tensor::from_vec(vec![-1.5, -2.5], &[1, 2]), 1e-6));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut fc = Linear::new(6, 3, &mut rng);
+        let x = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        fc.zero_grad();
+        let y = fc.forward(&x, Mode::Train);
+        let gx = fc.backward(&y); // dL/dy = y  =>  L = 0.5 ||y||^2
+        let eps = 1e-3;
+        for idx in [0usize, 5, 13, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = 0.5 * fc.forward(&xp, Mode::Train).sq_norm();
+            let lm = 0.5 * fc.forward(&xm, Mode::Train).sq_norm();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - gx.data()[idx]).abs() < 1e-2);
+        }
+        for idx in [0usize, 7, 17] {
+            let orig = fc.weight.data()[idx];
+            fc.weight.data_mut()[idx] = orig + eps;
+            let lp = 0.5 * fc.forward(&x, Mode::Train).sq_norm();
+            fc.weight.data_mut()[idx] = orig - eps;
+            let lm = 0.5 * fc.forward(&x, Mode::Train).sq_norm();
+            fc.weight.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - fc.weight_grad.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        fc.zero_grad();
+        let x = Tensor::ones(&[3, 2]);
+        let _ = fc.forward(&x, Mode::Train);
+        let _ = fc.backward(&Tensor::ones(&[3, 2]));
+        assert!(fc
+            .bias_grad
+            .approx_eq(&Tensor::from_vec(vec![3.0, 3.0], &[2]), 1e-6));
+    }
+
+    #[test]
+    fn num_params_counts_weight_and_bias() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut fc = Linear::new(10, 4, &mut rng);
+        assert_eq!(fc.num_params(), 44);
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-entropy classification loss.
+
+use pcount_tensor::Tensor;
+
+/// Softmax cross-entropy loss over integer class targets.
+///
+/// # Example
+///
+/// ```
+/// use pcount_nn::CrossEntropyLoss;
+/// use pcount_tensor::Tensor;
+/// let mut ce = CrossEntropyLoss::new();
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 0.0], &[1, 4]);
+/// let loss = ce.forward(&logits, &[0]);
+/// assert!(loss < 0.7); // confident and correct
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct CrossEntropyLoss {
+    cached_probs: Option<Tensor>,
+    cached_targets: Option<Vec<usize>>,
+}
+
+impl CrossEntropyLoss {
+    /// Creates a new loss object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the mean cross-entropy of `logits` (`[N, C]`) against
+    /// integer `targets` (length `N`), caching softmax probabilities for
+    /// [`CrossEntropyLoss::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent or a target is out of range.
+    pub fn forward(&mut self, logits: &Tensor, targets: &[usize]) -> f32 {
+        assert_eq!(logits.shape().len(), 2, "logits must be [N, C]");
+        let (n, c) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(n, targets.len(), "batch size mismatch");
+        let mut probs = Tensor::zeros(&[n, c]);
+        let ld = logits.data();
+        let pd = probs.data_mut();
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            assert!(targets[i] < c, "target {} out of range", targets[i]);
+            let row = &ld[i * c..(i + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for j in 0..c {
+                let e = (row[j] - max).exp();
+                pd[i * c + j] = e;
+                denom += e;
+            }
+            for j in 0..c {
+                pd[i * c + j] /= denom;
+            }
+            loss -= pd[i * c + targets[i]].max(1e-12).ln();
+        }
+        self.cached_probs = Some(probs);
+        self.cached_targets = Some(targets.to_vec());
+        loss / n as f32
+    }
+
+    /// Gradient of the mean loss with respect to the logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`CrossEntropyLoss::forward`].
+    pub fn backward(&self) -> Tensor {
+        let probs = self
+            .cached_probs
+            .as_ref()
+            .expect("backward called before forward");
+        let targets = self.cached_targets.as_ref().expect("missing targets");
+        let (n, c) = (probs.shape()[0], probs.shape()[1]);
+        let mut grad = probs.clone();
+        let gd = grad.data_mut();
+        for (i, &t) in targets.iter().enumerate() {
+            gd[i * c + t] -= 1.0;
+        }
+        grad.scale(1.0 / n as f32)
+    }
+
+    /// Softmax probabilities from the last forward pass, if any.
+    pub fn probabilities(&self) -> Option<&Tensor> {
+        self.cached_probs.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[3, 4]);
+        let loss = ce.forward(&logits, &[0, 1, 2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 0.0], &[1, 4]);
+        assert!(ce.forward(&logits, &[0]) < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_high_loss() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 0.0], &[1, 4]);
+        assert!(ce.forward(&logits, &[3]) > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -1.0, 0.5, 2.0], &[2, 4]);
+        let targets = [2usize, 3usize];
+        let _ = ce.forward(&logits, &targets);
+        let grad = ce.backward();
+        let eps = 1e-3;
+        for idx in 0..8 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let mut ce2 = CrossEntropyLoss::new();
+            let fp = ce2.forward(&lp, &targets);
+            let fm = ce2.forward(&lm, &targets);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[1, 4]);
+        let _ = ce.forward(&logits, &[1]);
+        let grad = ce.backward();
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_target_panics() {
+        let mut ce = CrossEntropyLoss::new();
+        let logits = Tensor::zeros(&[1, 4]);
+        let _ = ce.forward(&logits, &[4]);
+    }
+}

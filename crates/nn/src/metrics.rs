@@ -1,0 +1,149 @@
+//! Classification metrics used throughout the flow.
+
+/// Confusion matrix `[true][predicted]` for `num_classes` classes.
+///
+/// # Panics
+///
+/// Panics if `predictions` and `targets` have different lengths or contain
+/// values `>= num_classes`.
+///
+/// # Example
+///
+/// ```
+/// let cm = pcount_nn::confusion_matrix(&[0, 1, 1], &[0, 1, 0], 2);
+/// assert_eq!(cm[0][0], 1);
+/// assert_eq!(cm[0][1], 1);
+/// assert_eq!(cm[1][1], 1);
+/// ```
+pub fn confusion_matrix(
+    predictions: &[usize],
+    targets: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    let mut cm = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in predictions.iter().zip(targets.iter()) {
+        assert!(p < num_classes, "prediction {p} out of range");
+        assert!(t < num_classes, "target {t} out of range");
+        cm[t][p] += 1;
+    }
+    cm
+}
+
+/// Plain accuracy in `[0, 1]`. Returns 0 for empty inputs.
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets.iter())
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f64 / targets.len() as f64
+}
+
+/// Balanced Accuracy Score: the unweighted mean of per-class recall, the
+/// metric reported by the paper. Classes that do not appear in `targets`
+/// are excluded from the average.
+///
+/// # Example
+///
+/// ```
+/// // Class 0 recall 1.0, class 1 recall 0.5 -> BAS 0.75
+/// let bas = pcount_nn::balanced_accuracy(&[0, 1, 0], &[0, 1, 1], 2);
+/// assert!((bas - 0.75).abs() < 1e-9);
+/// ```
+pub fn balanced_accuracy(predictions: &[usize], targets: &[usize], num_classes: usize) -> f64 {
+    let cm = confusion_matrix(predictions, targets, num_classes);
+    let mut recalls = Vec::new();
+    for (t, row) in cm.iter().enumerate() {
+        let total: usize = row.iter().sum();
+        if total > 0 {
+            recalls.push(row[t] as f64 / total as f64);
+        }
+    }
+    if recalls.is_empty() {
+        0.0
+    } else {
+        recalls.iter().sum::<f64>() / recalls.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let t = vec![0, 1, 2, 3, 0, 1];
+        assert_eq!(accuracy(&t, &t), 1.0);
+        assert_eq!(balanced_accuracy(&t, &t, 4), 1.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_absent_classes() {
+        // Only classes 0 and 1 present; class 2/3 never appear as targets.
+        let preds = vec![0, 0, 1, 1];
+        let targets = vec![0, 0, 1, 0];
+        let bas = balanced_accuracy(&preds, &targets, 4);
+        // class 0 recall = 2/3, class 1 recall = 1.0
+        assert!((bas - (2.0 / 3.0 + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_accuracy_penalises_majority_class_bias() {
+        // 90 samples of class 0, 10 of class 1, predictor always says 0.
+        let mut targets = vec![0usize; 90];
+        targets.extend(vec![1usize; 10]);
+        let preds = vec![0usize; 100];
+        assert!((accuracy(&preds, &targets) - 0.9).abs() < 1e-9);
+        assert!((balanced_accuracy(&preds, &targets, 2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_everything() {
+        let cm = confusion_matrix(&[0, 1, 2, 2], &[0, 2, 2, 1], 3);
+        let total: usize = cm.iter().flat_map(|r| r.iter()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(cm[2][1], 1);
+        assert_eq!(cm[2][2], 1);
+        assert_eq!(cm[1][2], 1);
+    }
+
+    #[test]
+    fn empty_inputs_return_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(balanced_accuracy(&[], &[], 4), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn accuracy_and_bas_are_probabilities(
+            seq in proptest::collection::vec((0usize..4, 0usize..4), 1..200)
+        ) {
+            let preds: Vec<usize> = seq.iter().map(|(p, _)| *p).collect();
+            let targets: Vec<usize> = seq.iter().map(|(_, t)| *t).collect();
+            let acc = accuracy(&preds, &targets);
+            let bas = balanced_accuracy(&preds, &targets, 4);
+            prop_assert!((0.0..=1.0).contains(&acc));
+            prop_assert!((0.0..=1.0).contains(&bas));
+        }
+
+        #[test]
+        fn confusion_matrix_row_sums_match_class_counts(
+            seq in proptest::collection::vec((0usize..4, 0usize..4), 1..100)
+        ) {
+            let preds: Vec<usize> = seq.iter().map(|(p, _)| *p).collect();
+            let targets: Vec<usize> = seq.iter().map(|(_, t)| *t).collect();
+            let cm = confusion_matrix(&preds, &targets, 4);
+            for class in 0..4 {
+                let expected = targets.iter().filter(|&&t| t == class).count();
+                let row_sum: usize = cm[class].iter().sum();
+                prop_assert_eq!(expected, row_sum);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Quantisation precisions and elementary quantisation helpers.
+
+use pcount_tensor::Tensor;
+
+/// A supported integer precision: the MAUPITI core provides 8x8-bit and
+/// 4x4-bit SDOTP instructions only, so these are the only two options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 4-bit signed integers (values in `[-7, 7]`).
+    Int4,
+    /// 8-bit signed integers (values in `[-127, 127]`).
+    Int8,
+}
+
+impl Precision {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+        }
+    }
+
+    /// Largest representable magnitude under symmetric quantisation
+    /// (the most negative code is unused so the range is symmetric).
+    pub fn qmax(self) -> i32 {
+        match self {
+            Precision::Int4 => 7,
+            Precision::Int8 => 127,
+        }
+    }
+
+    /// How many values of this precision fit in one byte.
+    pub fn values_per_byte(self) -> usize {
+        match self {
+            Precision::Int4 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+
+    /// Bytes needed to store `count` values at this precision.
+    pub fn storage_bytes(self, count: usize) -> usize {
+        count.div_ceil(self.values_per_byte())
+    }
+
+    /// Short label used in precision-assignment strings ("4" or "8").
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Int4 => "4",
+            Precision::Int8 => "8",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "INT{}", self.bits())
+    }
+}
+
+/// Quantises a single value symmetrically: `clamp(round(v / scale))`.
+pub fn quantize_value(value: f32, scale: f32, qmax: i32) -> i32 {
+    let q = (value / scale).round();
+    (q as i32).clamp(-qmax, qmax)
+}
+
+/// Range-based symmetric per-tensor weight scale: `max|w| / qmax`.
+///
+/// Returns a small positive floor if the tensor is all zeros so division by
+/// the scale never produces NaN.
+pub fn weight_scale(weights: &Tensor, precision: Precision) -> f32 {
+    let max_abs = weights
+        .data()
+        .iter()
+        .fold(0.0f32, |acc, &v| acc.max(v.abs()));
+    (max_abs / precision.qmax() as f32).max(1e-8)
+}
+
+/// Quantises and immediately dequantises a tensor ("fake quantisation"),
+/// the operation simulated during QAT.
+pub fn fake_quant_tensor(t: &Tensor, scale: f32, qmax: i32) -> Tensor {
+    t.map(|v| quantize_value(v, scale, qmax) as f32 * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn precision_constants_match_bit_widths() {
+        assert_eq!(Precision::Int4.bits(), 4);
+        assert_eq!(Precision::Int8.bits(), 8);
+        assert_eq!(Precision::Int4.qmax(), 7);
+        assert_eq!(Precision::Int8.qmax(), 127);
+        assert_eq!(Precision::Int4.to_string(), "INT4");
+    }
+
+    #[test]
+    fn storage_bytes_packs_nibbles() {
+        assert_eq!(Precision::Int4.storage_bytes(9), 5);
+        assert_eq!(Precision::Int4.storage_bytes(8), 4);
+        assert_eq!(Precision::Int8.storage_bytes(9), 9);
+        assert_eq!(Precision::Int8.storage_bytes(0), 0);
+    }
+
+    #[test]
+    fn quantize_value_clamps_to_range() {
+        assert_eq!(quantize_value(100.0, 1.0, 7), 7);
+        assert_eq!(quantize_value(-100.0, 1.0, 7), -7);
+        assert_eq!(quantize_value(0.6, 1.0, 7), 1);
+        assert_eq!(quantize_value(-0.6, 1.0, 7), -1);
+        assert_eq!(quantize_value(0.0, 1.0, 7), 0);
+    }
+
+    #[test]
+    fn weight_scale_covers_extremes() {
+        let w = Tensor::from_vec(vec![-2.0, 0.5, 1.0], &[3]);
+        let s8 = weight_scale(&w, Precision::Int8);
+        assert!((s8 - 2.0 / 127.0).abs() < 1e-7);
+        let s4 = weight_scale(&w, Precision::Int4);
+        assert!((s4 - 2.0 / 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weight_scale_of_zero_tensor_is_positive() {
+        let w = Tensor::zeros(&[4]);
+        assert!(weight_scale(&w, Precision::Int8) > 0.0);
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let t = Tensor::from_vec(vec![-1.0, -0.3, 0.0, 0.7, 2.0], &[5]);
+        let scale = weight_scale(&t, Precision::Int4);
+        let once = fake_quant_tensor(&t, scale, 7);
+        let twice = fake_quant_tensor(&once, scale, 7);
+        assert!(once.approx_eq(&twice, 1e-6));
+    }
+
+    proptest! {
+        #[test]
+        fn int8_fake_quant_error_is_bounded_by_half_scale(
+            vals in proptest::collection::vec(-10.0f32..10.0, 1..64)
+        ) {
+            let n = vals.len();
+            let t = Tensor::from_vec(vals, &[n]);
+            let scale = weight_scale(&t, Precision::Int8);
+            let fq = fake_quant_tensor(&t, scale, 127);
+            for (a, b) in t.data().iter().zip(fq.data().iter()) {
+                prop_assert!((a - b).abs() <= scale * 0.5 + 1e-6);
+            }
+        }
+
+        #[test]
+        fn quantized_codes_stay_in_range(v in -100.0f32..100.0, scale in 0.01f32..5.0) {
+            for p in [Precision::Int4, Precision::Int8] {
+                let q = quantize_value(v, scale, p.qmax());
+                prop_assert!(q.abs() <= p.qmax());
+            }
+        }
+    }
+}

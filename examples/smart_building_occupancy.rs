@@ -1,0 +1,56 @@
+//! Smart-building occupancy monitoring: run the full optimisation flow
+//! (DNAS -> mixed-precision QAT -> majority voting) and pick the model a
+//! battery-powered ceiling sensor would ship with.
+//!
+//! Run with: `cargo run --release --example smart_building_occupancy`
+
+use maupiti::flow::{pareto_front_by, run_flow, select_table1_models, FlowConfig};
+
+fn main() {
+    // A scaled-down flow configuration that finishes in a couple of
+    // minutes; increase the epochs / λ grid for a closer reproduction.
+    let mut cfg = FlowConfig::quick();
+    cfg.majority_window = 5;
+    println!(
+        "running the flow: {} λ values x {} precision assignments...",
+        cfg.lambdas.len(),
+        cfg.assignments.len()
+    );
+    let result = run_flow(&cfg);
+
+    println!(
+        "\nseed: BAS {:.3} at {} KiB (FP32)",
+        result.seed_point.bas,
+        result.seed_point.memory_bytes / 1024
+    );
+    println!("\nPareto front (BAS vs memory, majority voting on):");
+    for p in pareto_front_by(&result.majority_points(), false) {
+        println!(
+            "  {:>7} B  {:>9} MACs  BAS {:.3}   [{}]",
+            p.memory_bytes, p.macs, p.bas, p.label
+        );
+    }
+
+    match select_table1_models(&result.quantized) {
+        Some((top, minus5, mini)) => {
+            println!("\nmodel selection for deployment:");
+            println!(
+                "  Top : {}  BAS {:.3}  {} B",
+                top.label, top.bas_majority, top.memory_bytes
+            );
+            println!(
+                "  -5% : {}  BAS {:.3}  {} B",
+                minus5.label, minus5.bas_majority, minus5.memory_bytes
+            );
+            println!(
+                "  Mini: {}  BAS {:.3}  {} B",
+                mini.label, mini.bas_majority, mini.memory_bytes
+            );
+            println!(
+                "\nan occupancy sensor with a tight energy budget would ship the `Mini` \
+                 model; one that must not miss occupants would ship `Top`."
+            );
+        }
+        None => println!("no candidates produced"),
+    }
+}

@@ -1,0 +1,39 @@
+//! MAUPITI: HW-SW optimisation of DNNs for privacy-preserving people
+//! counting on low-resolution infrared arrays.
+//!
+//! This umbrella crate re-exports the whole reproduction stack of the
+//! DATE 2024 paper so applications can depend on a single crate:
+//!
+//! * [`tensor`] — dense `f32` tensors.
+//! * [`dataset`] — synthetic LINAIGE-like IR dataset, sessions, CV splits.
+//! * [`nn`] — CPU training stack and the seed CNN.
+//! * [`nas`] — PIT mask-based differentiable architecture search.
+//! * [`quant`] — BN folding, mixed-precision INT4/INT8 QAT, integer model.
+//! * [`postproc`] — majority-voting temporal smoothing.
+//! * [`isa`] — RV32IM + SDOTP instruction-set simulator.
+//! * [`kernels`] — RISC-V kernel code generation and deployment.
+//! * [`platform`] — MAUPITI / IBEX / STM32 cost models (Table I).
+//! * [`flow`] — the end-to-end optimisation flow (Figs. 5–7).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use maupiti::dataset::{DatasetConfig, IrDataset};
+//!
+//! let data = IrDataset::generate(&DatasetConfig::tiny(), 42);
+//! assert_eq!(data.num_sessions(), 5);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (training, search,
+//! quantisation and deployment on the simulated smart sensor).
+
+pub use pcount_core as flow;
+pub use pcount_dataset as dataset;
+pub use pcount_isa as isa;
+pub use pcount_kernels as kernels;
+pub use pcount_nas as nas;
+pub use pcount_nn as nn;
+pub use pcount_platform as platform;
+pub use pcount_postproc as postproc;
+pub use pcount_quant as quant;
+pub use pcount_tensor as tensor;

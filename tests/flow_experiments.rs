@@ -1,0 +1,77 @@
+//! Integration tests of the experiment-level APIs (the flow behind
+//! Figs. 5–7 and Table I) at a tiny scale.
+
+use maupiti::flow::{
+    manual_grid_baseline, pareto_front_by, run_flow, select_table1_models, BaselineConfig,
+    FlowConfig,
+};
+use maupiti::kernels::{Deployment, Target};
+use maupiti::platform::{evaluate_on_platforms, format_table1, Table1Row};
+
+#[test]
+fn flow_quantization_and_postprocessing_shift_the_front_as_in_the_paper() {
+    let cfg = FlowConfig::quick();
+    let result = run_flow(&cfg);
+
+    // Fig. 5 shape: every quantised candidate needs (much) less memory
+    // than the FP32 seed.
+    for c in &result.quantized {
+        assert!(c.memory_bytes < result.seed_point.memory_bytes);
+    }
+    // INT4-heavy assignments use less memory than uniform INT8 for the
+    // same architecture.
+    for chunk in result.quantized.chunks(cfg.assignments.len()) {
+        let int8 = &chunk[0];
+        let int4ish = chunk.last().unwrap();
+        assert!(int4ish.memory_bytes < int8.memory_bytes);
+    }
+    // Fig. 6 shape: on average, majority voting does not hurt.
+    let mean_single: f64 =
+        result.quantized.iter().map(|c| c.bas).sum::<f64>() / result.quantized.len() as f64;
+    let mean_majority: f64 = result.quantized.iter().map(|c| c.bas_majority).sum::<f64>()
+        / result.quantized.len() as f64;
+    assert!(
+        mean_majority + 0.05 >= mean_single,
+        "majority voting collapsed accuracy: {mean_majority} vs {mean_single}"
+    );
+    // Pareto fronts exist in both planes.
+    assert!(!pareto_front_by(&result.majority_points(), false).is_empty());
+    assert!(!pareto_front_by(&result.majority_points(), true).is_empty());
+}
+
+#[test]
+fn baseline_grid_and_table1_generation_run_end_to_end() {
+    let baseline = manual_grid_baseline(&BaselineConfig::quick());
+    assert!(!baseline.is_empty());
+
+    let result = run_flow(&FlowConfig::quick());
+    let (top, minus5, mini) = select_table1_models(&result.quantized).expect("candidates");
+    let mut rows = Vec::new();
+    let frame = vec![0.0f32; 64];
+    for (name, candidate) in [("Top", &top), ("-5%", &minus5), ("Mini", &mini)] {
+        let results = evaluate_on_platforms(&candidate.quantized, &frame).expect("platforms");
+        rows.push(Table1Row {
+            model: name.to_string(),
+            results,
+        });
+    }
+    let table = format_table1(&rows);
+    assert!(table.contains("Top"));
+    assert!(table.contains("Mini"));
+    assert!(table.contains("MAUPITI"));
+
+    // The Mini model is by construction the smallest candidate, and both
+    // extremes of the selection deploy onto the 16 KB + 16 KB chip.
+    // (Cycle counts are NOT asserted to be ordered: an INT4-heavy Mini can
+    // be smaller in memory yet slightly slower than an INT8 Top because of
+    // nibble packing/unpacking, the same effect the paper describes for the
+    // MAUPITI kernels' leftover handling.)
+    assert!(mini.memory_bytes <= top.memory_bytes);
+    let mini_dep = Deployment::new(&mini.quantized, Target::Maupiti).expect("deploy mini");
+    let top_dep = Deployment::new(&top.quantized, Target::Maupiti).expect("deploy top");
+    let mini_run = mini_dep.run_frame(&frame).expect("run mini");
+    let top_run = top_dep.run_frame(&frame).expect("run top");
+    assert!(mini_run.cycles > 0 && top_run.cycles > 0);
+    assert!(mini_dep.data_size_bytes() <= 16 * 1024);
+    assert!(top_dep.data_size_bytes() <= 16 * 1024);
+}
