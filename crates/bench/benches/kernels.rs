@@ -39,11 +39,8 @@ fn bench_inference_on_targets(c: &mut Criterion) {
 }
 
 fn bench_golden_integer_model(c: &mut Criterion) {
-    let (model, x) = demo_quantized_model(
-        (8, 8, 16),
-        PrecisionAssignment::uniform(Precision::Int8),
-        9,
-    );
+    let (model, x) =
+        demo_quantized_model((8, 8, 16), PrecisionAssignment::uniform(Precision::Int8), 9);
     let frame: Vec<f32> = x.data()[0..64].to_vec();
     let q = model.quantize_input(&frame);
     c.bench_function("golden_integer_forward", |b| {
@@ -51,5 +48,9 @@ fn bench_golden_integer_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_inference_on_targets, bench_golden_integer_model);
+criterion_group!(
+    benches,
+    bench_inference_on_targets,
+    bench_golden_integer_model
+);
 criterion_main!(benches);

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcount_bench::demo_quantized_model;
 use pcount_nn::Mode;
-use pcount_quant::{
-    fake_quant_tensor, weight_scale, Precision, PrecisionAssignment,
-};
+use pcount_quant::{fake_quant_tensor, weight_scale, Precision, PrecisionAssignment};
 use pcount_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,12 +69,16 @@ fn bench_weight_quantization(c: &mut Criterion) {
     let weights = Tensor::randn(&[64, 64, 3, 3], 0.1, &mut rng);
     let mut group = c.benchmark_group("weight_quantization");
     for p in [Precision::Int8, Precision::Int4] {
-        group.bench_with_input(BenchmarkId::new("fake_quant", format!("{p}")), &p, |b, &p| {
-            b.iter(|| {
-                let scale = weight_scale(&weights, p);
-                fake_quant_tensor(&weights, scale, p.qmax())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fake_quant", format!("{p}")),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let scale = weight_scale(&weights, p);
+                    fake_quant_tensor(&weights, scale, p.qmax())
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -27,7 +27,10 @@ fn main() {
         result.seed_point.memory_bytes, result.seed_point.macs, result.seed_point.bas
     );
     let fp32_front = pareto_front_by(&result.fp32_points, false);
-    println!("{}", format_points("FP32 PIT front (grey curve):", &fp32_front));
+    println!(
+        "{}",
+        format_points("FP32 PIT front (grey curve):", &fp32_front)
+    );
 
     // Group the quantised candidates by precision assignment, mirroring the
     // per-colour curves of the figure.
@@ -41,9 +44,15 @@ fn main() {
     for (assignment, points) in &by_assignment {
         let mut sorted = points.clone();
         sorted.sort_by_key(|p| p.memory_bytes);
-        println!("{}", format_points(&format!("{assignment} curve (all λ):"), &sorted));
+        println!(
+            "{}",
+            format_points(&format!("{assignment} curve (all λ):"), &sorted)
+        );
         let front = pareto_front_by(points, false);
-        println!("{}", format_points(&format!("{assignment} Pareto front:"), &front));
+        println!(
+            "{}",
+            format_points(&format!("{assignment} Pareto front:"), &front)
+        );
     }
 
     // Iso-accuracy reduction ratios (paper: 89x / 26.7x for NAS alone and

@@ -12,13 +12,22 @@ fn main() {
     eprintln!("fig6: running flow ...");
     let result = run_flow(&cfg);
 
-    println!("=== Figure 6: post-processing (majority voting, window = {}) ===\n", result.majority_window);
+    println!(
+        "=== Figure 6: post-processing (majority voting, window = {}) ===\n",
+        result.majority_window
+    );
     for (plane, use_macs) in [("BAS vs memory", false), ("BAS vs MACs", true)] {
         println!("--- {plane} ---");
         let simple = pareto_front_by(&result.quantized_points(), use_macs);
         let majority = pareto_front_by(&result.majority_points(), use_macs);
-        println!("{}", format_points("single-frame front (circles):", &simple));
-        println!("{}", format_points("majority-voted front (squares):", &majority));
+        println!(
+            "{}",
+            format_points("single-frame front (circles):", &simple)
+        );
+        println!(
+            "{}",
+            format_points("majority-voted front (squares):", &majority)
+        );
     }
 
     // Iso-cost BAS improvement (paper: up to +6.7 BAS points).

@@ -7,7 +7,7 @@
 
 use pcount_bench::experiment_flow_config;
 use pcount_core::{run_flow, select_table1_models};
-use pcount_kernels::{Deployment, Target};
+use pcount_kernels::Target;
 use pcount_platform::{evaluate_on_platforms, format_table1, Table1Row};
 
 fn main() {
@@ -45,7 +45,7 @@ fn main() {
     // Instruction-mix detail on MAUPITI vs IBEX for the Top model
     // (replaces the paper's area discussion, which needs silicon).
     for target in [Target::Ibex, Target::Maupiti] {
-        if let Ok(dep) = Deployment::new(&top.quantized, target) {
+        if let Ok(dep) = top.deploy(target) {
             if let Ok(run) = dep.run_frame(&frame) {
                 println!(
                     "{target}: {} instructions, {} cycles, {} SDOTP ops per inference",

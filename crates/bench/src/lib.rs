@@ -17,16 +17,16 @@
 use pcount_core::FlowConfig;
 use pcount_dataset::{DatasetConfig, IrDataset};
 use pcount_nn::{train_classifier, CnnConfig, TrainConfig};
-use pcount_quant::{
-    fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn,
-};
+use pcount_quant::{fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Returns `true` when the `PCOUNT_QUICK` environment variable asks for the
 /// reduced, seconds-scale experiment configuration.
 pub fn quick_mode() -> bool {
-    std::env::var("PCOUNT_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PCOUNT_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The flow configuration selected by [`quick_mode`].
@@ -67,12 +67,19 @@ pub fn demo_quantized_model(
 
 /// A convenient INT8 demo model.
 pub fn demo_int8_model(seed: u64) -> (QuantizedCnn, pcount_tensor::Tensor) {
-    demo_quantized_model((8, 8, 16), PrecisionAssignment::uniform(Precision::Int8), seed)
+    demo_quantized_model(
+        (8, 8, 16),
+        PrecisionAssignment::uniform(Precision::Int8),
+        seed,
+    )
 }
 
 /// Formats a series of Pareto points as an aligned text table.
 pub fn format_points(title: &str, points: &[pcount_core::ParetoPoint]) -> String {
-    let mut out = format!("{title}\n  {:<34} {:>10} {:>12} {:>8}\n", "label", "memory[B]", "MACs", "BAS");
+    let mut out = format!(
+        "{title}\n  {:<34} {:>10} {:>12} {:>8}\n",
+        "label", "memory[B]", "MACs", "BAS"
+    );
     for p in points {
         out.push_str(&format!(
             "  {:<34} {:>10} {:>12} {:>8.3}\n",

@@ -11,7 +11,9 @@ use crate::pareto::ParetoPoint;
 use pcount_dataset::{DatasetConfig, IrDataset};
 use pcount_nn::{balanced_accuracy, train_classifier, CnnConfig, TrainConfig};
 use pcount_postproc::apply_majority;
-use pcount_quant::{fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig};
+use pcount_quant::{
+    fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

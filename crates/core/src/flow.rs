@@ -2,14 +2,14 @@
 
 use crate::pareto::ParetoPoint;
 use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_kernels::{DeployError, Deployment, Target};
 use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
 };
 use pcount_postproc::apply_majority;
 use pcount_quant::{
-    fold_sequential, qat_finetune, PrecisionAssignment, QatCnn, QatConfig, Precision,
-    QuantizedCnn,
+    fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
 };
 use pcount_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -194,6 +194,20 @@ impl CandidateModel {
             self.macs,
         )
     }
+
+    /// Compiles the candidate's integer model for `target` and loads it
+    /// into the simulated on-chip memories, ready to measure per-inference
+    /// cycles, energy and footprint (Table I). Inferences run on the
+    /// simulator's block-cached engine with the pipelined IBEX timing
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when the candidate does not fit the 16 KB
+    /// instruction / 16 KB data memories.
+    pub fn deploy(&self, target: Target) -> Result<Deployment, DeployError> {
+        Deployment::new(&self.quantized, target)
+    }
 }
 
 /// The output of [`run_flow`].
@@ -275,10 +289,7 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     let mut fp32_points = Vec::new();
     let mut quantized = Vec::new();
     for &lambda in &cfg.lambdas {
-        let nas_cfg = NasConfig {
-            lambda,
-            ..cfg.nas
-        };
+        let nas_cfg = NasConfig { lambda, ..cfg.nas };
         let mut outcome = search(cfg.seed_architecture, &x_s1, &y_s1, &nas_cfg, &mut rng);
         let arch = outcome.config;
         let snapshot = snapshot_params(&mut outcome.network);
@@ -371,10 +382,7 @@ pub fn select_table1_models(
         .iter()
         .max_by(|a, b| a.bas_majority.partial_cmp(&b.bas_majority).expect("finite"))?
         .clone();
-    let mini = candidates
-        .iter()
-        .min_by_key(|c| c.memory_bytes)?
-        .clone();
+    let mini = candidates.iter().min_by_key(|c| c.memory_bytes)?.clone();
     let minus5 = candidates
         .iter()
         .filter(|c| c.bas_majority >= top.bas_majority - 0.05)
@@ -420,6 +428,12 @@ mod tests {
         let (top, minus5, mini) = select_table1_models(&result.quantized).expect("models");
         assert!(top.bas_majority >= minus5.bas_majority - 1e-9);
         assert!(mini.memory_bytes <= minus5.memory_bytes);
+        // The smallest candidate deploys onto the simulated sensor and
+        // produces a real cycle measurement on the block-cached engine.
+        let deployment = mini.deploy(Target::Maupiti).expect("mini fits on-chip");
+        let report = deployment.report(&vec![0.5f32; 64]).expect("inference");
+        assert!(report.cycles > 0);
+        assert!(report.code_bytes <= 16 * 1024);
     }
 
     #[test]

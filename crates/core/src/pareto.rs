@@ -40,7 +40,7 @@ pub fn pareto_front_by(points: &[ParetoPoint], use_macs: bool) -> Vec<ParetoPoin
             front.push(candidate.clone());
         }
     }
-    front.sort_by(|a, b| cost(a).cmp(&cost(b)));
+    front.sort_by_key(|a| cost(a));
     front.dedup_by(|a, b| a.bas == b.bas && cost(a) == cost(b));
     front
 }
@@ -68,7 +68,9 @@ mod tests {
         let front = pareto_front_by(&points, false);
         assert_eq!(front.len(), 3);
         // Sorted by cost.
-        assert!(front.windows(2).all(|w| w[0].memory_bytes <= w[1].memory_bytes));
+        assert!(front
+            .windows(2)
+            .all(|w| w[0].memory_bytes <= w[1].memory_bytes));
     }
 
     #[test]

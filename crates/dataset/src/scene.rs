@@ -32,6 +32,14 @@ pub struct SessionConfig {
     pub person_sigma: f32,
     /// Probability that the person count changes between consecutive frames.
     pub count_change_prob: f64,
+    /// Minimum number of frames the person count persists after a change.
+    ///
+    /// Real occupancy states last for seconds while the IR array samples at
+    /// a few frames per second, so the label stream is strongly temporally
+    /// correlated — the property the paper's majority-voting post-processing
+    /// exploits. Without a dwell floor the simulator can emit one- or
+    /// two-frame occupancy blips that no temporal filter could preserve.
+    pub min_dwell_frames: usize,
     /// Per-class prior used when the count changes, `MAX_PEOPLE + 1` values.
     pub class_prior: [f64; MAX_PEOPLE + 1],
 }
@@ -52,6 +60,7 @@ impl SessionConfig {
             person_contrast_max: contrast + 2.0,
             person_sigma: 1.0,
             count_change_prob: 0.06,
+            min_dwell_frames: 6,
             class_prior: [0.42, 0.30, 0.18, 0.10],
         }
     }
@@ -138,6 +147,7 @@ pub(crate) struct SessionSimulator {
     cfg: SessionConfig,
     people: Vec<Person>,
     ambient_offset: f32,
+    frames_since_change: usize,
 }
 
 impl SessionSimulator {
@@ -147,6 +157,7 @@ impl SessionSimulator {
             cfg,
             people: Vec::new(),
             ambient_offset: 0.0,
+            frames_since_change: 0,
         };
         sim.set_count(initial_count, rng);
         sim
@@ -172,11 +183,18 @@ impl SessionSimulator {
 
     /// Advances the simulation by one frame and renders it.
     pub(crate) fn next_frame<R: Rng>(&mut self, rng: &mut R) -> (Vec<f32>, usize) {
-        // Occasionally change the number of people.
-        if rng.gen_bool(self.cfg.count_change_prob) {
+        // Occasionally change the number of people, but never before the
+        // current occupancy has dwelt for the configured minimum.
+        if rng.gen_bool(self.cfg.count_change_prob)
+            && self.frames_since_change >= self.cfg.min_dwell_frames
+        {
             let new_count = sample_class(&self.cfg.class_prior, rng);
+            if new_count != self.people.len() {
+                self.frames_since_change = 0;
+            }
             self.set_count(new_count, rng);
         }
+        self.frames_since_change += 1;
         // People take a small random-walk step and stay inside the array.
         for p in &mut self.people {
             p.x = (p.x + rng.gen_range(-0.5..0.5)).clamp(0.0, GRID_SIZE as f32 - 1.0);
@@ -272,6 +290,28 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(sample_class(&prior, &mut rng), 1);
         }
+    }
+
+    #[test]
+    fn occupancy_dwells_for_the_configured_minimum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cfg = SessionConfig::preset(0, 10);
+        cfg.count_change_prob = 1.0;
+        cfg.min_dwell_frames = 5;
+        let mut sim = SessionSimulator::new(cfg, &mut rng);
+        let counts: Vec<usize> = (0..300).map(|_| sim.next_frame(&mut rng).1).collect();
+        let mut run = 1usize;
+        let mut changes = 0usize;
+        for w in counts.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                assert!(run >= 5, "occupancy changed after only {run} frames");
+                run = 1;
+                changes += 1;
+            }
+        }
+        assert!(changes > 10, "the stream should still change ({changes})");
     }
 
     #[test]

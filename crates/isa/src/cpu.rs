@@ -1,7 +1,16 @@
-//! The execution engine and its IBEX-style cycle model.
+//! The CPU model: architectural state, the reference interpreter and its
+//! flat IBEX-style cycle model.
+//!
+//! The faster block-cached engine lives in [`crate::engine`]; its
+//! micro-op dispatch loop mirrors the semantics of [`Cpu::exec_instr`]
+//! exactly, and the differential tests in `crate::engine` plus the
+//! bit-exact deployment tests in `pcount-kernels` hold the two to the
+//! same architectural results.
 
+use crate::engine::{self, BlockCache, ExecMode};
 use crate::instr::{decode, BranchOp, Instr, LoadOp, StoreOp};
 use crate::memory::{Memory, IMEM_BASE};
+use crate::pipeline::{Pipeline, PipelineStats};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -89,8 +98,12 @@ impl Trace {
         self.count("sdotp8") + self.count("sdotp4")
     }
 
-    fn record(&mut self, mnemonic: &'static str) {
+    pub(crate) fn record(&mut self, mnemonic: &'static str) {
         *self.counts.entry(mnemonic).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_many(&mut self, mnemonic: &'static str, count: u64) {
+        *self.counts.entry(mnemonic).or_insert(0) += count;
     }
 }
 
@@ -112,7 +125,7 @@ pub struct RunSummary {
 /// of sharing them).
 #[derive(Debug, Clone)]
 pub struct Cpu {
-    regs: [u32; 32],
+    pub(crate) regs: [u32; 32],
     /// Program counter.
     pub pc: u32,
     /// Instruction and data memories.
@@ -123,7 +136,26 @@ pub struct Cpu {
     pub instret: u64,
     /// Per-mnemonic execution counts.
     pub trace: Trace,
-    halted: bool,
+    pub(crate) halted: bool,
+    mode: ExecMode,
+    pub(crate) cache: BlockCache,
+    pub(crate) pipeline: Pipeline,
+    /// Per-slot, per-exit execution counters (see `crate::block`), folded
+    /// into the trace when a block-cached run returns.
+    pub(crate) block_exit_counts: Vec<Vec<u64>>,
+    /// Whether a slot is on `touched_slots` (so folding is O(touched)).
+    pub(crate) touched_flags: Vec<bool>,
+    /// Slots with live execution counters.
+    pub(crate) touched_slots: Vec<usize>,
+}
+
+/// Result of executing one instruction in the reference interpreter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecOutcome {
+    /// Address of the next instruction.
+    pub next_pc: u32,
+    /// Flat stage-occupancy cycles (IBEX reference numbers).
+    pub cycles: u64,
 }
 
 /// Cycles for a load or store (IBEX data interface).
@@ -146,6 +178,12 @@ impl Cpu {
             instret: 0,
             trace: Trace::default(),
             halted: false,
+            mode: ExecMode::Simple,
+            cache: BlockCache::new(imem_size),
+            pipeline: Pipeline::default(),
+            block_exit_counts: Vec::new(),
+            touched_flags: Vec::new(),
+            touched_slots: Vec::new(),
         }
     }
 
@@ -169,6 +207,40 @@ impl Cpu {
     /// Whether the core has executed an `ecall`/`ebreak`.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The execution engine used by [`Cpu::run`].
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Selects the execution engine used by [`Cpu::run`].
+    ///
+    /// Architectural results are identical in both modes; the block-cached
+    /// engine's pipelined timing model additionally charges load-use
+    /// interlock stalls, so its cycle counts can be slightly higher.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            self.pipeline.reset();
+        }
+    }
+
+    /// Builder-style variant of [`Cpu::set_exec_mode`].
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.set_exec_mode(mode);
+        self
+    }
+
+    /// Stall/flush counters of the pipelined timing model (all zero while
+    /// running in [`ExecMode::Simple`]).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Number of decoded basic blocks currently cached.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
     }
 
     /// Encodes `program` and loads it at the start of instruction memory,
@@ -199,10 +271,20 @@ impl Cpu {
             })?;
         self.pc = IMEM_BASE;
         self.halted = false;
+        // The old image's decoded blocks are stale; clones that still run
+        // the old image keep their (shared) cache untouched.
+        self.cache.invalidate(self.mem.imem_size());
+        // Counter tables are re-allocated lazily on the next block-cached
+        // run (see `engine::run_inner`).
+        self.block_exit_counts = Vec::new();
+        self.touched_flags = Vec::new();
+        self.touched_slots.clear();
+        self.pipeline.reset();
         Ok(())
     }
 
-    /// Executes a single instruction.
+    /// Executes a single instruction with the reference interpreter
+    /// (fetch + decode + execute, flat cycle costs).
     ///
     /// # Errors
     ///
@@ -216,6 +298,18 @@ impl Cpu {
         let instr = decode(word).map_err(|word| SimError::IllegalInstruction { pc, word })?;
         self.trace.record(instr.mnemonic());
         self.instret += 1;
+        let out = self.exec_instr(instr, pc)?;
+        self.pc = out.next_pc;
+        self.cycles += out.cycles;
+        Ok(())
+    }
+
+    /// Executes the semantics of one instruction located at `pc`, without
+    /// touching the PC, the retired-instruction counter, the trace or the
+    /// cycle counter — bookkeeping differs between the two engines and is
+    /// done by the caller from the returned [`ExecOutcome`].
+    #[inline]
+    pub(crate) fn exec_instr(&mut self, instr: Instr, pc: u32) -> Result<ExecOutcome, SimError> {
         let mut next_pc = pc.wrapping_add(4);
         let mut cost = 1u64;
         match instr {
@@ -240,7 +334,7 @@ impl Cpu {
             } => {
                 let a = self.reg(rs1);
                 let b = self.reg(rs2);
-                let taken = match op {
+                let branch_taken = match op {
                     BranchOp::Beq => a == b,
                     BranchOp::Bne => a != b,
                     BranchOp::Blt => (a as i32) < (b as i32),
@@ -248,7 +342,7 @@ impl Cpu {
                     BranchOp::Bltu => a < b,
                     BranchOp::Bgeu => a >= b,
                 };
-                if taken {
+                if branch_taken {
                     next_pc = pc.wrapping_add(offset as u32);
                     cost = CYCLES_BRANCH_TAKEN;
                 }
@@ -367,8 +461,7 @@ impl Cpu {
                 cost = CYCLES_DIV;
             }
             Instr::Divu { rd, rs1, rs2 } => {
-                let b = self.reg(rs2);
-                let q = if b == 0 { u32::MAX } else { self.reg(rs1) / b };
+                let q = self.reg(rs1).checked_div(self.reg(rs2)).unwrap_or(u32::MAX);
                 self.set_reg(rd, q);
                 cost = CYCLES_DIV;
             }
@@ -387,7 +480,11 @@ impl Cpu {
             }
             Instr::Remu { rd, rs1, rs2 } => {
                 let b = self.reg(rs2);
-                let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
+                let r = if b == 0 {
+                    self.reg(rs1)
+                } else {
+                    self.reg(rs1) % b
+                };
                 self.set_reg(rd, r);
                 cost = CYCLES_DIV;
             }
@@ -403,19 +500,28 @@ impl Cpu {
                 self.halted = true;
             }
         }
-        self.pc = next_pc;
-        self.cycles += cost;
-        Ok(())
+        Ok(ExecOutcome {
+            next_pc,
+            cycles: cost,
+        })
     }
 
     /// Runs until the program halts (via `ecall`/`ebreak`) or the budget of
-    /// `max_instructions` is exhausted.
+    /// `max_instructions` is exhausted, using the engine selected by
+    /// [`Cpu::set_exec_mode`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Timeout`] when the budget is exhausted, or any
-    /// fault raised by [`Cpu::step`].
+    /// fault raised by the executed instructions.
     pub fn run(&mut self, max_instructions: u64) -> Result<RunSummary, SimError> {
+        match self.mode {
+            ExecMode::Simple => self.run_simple(max_instructions),
+            ExecMode::BlockCached => engine::run(self, max_instructions),
+        }
+    }
+
+    fn run_simple(&mut self, max_instructions: u64) -> Result<RunSummary, SimError> {
         let start_instret = self.instret;
         let start_cycles = self.cycles;
         while !self.halted {
@@ -473,11 +579,31 @@ mod tests {
     #[test]
     fn arithmetic_and_immediates_work() {
         let cpu = run_program(&[
-            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 100 },
-            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: -3 },
-            Instr::Add { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
-            Instr::Sub { rd: reg::A3, rs1: reg::A0, rs2: reg::A1 },
-            Instr::Mul { rd: reg::A4, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 100,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: -3,
+            },
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sub {
+                rd: reg::A3,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Mul {
+                rd: reg::A4,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
             Instr::Ebreak,
         ]);
         assert_eq!(cpu.reg(reg::A2) as i32, 97);
@@ -488,7 +614,11 @@ mod tests {
     #[test]
     fn x0_is_hardwired_to_zero() {
         let cpu = run_program(&[
-            Instr::Addi { rd: reg::ZERO, rs1: reg::ZERO, imm: 55 },
+            Instr::Addi {
+                rd: reg::ZERO,
+                rs1: reg::ZERO,
+                imm: 55,
+            },
             Instr::Ebreak,
         ]);
         assert_eq!(cpu.reg(reg::ZERO), 0);
@@ -498,13 +628,45 @@ mod tests {
     fn loads_and_stores_round_trip() {
         let mut cpu = Cpu::new_default();
         cpu.load_program(&[
-            Instr::Lui { rd: reg::A0, imm: (DMEM_BASE >> 12) as i32 },
-            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: -77 },
-            Instr::Store { op: StoreOp::Sw, rs1: reg::A0, rs2: reg::A1, offset: 16 },
-            Instr::Load { op: LoadOp::Lw, rd: reg::A2, rs1: reg::A0, offset: 16 },
-            Instr::Store { op: StoreOp::Sb, rs1: reg::A0, rs2: reg::A1, offset: 20 },
-            Instr::Load { op: LoadOp::Lb, rd: reg::A3, rs1: reg::A0, offset: 20 },
-            Instr::Load { op: LoadOp::Lbu, rd: reg::A4, rs1: reg::A0, offset: 20 },
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: -77,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::A1,
+                offset: 16,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A2,
+                rs1: reg::A0,
+                offset: 16,
+            },
+            Instr::Store {
+                op: StoreOp::Sb,
+                rs1: reg::A0,
+                rs2: reg::A1,
+                offset: 20,
+            },
+            Instr::Load {
+                op: LoadOp::Lb,
+                rd: reg::A3,
+                rs1: reg::A0,
+                offset: 20,
+            },
+            Instr::Load {
+                op: LoadOp::Lbu,
+                rd: reg::A4,
+                rs1: reg::A0,
+                offset: 20,
+            },
             Instr::Ebreak,
         ])
         .unwrap();
@@ -518,12 +680,33 @@ mod tests {
     fn branches_and_loops_count_correctly() {
         // Sum 1..=10 with a loop.
         let cpu = run_program(&[
-            Instr::Addi { rd: reg::T0, rs1: reg::ZERO, imm: 10 }, // counter
-            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 0 },  // acc
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 10,
+            }, // counter
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 0,
+            }, // acc
             // loop:
-            Instr::Add { rd: reg::A0, rs1: reg::A0, rs2: reg::T0 },
-            Instr::Addi { rd: reg::T0, rs1: reg::T0, imm: -1 },
-            Instr::Branch { op: BranchOp::Bne, rs1: reg::T0, rs2: reg::ZERO, offset: -8 },
+            Instr::Add {
+                rd: reg::A0,
+                rs1: reg::A0,
+                rs2: reg::T0,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -8,
+            },
             Instr::Ebreak,
         ]);
         assert_eq!(cpu.reg(reg::A0), 55);
@@ -532,11 +715,26 @@ mod tests {
     #[test]
     fn jal_and_jalr_link_and_jump() {
         let cpu = run_program(&[
-            Instr::Jal { rd: reg::RA, offset: 12 },             // skip the next two instrs
-            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 1 }, // skipped
-            Instr::Ebreak,                                       // skipped
-            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: 7 },
-            Instr::Jalr { rd: reg::ZERO, rs1: reg::RA, offset: 4 }, // return past the first addi
+            Instr::Jal {
+                rd: reg::RA,
+                offset: 12,
+            }, // skip the next two instrs
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 1,
+            }, // skipped
+            Instr::Ebreak, // skipped
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: 7,
+            },
+            Instr::Jalr {
+                rd: reg::ZERO,
+                rs1: reg::RA,
+                offset: 4,
+            }, // return past the first addi
             Instr::Ebreak,
         ]);
         assert_eq!(cpu.reg(reg::A0), 0);
@@ -547,11 +745,31 @@ mod tests {
     #[test]
     fn division_semantics_follow_the_spec() {
         let cpu = run_program(&[
-            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: -7 },
-            Instr::Addi { rd: reg::A1, rs1: reg::ZERO, imm: 2 },
-            Instr::Div { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
-            Instr::Rem { rd: reg::A3, rs1: reg::A0, rs2: reg::A1 },
-            Instr::Div { rd: reg::A4, rs1: reg::A0, rs2: reg::ZERO },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: -7,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: 2,
+            },
+            Instr::Div {
+                rd: reg::A2,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Rem {
+                rd: reg::A3,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Div {
+                rd: reg::A4,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+            },
             Instr::Ebreak,
         ]);
         assert_eq!(cpu.reg(reg::A2) as i32, -3);
@@ -564,11 +782,19 @@ mod tests {
         // a = [1, -2, 3, -4], b = [5, 6, -7, 8] packed little-endian.
         let a = u32::from_le_bytes([1i8 as u8, (-2i8) as u8, 3i8 as u8, (-4i8) as u8]);
         let b = u32::from_le_bytes([5i8 as u8, 6i8 as u8, (-7i8) as u8, 8i8 as u8]);
-        assert_eq!(sdotp8(a, b), 1 * 5 - 2 * 6 - 3 * 7 - 4 * 8);
+        assert_eq!(sdotp8(a, b), 5 - 2 * 6 - 3 * 7 - 4 * 8);
         let mut cpu = Cpu::new_default();
         cpu.load_program(&[
-            Instr::Sdotp8 { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
-            Instr::Sdotp8 { rd: reg::A2, rs1: reg::A0, rs2: reg::A1 },
+            Instr::Sdotp8 {
+                rd: reg::A2,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sdotp8 {
+                rd: reg::A2,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
             Instr::Ebreak,
         ])
         .unwrap();
@@ -597,7 +823,11 @@ mod tests {
     fn cycle_model_charges_more_for_memory_and_branches() {
         let mut cpu = Cpu::new_default();
         cpu.load_program(&[
-            Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: 1 },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 1,
+            },
             Instr::Ebreak,
         ])
         .unwrap();
@@ -607,9 +837,22 @@ mod tests {
 
         let mut cpu = Cpu::new_default();
         cpu.load_program(&[
-            Instr::Lui { rd: reg::A0, imm: (DMEM_BASE >> 12) as i32 },
-            Instr::Store { op: StoreOp::Sw, rs1: reg::A0, rs2: reg::ZERO, offset: 0 },
-            Instr::Load { op: LoadOp::Lw, rd: reg::A1, rs1: reg::A0, offset: 0 },
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
             Instr::Ebreak,
         ])
         .unwrap();
@@ -621,14 +864,19 @@ mod tests {
     #[test]
     fn runaway_programs_time_out() {
         let mut cpu = Cpu::new_default();
-        cpu.load_program(&[Instr::Jal { rd: reg::ZERO, offset: 0 }]).unwrap();
+        cpu.load_program(&[Instr::Jal {
+            rd: reg::ZERO,
+            offset: 0,
+        }])
+        .unwrap();
         assert!(matches!(cpu.run(100), Err(SimError::Timeout { .. })));
     }
 
     #[test]
     fn illegal_instruction_is_reported() {
         let mut cpu = Cpu::new_default();
-        cpu.load_program_bytes(&0xFFFF_FFFFu32.to_le_bytes()).unwrap();
+        cpu.load_program_bytes(&0xFFFF_FFFFu32.to_le_bytes())
+            .unwrap();
         assert!(matches!(
             cpu.run(10),
             Err(SimError::IllegalInstruction { .. })
@@ -639,14 +887,16 @@ mod tests {
     fn out_of_bounds_store_is_reported() {
         let mut cpu = Cpu::new_default();
         cpu.load_program(&[
-            Instr::Store { op: StoreOp::Sw, rs1: reg::ZERO, rs2: reg::ZERO, offset: 0 },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::ZERO,
+                rs2: reg::ZERO,
+                offset: 0,
+            },
             Instr::Ebreak,
         ])
         .unwrap();
-        assert!(matches!(
-            cpu.run(10),
-            Err(SimError::BadMemoryAccess { .. })
-        ));
+        assert!(matches!(cpu.run(10), Err(SimError::BadMemoryAccess { .. })));
     }
 
     #[test]

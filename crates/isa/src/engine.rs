@@ -1,0 +1,1162 @@
+//! The block-cached execution engine.
+//!
+//! Instead of fetching and decoding one word per [`Cpu::step`], the engine
+//! decodes each superblock trace once into a dense `Vec<Decoded>`
+//! ([`crate::block`]) whose elements carry fully lowered micro-ops (every
+//! immediate, width and control-flow target pre-resolved), caches it keyed
+//! by entry PC, and dispatches cached traces in a tight threaded loop that
+//! never touches `Memory::fetch`, re-decodes a word, or updates the trace
+//! map per instruction. Cycle accounting follows the pipelined IBEX timing
+//! model ([`crate::pipeline`]), inlined in the dispatch loop.
+//!
+//! Three levels keep the dispatch overhead off the hot path:
+//!
+//! 1. superblocks extend through conditional branches (side exits) and
+//!    unconditional jumps, so kernel loop bodies split across labels
+//!    execute as one trace;
+//! 2. an exit that targets its own trace entry (every tight loop)
+//!    re-enters the execution loop locally, with no dispatch at all;
+//! 3. a one-entry dispatch memo catches the remaining repeated entries.
+//!
+//! Instruction-mix accounting is O(1) per trace execution: every exit
+//! carries its pre-aggregated per-mnemonic prefix counts and the CPU
+//! counts (slot, exit) pairs; the counters are folded into the
+//! [`crate::Trace`] when [`run`] returns (on success *and* on error), so
+//! observable state is indistinguishable from the reference interpreter.
+//!
+//! The cache is shared (copy-on-`load_program`) between clones of a `Cpu`:
+//! a deployment that clones a pristine CPU per inference warms the cache on
+//! the first frame and every later frame dispatches fully pre-decoded
+//! code. Loading a new program image swaps in a fresh cache, so clones
+//! diverging by program never see each other's blocks.
+//!
+//! Architectural results (registers, memory, instruction counts, trace,
+//! faults) are identical to [`ExecMode::Simple`] — the differential tests
+//! below and the deployment tests in `pcount-kernels` hold both engines to
+//! bit-exactness; only the cycle model is finer-grained (it adds load-use
+//! interlock stalls the flat model cannot see). When touching instruction
+//! semantics, change BOTH [`Cpu::exec_instr`] and [`run_inner`] here.
+
+use crate::block::{build_block, Block, BlockEnd};
+use crate::cpu::{sdotp4, sdotp8, Cpu, RunSummary, SimError};
+use crate::instr::Op;
+use crate::memory::{Memory, IMEM_BASE};
+use crate::pipeline::LOAD_USE_STALL;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Which execution engine a [`Cpu`] uses in [`Cpu::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Reference interpreter: fetch + decode every instruction, flat
+    /// per-instruction cycle costs.
+    #[default]
+    Simple,
+    /// Pre-decoded basic-block cache with the pipelined IBEX timing model.
+    BlockCached,
+}
+
+/// Lazily populated cache of decoded blocks, direct-mapped by word index.
+///
+/// The slot table is shared between CPU clones (see module docs); a
+/// [`BlockCache::invalidate`] gives the owning CPU a fresh private table.
+///
+/// The sharing uses `Rc`/`RefCell`, which makes `Cpu` (and everything
+/// embedding it, like a deployment) single-threaded (`!Send`). Parallel
+/// inference wants one `Cpu` clone per thread anyway; lifting this to
+/// `Arc` + per-thread caches is tracked as a ROADMAP open item.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockCache {
+    slots: Rc<RefCell<Vec<Option<Rc<Block>>>>>,
+}
+
+impl BlockCache {
+    /// An empty cache with one slot per instruction word.
+    pub(crate) fn new(imem_bytes: usize) -> Self {
+        Self {
+            slots: Rc::new(RefCell::new(vec![None; imem_bytes / 4])),
+        }
+    }
+
+    /// Replaces the slot table with a fresh one (new program image). Other
+    /// clones keep the old table.
+    pub(crate) fn invalidate(&mut self, imem_bytes: usize) {
+        *self = Self::new(imem_bytes);
+    }
+
+    /// Number of blocks currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.slots.borrow().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Returns the slot index and block entered at `pc`, building and
+    /// caching the block on miss. `None` means `pc` cannot index
+    /// instruction memory at all.
+    #[inline]
+    fn get_or_build(&self, mem: &Memory, pc: u32) -> Option<(usize, Rc<Block>)> {
+        let off = pc.checked_sub(IMEM_BASE)? as usize;
+        let index = off / 4;
+        {
+            let slots = self.slots.borrow();
+            match slots.get(index) {
+                Some(Some(block)) if off.is_multiple_of(4) => {
+                    return Some((index, Rc::clone(block)))
+                }
+                Some(_) if off.is_multiple_of(4) => {}
+                _ => return None,
+            }
+        }
+        let block = Rc::new(build_block(mem, pc));
+        self.slots.borrow_mut()[index] = Some(Rc::clone(&block));
+        Some((index, block))
+    }
+
+    /// The block cached in `slot`, if any.
+    fn cached(&self, slot: usize) -> Option<Rc<Block>> {
+        self.slots.borrow().get(slot)?.as_ref().map(Rc::clone)
+    }
+}
+
+/// Runs `cpu` until halt or budget exhaustion using the block cache.
+pub(crate) fn run(cpu: &mut Cpu, max_instructions: u64) -> Result<RunSummary, SimError> {
+    let start_instret = cpu.instret;
+    let start_cycles = cpu.cycles;
+    let result = run_inner(cpu, start_instret, max_instructions);
+    fold_exec_counts(cpu);
+    result?;
+    Ok(RunSummary {
+        instructions: cpu.instret - start_instret,
+        cycles: cpu.cycles - start_cycles,
+    })
+}
+
+fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Result<(), SimError> {
+    // All per-instruction accounting lives in locals for the whole run and
+    // is committed to the CPU exactly once on exit (including error exits),
+    // so the dispatch loop does no redundant memory traffic.
+    let mut executed = 0u64;
+    let mut cycles = 0u64;
+    let mut load_dest = cpu.pipeline.load_dest;
+    let mut stalls = 0u64;
+    let mut flushes = 0u64;
+    // One-entry dispatch memo: loop back-edges re-enter the same trace, so
+    // the common case is a single PC compare instead of a cache probe.
+    let mut memo: Option<(u32, usize, Rc<Block>)> = None;
+    let mut fault: Option<SimError> = None;
+    // Accounting state is allocated on first block-cached use, so CPUs that
+    // only ever run the reference interpreter (and the pristine CPU a
+    // deployment clones per inference) carry nothing to copy.
+    let slots = cpu.mem.imem_size() / 4;
+    if cpu.block_exit_counts.len() != slots {
+        cpu.block_exit_counts = vec![Vec::new(); slots];
+        cpu.touched_flags = vec![false; slots];
+    }
+
+    // Writes `rd`, keeping x0 hard-wired to zero without a branch.
+    macro_rules! wr {
+        ($d:expr, $v:expr) => {{
+            // The mask elides the bounds check (register fields are < 32
+            // by construction).
+            cpu.regs[$d.rd as usize & 31] = $v;
+            cpu.regs[0] = 0;
+        }};
+    }
+
+    'dispatch: while !cpu.halted {
+        if executed >= max_instructions {
+            fault = Some(SimError::Timeout { max_instructions });
+            break;
+        }
+        let pc = cpu.pc;
+        if !matches!(&memo, Some((memo_pc, _, _)) if *memo_pc == pc) {
+            let Some((slot, block)) = cpu.cache.get_or_build(&cpu.mem, pc) else {
+                fault = Some(SimError::BadFetch { pc });
+                break;
+            };
+            memo = Some((pc, slot, block));
+        }
+        let (_, slot, block) = memo.as_ref().expect("memo was just filled");
+        let slot = *slot;
+        if !cpu.touched_flags[slot] {
+            cpu.touched_flags[slot] = true;
+            cpu.touched_slots.push(slot);
+            if cpu.block_exit_counts[slot].len() != block.exits.len() {
+                cpu.block_exit_counts[slot] = vec![0; block.exits.len()];
+            }
+        }
+        let len = block.instrs.len();
+        let entry = block.entry_pc;
+        let end_exit = block.exits.len() - 1;
+        // Tight loops (side or end exits back to the trace entry) re-enter
+        // here without another dispatch.
+        loop {
+            let remaining = max_instructions - executed;
+            let n = if remaining < len as u64 {
+                remaining as usize
+            } else {
+                len
+            };
+            let full = n == len;
+            let mut ctrl_next = block.cont_pc;
+            let mut mem_fault: Option<(usize, u32)> = None;
+            let mut side_exit: Option<(usize, u16)> = None;
+            for (i, d) in block.instrs[..n].iter().enumerate() {
+                let mut cost = d.base_cycles as u64;
+                let prev_load_dest = load_dest;
+                let mut stall = 0u64;
+                if load_dest != 0 && (d.reads_mask >> load_dest) & 1 != 0 {
+                    cost += LOAD_USE_STALL;
+                    stall = LOAD_USE_STALL;
+                }
+                load_dest = if d.is_load { d.rd } else { 0 };
+                let rs1v = cpu.regs[d.rs1 as usize & 31];
+                let rs2v = cpu.regs[d.rs2 as usize & 31];
+                // A faulting instruction does not retire: it consumes no
+                // cycles and leaves the pipeline hazard state untouched,
+                // exactly like the reference interpreter.
+                macro_rules! bad_addr {
+                    ($addr:expr) => {{
+                        load_dest = prev_load_dest;
+                        mem_fault = Some((i, $addr));
+                        break;
+                    }};
+                }
+                // A taken conditional branch leaves the trace through its
+                // side exit.
+                macro_rules! take_exit {
+                    ($target:expr) => {{
+                        ctrl_next = $target;
+                        cost += d.flush_on_take as u64;
+                        flushes += d.flush_on_take as u64;
+                        cycles += cost;
+                        stalls += stall;
+                        side_exit = Some((i, d.exit_ordinal));
+                        break;
+                    }};
+                }
+                match d.op {
+                    Op::Addi(imm) => wr!(d, rs1v.wrapping_add(imm)),
+                    Op::Add => wr!(d, rs1v.wrapping_add(rs2v)),
+                    Op::Lw(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        match cpu.mem.load_word(addr) {
+                            Some(v) => wr!(d, v),
+                            None => bad_addr!(addr),
+                        }
+                    }
+                    Op::Sw(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        if cpu.mem.store_word(addr, rs2v).is_none() {
+                            bad_addr!(addr);
+                        }
+                    }
+                    Op::Sdotp8 => {
+                        let acc = cpu.regs[d.rd as usize & 31] as i32;
+                        wr!(d, (acc + sdotp8(rs1v, rs2v)) as u32);
+                    }
+                    Op::Sdotp4 => {
+                        let acc = cpu.regs[d.rd as usize & 31] as i32;
+                        wr!(d, (acc + sdotp4(rs1v, rs2v)) as u32);
+                    }
+                    Op::Lui(value) => wr!(d, value),
+                    Op::Auipc(value) => wr!(d, value),
+                    Op::Slti(imm) => wr!(d, ((rs1v as i32) < imm) as u32),
+                    Op::Sltiu(imm) => wr!(d, (rs1v < imm) as u32),
+                    Op::Xori(imm) => wr!(d, rs1v ^ imm),
+                    Op::Ori(imm) => wr!(d, rs1v | imm),
+                    Op::Andi(imm) => wr!(d, rs1v & imm),
+                    Op::Slli(sh) => wr!(d, rs1v << sh),
+                    Op::Srli(sh) => wr!(d, rs1v >> sh),
+                    Op::Srai(sh) => wr!(d, ((rs1v as i32) >> sh) as u32),
+                    Op::Sub => wr!(d, rs1v.wrapping_sub(rs2v)),
+                    Op::Sll => wr!(d, rs1v << (rs2v & 31)),
+                    Op::Slt => wr!(d, ((rs1v as i32) < (rs2v as i32)) as u32),
+                    Op::Sltu => wr!(d, (rs1v < rs2v) as u32),
+                    Op::Xor => wr!(d, rs1v ^ rs2v),
+                    Op::Srl => wr!(d, rs1v >> (rs2v & 31)),
+                    Op::Sra => wr!(d, ((rs1v as i32) >> (rs2v & 31)) as u32),
+                    Op::Or => wr!(d, rs1v | rs2v),
+                    Op::And => wr!(d, rs1v & rs2v),
+                    Op::Mul => wr!(d, rs1v.wrapping_mul(rs2v)),
+                    Op::Mulh => {
+                        wr!(
+                            d,
+                            (((rs1v as i32 as i64) * (rs2v as i32 as i64)) >> 32) as u32
+                        )
+                    }
+                    Op::Mulhsu => {
+                        wr!(
+                            d,
+                            (((rs1v as i32 as i64) * (rs2v as u64 as i64)) >> 32) as u32
+                        )
+                    }
+                    Op::Mulhu => wr!(d, (((rs1v as u64) * (rs2v as u64)) >> 32) as u32),
+                    Op::Div => {
+                        let a = rs1v as i32;
+                        let b = rs2v as i32;
+                        let q = if b == 0 {
+                            -1
+                        } else if a == i32::MIN && b == -1 {
+                            a
+                        } else {
+                            a / b
+                        };
+                        wr!(d, q as u32);
+                    }
+                    Op::Divu => wr!(d, rs1v.checked_div(rs2v).unwrap_or(u32::MAX)),
+                    Op::Rem => {
+                        let a = rs1v as i32;
+                        let b = rs2v as i32;
+                        let r = if b == 0 {
+                            a
+                        } else if a == i32::MIN && b == -1 {
+                            0
+                        } else {
+                            a % b
+                        };
+                        wr!(d, r as u32);
+                    }
+                    Op::Remu => wr!(d, if rs2v == 0 { rs1v } else { rs1v % rs2v }),
+                    Op::Lb(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        match cpu.mem.load_byte(addr) {
+                            Some(v) => wr!(d, v as i8 as i32 as u32),
+                            None => bad_addr!(addr),
+                        }
+                    }
+                    Op::Lh(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        match cpu.mem.load_half(addr) {
+                            Some(v) => wr!(d, v as i16 as i32 as u32),
+                            None => bad_addr!(addr),
+                        }
+                    }
+                    Op::Lbu(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        match cpu.mem.load_byte(addr) {
+                            Some(v) => wr!(d, v as u32),
+                            None => bad_addr!(addr),
+                        }
+                    }
+                    Op::Lhu(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        match cpu.mem.load_half(addr) {
+                            Some(v) => wr!(d, v as u32),
+                            None => bad_addr!(addr),
+                        }
+                    }
+                    Op::Sb(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        if cpu.mem.store_byte(addr, rs2v as u8).is_none() {
+                            bad_addr!(addr);
+                        }
+                    }
+                    Op::Sh(off) => {
+                        let addr = rs1v.wrapping_add(off);
+                        if cpu.mem.store_half(addr, rs2v as u16).is_none() {
+                            bad_addr!(addr);
+                        }
+                    }
+                    Op::Beq { target } => {
+                        if rs1v == rs2v {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Bne { target } => {
+                        if rs1v != rs2v {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Blt { target } => {
+                        if (rs1v as i32) < (rs2v as i32) {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Bge { target } => {
+                        if (rs1v as i32) >= (rs2v as i32) {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Bltu { target } => {
+                        if rs1v < rs2v {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Bgeu { target } => {
+                        if rs1v >= rs2v {
+                            take_exit!(target);
+                        }
+                    }
+                    Op::Jal { link, target } => {
+                        // Unfollowed jump: always the last trace element.
+                        wr!(d, link);
+                        ctrl_next = target;
+                        flushes += d.flush_on_take as u64;
+                    }
+                    Op::JalFollowed { link } => {
+                        // Followed jump: the next trace element is the
+                        // target instruction; only link and pay the flush.
+                        wr!(d, link);
+                        flushes += d.flush_on_take as u64;
+                    }
+                    Op::Jalr { link, offset } => {
+                        let target = rs1v.wrapping_add(offset) & !1;
+                        wr!(d, link);
+                        ctrl_next = target;
+                        flushes += d.flush_on_take as u64;
+                    }
+                    Op::Halt => {
+                        cpu.halted = true;
+                    }
+                }
+                cycles += cost;
+                stalls += stall;
+            }
+
+            if let Some((i, addr)) = mem_fault {
+                // The faulting instruction counts as issued (it was traced
+                // and counted before the fault in the reference
+                // interpreter) but consumes no cycles, and the PC stays on
+                // it.
+                executed += i as u64 + 1;
+                for d in &block.instrs[..=i] {
+                    cpu.trace.record(d.mnemonic());
+                }
+                let pc = block.instrs[i].pc;
+                cpu.pc = pc;
+                fault = Some(SimError::BadMemoryAccess { pc, addr });
+                break 'dispatch;
+            }
+
+            if let Some((i, ordinal)) = side_exit {
+                executed += i as u64 + 1;
+                cpu.block_exit_counts[slot][ordinal as usize] += 1;
+                // Self-loop fast path: the exit jumped back to this trace's
+                // entry, so re-enter without another dispatch.
+                if ctrl_next == entry && executed < max_instructions && !cpu.halted {
+                    continue;
+                }
+                cpu.pc = ctrl_next;
+                continue 'dispatch;
+            }
+
+            if !full {
+                // Budget-capped mid-trace: the next dispatch iteration
+                // raises the timeout. The retired prefix is traced directly
+                // (it is not a counted exit).
+                executed += n as u64;
+                for d in &block.instrs[..n] {
+                    cpu.trace.record(d.mnemonic());
+                }
+                cpu.pc = block.instrs[n].pc;
+                continue 'dispatch;
+            }
+
+            executed += len as u64;
+            cpu.block_exit_counts[slot][end_exit] += 1;
+            if ctrl_next == entry
+                && executed < max_instructions
+                && !cpu.halted
+                && block.end == BlockEnd::Terminator
+            {
+                continue;
+            }
+            cpu.pc = ctrl_next;
+            match block.end {
+                BlockEnd::Terminator | BlockEnd::Fallthrough => {}
+                // Deferred faults: execution reached the end of the
+                // decodable region, so raise exactly what the reference
+                // interpreter would raise at this PC (which `ctrl_next`
+                // already points at).
+                BlockEnd::BadFetch { pc } => {
+                    fault = Some(SimError::BadFetch { pc });
+                    break 'dispatch;
+                }
+                BlockEnd::Illegal { pc, word } => {
+                    fault = Some(SimError::IllegalInstruction { pc, word });
+                    break 'dispatch;
+                }
+            }
+            continue 'dispatch;
+        }
+    }
+
+    cpu.instret += executed;
+    cpu.pipeline.stats.instructions += executed;
+    cpu.cycles += cycles;
+    cpu.pipeline.load_dest = load_dest;
+    cpu.pipeline.stats.load_use_stalls += stalls;
+    cpu.pipeline.stats.flush_cycles += flushes;
+    match fault {
+        None => Ok(()),
+        Some(error) => Err(error),
+    }
+}
+
+/// Folds per-slot, per-exit execution counts into the trace.
+fn fold_exec_counts(cpu: &mut Cpu) {
+    while let Some(slot) = cpu.touched_slots.pop() {
+        cpu.touched_flags[slot] = false;
+        if let Some(block) = cpu.cache.cached(slot) {
+            for (exit, count) in block
+                .exits
+                .iter()
+                .zip(cpu.block_exit_counts[slot].iter_mut())
+            {
+                if *count > 0 {
+                    for &(mnemonic, per_exec) in &exit.counts {
+                        cpu.trace.record_many(mnemonic, per_exec * *count);
+                    }
+                    *count = 0;
+                }
+            }
+        } else {
+            for count in cpu.block_exit_counts[slot].iter_mut() {
+                *count = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchOp, Instr, LoadOp, StoreOp};
+    use crate::memory::DMEM_BASE;
+    use crate::reg;
+
+    fn cpu_pair(program: &[Instr]) -> (Cpu, Cpu) {
+        let mut simple = Cpu::new_default();
+        simple.load_program(program).unwrap();
+        let mut cached = Cpu::new_default();
+        cached.set_exec_mode(ExecMode::BlockCached);
+        cached.load_program(program).unwrap();
+        (simple, cached)
+    }
+
+    fn assert_same_architectural_state(simple: &Cpu, cached: &Cpu) {
+        for r in 0..32 {
+            assert_eq!(simple.reg(r), cached.reg(r), "register x{r} diverged");
+        }
+        assert_eq!(simple.pc, cached.pc, "pc diverged");
+        assert_eq!(simple.instret, cached.instret, "instret diverged");
+        assert_eq!(simple.trace, cached.trace, "trace diverged");
+        assert_eq!(simple.halted(), cached.halted(), "halt state diverged");
+    }
+
+    #[test]
+    fn loop_program_matches_simple_mode_exactly() {
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 50,
+            },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 0,
+            },
+            Instr::Add {
+                rd: reg::A0,
+                rs1: reg::A0,
+                rs2: reg::T0,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -8,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let rs = simple.run(100_000).unwrap();
+        let rc = cached.run(100_000).unwrap();
+        assert_eq!(rs.instructions, rc.instructions);
+        assert_same_architectural_state(&simple, &cached);
+        assert_eq!(cached.reg(reg::A0), 50 * 51 / 2);
+    }
+
+    #[test]
+    fn every_alu_op_matches_simple_mode() {
+        let mut program = vec![
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: -1234,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: 77,
+            },
+            Instr::Lui {
+                rd: reg::A2,
+                imm: 0x12345,
+            },
+            Instr::Auipc {
+                rd: reg::A3,
+                imm: 0x700,
+            },
+        ];
+        for (rd, instr) in [
+            Instr::Slti {
+                rd: 0,
+                rs1: reg::A0,
+                imm: 5,
+            },
+            Instr::Sltiu {
+                rd: 0,
+                rs1: reg::A0,
+                imm: 5,
+            },
+            Instr::Xori {
+                rd: 0,
+                rs1: reg::A0,
+                imm: -3,
+            },
+            Instr::Ori {
+                rd: 0,
+                rs1: reg::A0,
+                imm: 0x55,
+            },
+            Instr::Andi {
+                rd: 0,
+                rs1: reg::A0,
+                imm: 0x3C,
+            },
+            Instr::Slli {
+                rd: 0,
+                rs1: reg::A0,
+                shamt: 3,
+            },
+            Instr::Srli {
+                rd: 0,
+                rs1: reg::A0,
+                shamt: 5,
+            },
+            Instr::Srai {
+                rd: 0,
+                rs1: reg::A0,
+                shamt: 5,
+            },
+            Instr::Add {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sub {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sll {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Slt {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sltu {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Xor {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Srl {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sra {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Or {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::And {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Mul {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Mulh {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Mulhsu {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Mulhu {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Div {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Divu {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Rem {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Remu {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Div {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+            },
+            Instr::Rem {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+            },
+            Instr::Sdotp8 {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+            Instr::Sdotp4 {
+                rd: 0,
+                rs1: reg::A0,
+                rs2: reg::A1,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, instr)| ((8 + (i % 20)) as u8, instr))
+        {
+            // Rotate destinations through s/t registers so results feed
+            // later inputs and divergence cannot cancel out.
+            let fixed = match instr {
+                Instr::Slti { rs1, imm, .. } => Instr::Slti { rd, rs1, imm },
+                Instr::Sltiu { rs1, imm, .. } => Instr::Sltiu { rd, rs1, imm },
+                Instr::Xori { rs1, imm, .. } => Instr::Xori { rd, rs1, imm },
+                Instr::Ori { rs1, imm, .. } => Instr::Ori { rd, rs1, imm },
+                Instr::Andi { rs1, imm, .. } => Instr::Andi { rd, rs1, imm },
+                Instr::Slli { rs1, shamt, .. } => Instr::Slli { rd, rs1, shamt },
+                Instr::Srli { rs1, shamt, .. } => Instr::Srli { rd, rs1, shamt },
+                Instr::Srai { rs1, shamt, .. } => Instr::Srai { rd, rs1, shamt },
+                Instr::Add { rs1, rs2, .. } => Instr::Add { rd, rs1, rs2 },
+                Instr::Sub { rs1, rs2, .. } => Instr::Sub { rd, rs1, rs2 },
+                Instr::Sll { rs1, rs2, .. } => Instr::Sll { rd, rs1, rs2 },
+                Instr::Slt { rs1, rs2, .. } => Instr::Slt { rd, rs1, rs2 },
+                Instr::Sltu { rs1, rs2, .. } => Instr::Sltu { rd, rs1, rs2 },
+                Instr::Xor { rs1, rs2, .. } => Instr::Xor { rd, rs1, rs2 },
+                Instr::Srl { rs1, rs2, .. } => Instr::Srl { rd, rs1, rs2 },
+                Instr::Sra { rs1, rs2, .. } => Instr::Sra { rd, rs1, rs2 },
+                Instr::Or { rs1, rs2, .. } => Instr::Or { rd, rs1, rs2 },
+                Instr::And { rs1, rs2, .. } => Instr::And { rd, rs1, rs2 },
+                Instr::Mul { rs1, rs2, .. } => Instr::Mul { rd, rs1, rs2 },
+                Instr::Mulh { rs1, rs2, .. } => Instr::Mulh { rd, rs1, rs2 },
+                Instr::Mulhsu { rs1, rs2, .. } => Instr::Mulhsu { rd, rs1, rs2 },
+                Instr::Mulhu { rs1, rs2, .. } => Instr::Mulhu { rd, rs1, rs2 },
+                Instr::Div { rs1, rs2, .. } => Instr::Div { rd, rs1, rs2 },
+                Instr::Divu { rs1, rs2, .. } => Instr::Divu { rd, rs1, rs2 },
+                Instr::Rem { rs1, rs2, .. } => Instr::Rem { rd, rs1, rs2 },
+                Instr::Remu { rs1, rs2, .. } => Instr::Remu { rd, rs1, rs2 },
+                Instr::Sdotp8 { rs1, rs2, .. } => Instr::Sdotp8 { rd, rs1, rs2 },
+                Instr::Sdotp4 { rs1, rs2, .. } => Instr::Sdotp4 { rd, rs1, rs2 },
+                other => other,
+            };
+            program.push(fixed);
+        }
+        program.push(Instr::Ebreak);
+        let (mut simple, mut cached) = cpu_pair(&program);
+        simple.run(1_000).unwrap();
+        cached.run(1_000).unwrap();
+        assert_same_architectural_state(&simple, &cached);
+    }
+
+    #[test]
+    fn loads_and_stores_of_every_width_match_simple_mode() {
+        let program = [
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: -259,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::A1,
+                offset: 0,
+            },
+            Instr::Store {
+                op: StoreOp::Sh,
+                rs1: reg::A0,
+                rs2: reg::A1,
+                offset: 4,
+            },
+            Instr::Store {
+                op: StoreOp::Sb,
+                rs1: reg::A0,
+                rs2: reg::A1,
+                offset: 6,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A2,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lh,
+                rd: reg::A3,
+                rs1: reg::A0,
+                offset: 4,
+            },
+            Instr::Load {
+                op: LoadOp::Lhu,
+                rd: reg::A4,
+                rs1: reg::A0,
+                offset: 4,
+            },
+            Instr::Load {
+                op: LoadOp::Lb,
+                rd: reg::A5,
+                rs1: reg::A0,
+                offset: 6,
+            },
+            Instr::Load {
+                op: LoadOp::Lbu,
+                rd: reg::A6,
+                rs1: reg::A0,
+                offset: 6,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        simple.run(100).unwrap();
+        cached.run(100).unwrap();
+        assert_same_architectural_state(&simple, &cached);
+        assert_eq!(cached.reg(reg::A2) as i32, -259);
+        assert_eq!(cached.reg(reg::A5) as i32, -3); // low byte of -259
+    }
+
+    #[test]
+    fn memory_faults_match_simple_mode() {
+        let program = [
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 5,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::ZERO,
+                rs2: reg::A0,
+                offset: 0,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let es = simple.run(10).unwrap_err();
+        let ec = cached.run(10).unwrap_err();
+        assert_eq!(es, ec);
+        assert_same_architectural_state(&simple, &cached);
+    }
+
+    #[test]
+    fn illegal_instruction_faults_match_simple_mode() {
+        let mut bytes = Vec::new();
+        for i in [
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 1,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::ZERO,
+                imm: 2,
+            },
+        ] {
+            bytes.extend_from_slice(&i.encode().to_le_bytes());
+        }
+        bytes.extend_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        let mut simple = Cpu::new_default();
+        simple.load_program_bytes(&bytes).unwrap();
+        let mut cached = Cpu::new_default();
+        cached.set_exec_mode(ExecMode::BlockCached);
+        cached.load_program_bytes(&bytes).unwrap();
+        let es = simple.run(10).unwrap_err();
+        let ec = cached.run(10).unwrap_err();
+        assert_eq!(es, ec);
+        assert_same_architectural_state(&simple, &cached);
+    }
+
+    #[test]
+    fn timeouts_match_simple_mode() {
+        let program = [Instr::Jal {
+            rd: reg::ZERO,
+            offset: 0,
+        }];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let es = simple.run(100).unwrap_err();
+        let ec = cached.run(100).unwrap_err();
+        assert_eq!(es, ec);
+        assert_same_architectural_state(&simple, &cached);
+    }
+
+    #[test]
+    fn mid_block_timeout_counts_instructions_exactly() {
+        // A long straight-line block; the budget cuts it mid-way.
+        let mut program = vec![];
+        for _ in 0..20 {
+            program.push(Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            });
+        }
+        program.push(Instr::Ebreak);
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let es = simple.run(7).unwrap_err();
+        let ec = cached.run(7).unwrap_err();
+        assert_eq!(es, ec);
+        assert_same_architectural_state(&simple, &cached);
+        assert_eq!(cached.reg(reg::A0), 7);
+    }
+
+    #[test]
+    fn jalr_with_rd_equal_rs1_matches_simple_mode() {
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 12,
+            },
+            Instr::Jalr {
+                rd: reg::T0,
+                rs1: reg::T0,
+                offset: 0,
+            },
+            Instr::Ebreak, // skipped
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        simple.run(10).unwrap();
+        cached.run(10).unwrap();
+        assert_same_architectural_state(&simple, &cached);
+        // The target (old t0 = 12) was read before the link overwrote t0.
+        assert_eq!(cached.reg(reg::T0), 8);
+        assert_eq!(cached.pc, 16, "jumped to old t0 = 12, then past ebreak");
+    }
+
+    #[test]
+    fn load_use_hazards_add_stall_cycles_over_the_flat_model() {
+        let program = [
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::A0,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            // Immediately consumes the loaded value: one interlock stall.
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A1,
+                rs2: reg::ZERO,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let rs = simple.run(10).unwrap();
+        let rc = cached.run(10).unwrap();
+        assert_eq!(rs.instructions, rc.instructions);
+        assert_eq!(rc.cycles, rs.cycles + 1, "exactly the load-use stall");
+        assert_eq!(cached.pipeline_stats().load_use_stalls, 1);
+        assert_same_architectural_state(&simple, &cached);
+    }
+
+    #[test]
+    fn faulting_instruction_leaves_no_pipeline_residue() {
+        // lw a1 <- valid; lw a2 <- *a1 where a1 holds an invalid address.
+        // The second load both consumes the first load's destination (a
+        // would-be stall) and faults; a faulting instruction must charge
+        // no cycles, record no stall and leave the hazard state untouched.
+        let program = [
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A2,
+                rs1: reg::A1,
+                offset: 0,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        let es = simple.run(10).unwrap_err();
+        let ec = cached.run(10).unwrap_err();
+        assert_eq!(es, ec);
+        assert_same_architectural_state(&simple, &cached);
+        assert_eq!(
+            simple.cycles, cached.cycles,
+            "faulting stall must not be charged"
+        );
+        let stats = cached.pipeline_stats();
+        assert_eq!(
+            stats.load_use_stalls, 0,
+            "unretired stall must not be counted"
+        );
+    }
+
+    #[test]
+    fn cache_is_reused_across_clones_and_invalidated_on_load() {
+        let program = [
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 1,
+            },
+            Instr::Ebreak,
+        ];
+        let mut cpu = Cpu::new_default();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(&program).unwrap();
+        let mut warm = cpu.clone();
+        warm.run(10).unwrap();
+        // The clone warmed the shared cache.
+        assert_eq!(cpu.cached_blocks(), 1);
+        // Loading a new image detaches and clears this CPU's cache only.
+        cpu.load_program(&[Instr::Ebreak]).unwrap();
+        assert_eq!(cpu.cached_blocks(), 0);
+        assert_eq!(warm.cached_blocks(), 1);
+    }
+
+    #[test]
+    fn run_can_resume_after_timeout() {
+        let mut program = vec![];
+        for _ in 0..10 {
+            program.push(Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            });
+        }
+        program.push(Instr::Ebreak);
+        let mut cpu = Cpu::new_default();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(&program).unwrap();
+        assert!(cpu.run(4).is_err());
+        let summary = cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(reg::A0), 10);
+        assert_eq!(summary.instructions, 7); // 6 remaining addis + ebreak
+    }
+
+    #[test]
+    fn branch_heavy_program_traces_match_simple_mode() {
+        // Nested loops: inner blocks execute thousands of times, so the
+        // fold-based trace accounting is exercised hard.
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 40,
+            }, // outer
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::ZERO,
+                imm: 25,
+            }, // inner
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T1,
+                rs2: reg::ZERO,
+                offset: -8,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -20,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut cached) = cpu_pair(&program);
+        simple.run(100_000).unwrap();
+        cached.run(100_000).unwrap();
+        assert_same_architectural_state(&simple, &cached);
+        assert_eq!(cached.reg(reg::A0), 40 * 25);
+    }
+}

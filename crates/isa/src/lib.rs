@@ -10,9 +10,15 @@
 //! This crate provides:
 //!
 //! * the [`Instr`] enum with RISC-V binary [`Instr::encode`]/[`decode`]
-//!   support (the SDOTP instructions use the `custom-0` opcode);
-//! * a [`Cpu`] executing from byte-addressed instruction/data memories with
-//!   an IBEX-style cycle model and an instruction [`Trace`];
+//!   support (the SDOTP instructions use the `custom-0` opcode), plus the
+//!   pre-decoded [`Decoded`] IR consumed by the block-cached engine;
+//! * a [`Cpu`] executing from byte-addressed instruction/data memories
+//!   with an instruction [`Trace`] and two engines selected by
+//!   [`ExecMode`]: the `Simple` reference interpreter with flat IBEX
+//!   cycle costs, and the `BlockCached` superblock-trace engine with a
+//!   pipelined IBEX timing model (load-use interlock and branch-flush
+//!   stall accounting via [`PipelineStats`]) that runs the deployed CNN
+//!   workloads several times faster;
 //! * register ABI-name constants in [`reg`] used by the kernel code
 //!   generator in `pcount-kernels`.
 //!
@@ -32,13 +38,18 @@
 //! assert_eq!(cpu.reg(reg::A0), 42);
 //! ```
 
+mod block;
 mod cpu;
+mod engine;
 mod instr;
 mod memory;
+mod pipeline;
 
 pub use cpu::{Cpu, RunSummary, SimError, Trace};
-pub use instr::{decode, BranchOp, Instr, LoadOp, StoreOp};
+pub use engine::ExecMode;
+pub use instr::{decode, BranchOp, Decoded, Instr, LoadOp, StoreOp};
 pub use memory::{Memory, DMEM_BASE, IMEM_BASE};
+pub use pipeline::{PipelineStats, LOAD_USE_STALL};
 
 /// Register indices by RISC-V ABI name.
 pub mod reg {

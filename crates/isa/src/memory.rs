@@ -57,7 +57,7 @@ impl Memory {
     /// Reads the 32-bit instruction word at `addr`.
     pub fn fetch(&self, addr: u32) -> Option<u32> {
         let off = addr.checked_sub(IMEM_BASE)? as usize;
-        if off + 4 > self.imem.len() || off % 4 != 0 {
+        if off + 4 > self.imem.len() || !off.is_multiple_of(4) {
             return None;
         }
         Some(u32::from_le_bytes([
@@ -92,6 +92,57 @@ impl Memory {
         for i in 0..len {
             self.dmem[off + i] = (value >> (8 * i)) as u8;
         }
+        Some(())
+    }
+
+    /// Loads one byte of data memory (fast fixed-width path).
+    #[inline]
+    pub fn load_byte(&self, addr: u32) -> Option<u8> {
+        self.dmem
+            .get(addr.wrapping_sub(DMEM_BASE) as usize)
+            .copied()
+    }
+
+    /// Loads a little-endian half-word (fast fixed-width path).
+    #[inline]
+    pub fn load_half(&self, addr: u32) -> Option<u16> {
+        let off = addr.wrapping_sub(DMEM_BASE) as usize;
+        let bytes = self.dmem.get(off..off.wrapping_add(2))?;
+        Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Loads a little-endian word (fast fixed-width path).
+    #[inline]
+    pub fn load_word(&self, addr: u32) -> Option<u32> {
+        let off = addr.wrapping_sub(DMEM_BASE) as usize;
+        let bytes = self.dmem.get(off..off.wrapping_add(4))?;
+        Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Stores one byte of data memory (fast fixed-width path).
+    #[inline]
+    pub fn store_byte(&mut self, addr: u32, value: u8) -> Option<()> {
+        *self.dmem.get_mut(addr.wrapping_sub(DMEM_BASE) as usize)? = value;
+        Some(())
+    }
+
+    /// Stores a little-endian half-word (fast fixed-width path).
+    #[inline]
+    pub fn store_half(&mut self, addr: u32, value: u16) -> Option<()> {
+        let off = addr.wrapping_sub(DMEM_BASE) as usize;
+        self.dmem
+            .get_mut(off..off.wrapping_add(2))?
+            .copy_from_slice(&value.to_le_bytes());
+        Some(())
+    }
+
+    /// Stores a little-endian word (fast fixed-width path).
+    #[inline]
+    pub fn store_word(&mut self, addr: u32, value: u32) -> Option<()> {
+        let off = addr.wrapping_sub(DMEM_BASE) as usize;
+        self.dmem
+            .get_mut(off..off.wrapping_add(4))?
+            .copy_from_slice(&value.to_le_bytes());
         Some(())
     }
 

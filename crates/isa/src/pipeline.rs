@@ -1,0 +1,285 @@
+//! Pipelined IBEX-style timing model: state and stall accounting.
+//!
+//! The block-cached engine charges cycles through this model instead of the
+//! flat per-instruction costs of the reference interpreter. The model
+//! follows the IBEX micro-architecture: an in-order, single-issue core with
+//! an instruction-fetch stage feeding a combined decode/execute stage.
+//!
+//! Per-instruction occupancy of the decode/execute stage:
+//!
+//! * 1 cycle for ALU, multiply and SDOTP operations (the MAUPITI SDOTP unit
+//!   is single-cycle by construction — the paper replicates multipliers
+//!   instead of sharing them);
+//! * 2 cycles for loads and stores (one extra data-interface cycle);
+//! * 37 cycles for divisions and remainders (iterative divider);
+//! * jumps spend 1 extra cycle refilling the fetch stage (target known in
+//!   decode), taken branches 2 (target resolved in execute).
+//!
+//! On top of the stage occupancy the model accounts two hazards the flat
+//! model cannot see:
+//!
+//! * **load-use interlock** — an instruction reading the destination of the
+//!   immediately preceding load stalls [`LOAD_USE_STALL`] cycle while the
+//!   data returns;
+//! * **branch flush** — a taken control transfer squashes the prefetched
+//!   instruction; the refill cycles are recorded in
+//!   [`PipelineStats::flush_cycles`] and any pending load-use forwarding
+//!   state is cleared.
+//!
+//! The hazard logic itself is inlined in the engine's dispatch loop
+//! (`crate::engine::exec_block`); this module owns the state that persists
+//! across basic blocks and the observable counters.
+
+/// Extra cycle charged when an instruction consumes the result of the
+/// immediately preceding load.
+pub const LOAD_USE_STALL: u64 = 1;
+
+/// Cycles lost to stalls and flushes, broken out by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Instructions timed by the pipeline model.
+    pub instructions: u64,
+    /// Cycles lost to load-use interlock stalls.
+    pub load_use_stalls: u64,
+    /// Cycles lost re-filling fetch after taken control transfers.
+    pub flush_cycles: u64,
+}
+
+/// Hazard-tracking state of the fetch/decode/execute pipeline.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Pipeline {
+    /// Destination register of the load currently in its memory cycle
+    /// (0 = none; x0 loads never interlock).
+    pub(crate) load_dest: u8,
+    /// Observable stall/flush counters.
+    pub(crate) stats: PipelineStats,
+}
+
+impl Pipeline {
+    /// Clears hazard state and counters (new program image).
+    pub(crate) fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Stall/flush counters accumulated so far.
+    pub(crate) fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instr::{BranchOp, Instr, LoadOp, StoreOp};
+    use crate::memory::DMEM_BASE;
+    use crate::{reg, Cpu, ExecMode};
+
+    /// Runs `program` on the block-cached engine and returns the CPU.
+    fn run_cached(program: &[Instr]) -> Cpu {
+        let mut cpu = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(program).unwrap();
+        cpu.run(100_000).unwrap();
+        cpu
+    }
+
+    fn prologue() -> Vec<Instr> {
+        vec![
+            Instr::Lui {
+                rd: reg::A0,
+                imm: (DMEM_BASE >> 12) as i32,
+            },
+            Instr::Store {
+                op: StoreOp::Sw,
+                rs1: reg::A0,
+                rs2: reg::A0,
+                offset: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn load_use_stalls_one_cycle() {
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A1,
+                rs2: reg::ZERO,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().load_use_stalls, 1);
+        // lui(1) + sw(2) + lw(2) + stalled add(2) + ebreak(1)
+        assert_eq!(cpu.cycles, 8);
+    }
+
+    #[test]
+    fn independent_instruction_after_load_does_not_stall() {
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A3,
+                rs2: reg::A4,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().load_use_stalls, 0);
+    }
+
+    #[test]
+    fn hazard_window_is_a_single_instruction() {
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 1,
+            },
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A1,
+                rs2: reg::ZERO,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().load_use_stalls, 0);
+    }
+
+    #[test]
+    fn sdotp_accumulator_read_participates_in_hazards() {
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A2,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Sdotp8 {
+                rd: reg::A2,
+                rs1: reg::A3,
+                rs2: reg::A4,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(
+            cpu.pipeline_stats().load_use_stalls,
+            1,
+            "rd is a third read port on SDOTP"
+        );
+    }
+
+    #[test]
+    fn taken_branch_flushes_hazard_state_and_counts_flush_cycles() {
+        // The load feeding a consumer across a taken branch does not stall:
+        // the flush re-fills the pipe and hides the load latency.
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::A1,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: reg::ZERO,
+                rs2: reg::ZERO,
+                offset: 8,
+            },
+            Instr::Ebreak, // skipped
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::A1,
+                rs2: reg::ZERO,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().load_use_stalls, 0);
+        assert_eq!(cpu.pipeline_stats().flush_cycles, 2);
+    }
+
+    #[test]
+    fn jumps_account_one_flush_cycle() {
+        let program = [
+            Instr::Jal {
+                rd: reg::ZERO,
+                offset: 8,
+            },
+            Instr::Ebreak, // skipped
+            Instr::Ebreak,
+        ];
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().flush_cycles, 1);
+        assert_eq!(cpu.cycles, 3); // jal(2) + ebreak(1)
+    }
+
+    #[test]
+    fn loads_to_x0_never_interlock() {
+        let mut program = prologue();
+        program.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::ZERO,
+                rs1: reg::A0,
+                offset: 0,
+            },
+            Instr::Add {
+                rd: reg::A2,
+                rs1: reg::ZERO,
+                rs2: reg::ZERO,
+            },
+            Instr::Ebreak,
+        ]);
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().load_use_stalls, 0);
+    }
+
+    #[test]
+    fn stats_count_all_instructions() {
+        let program = [
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 3,
+            },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::A0,
+                rs2: reg::ZERO,
+                offset: -4,
+            },
+            Instr::Ebreak,
+        ];
+        let cpu = run_cached(&program);
+        assert_eq!(cpu.pipeline_stats().instructions, cpu.instret);
+    }
+}

@@ -100,7 +100,11 @@ impl Assembler {
 
     /// Register move (`addi rd, rs, 0`).
     pub fn mv(&mut self, rd: u8, rs: u8) {
-        self.emit(Instr::Addi { rd, rs1: rs, imm: 0 });
+        self.emit(Instr::Addi {
+            rd,
+            rs1: rs,
+            imm: 0,
+        });
     }
 
     /// `addi` convenience wrapper.
@@ -335,8 +339,18 @@ mod tests {
 
     #[test]
     fn li_handles_small_large_and_negative_constants() {
-        for &value in &[0i32, 1, -1, 2047, -2048, 2048, 0x1234_5678, -123_456, i32::MIN, i32::MAX]
-        {
+        for &value in &[
+            0i32,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234_5678,
+            -123_456,
+            i32::MIN,
+            i32::MAX,
+        ] {
             let mut asm = Assembler::new();
             asm.li(reg::A0, value);
             asm.ebreak();

@@ -3,7 +3,7 @@
 use crate::asm::Assembler;
 use crate::kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 use crate::layout::MemoryPlan;
-use pcount_isa::{reg, Cpu, SimError};
+use pcount_isa::{reg, Cpu, ExecMode, SimError};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::collections::HashMap;
@@ -61,11 +61,17 @@ impl fmt::Display for DeployError {
             DeployError::CodeTooLarge {
                 code_bytes,
                 imem_bytes,
-            } => write!(f, "code of {code_bytes} B exceeds {imem_bytes} B of instruction memory"),
+            } => write!(
+                f,
+                "code of {code_bytes} B exceeds {imem_bytes} B of instruction memory"
+            ),
             DeployError::DataTooLarge {
                 data_bytes,
                 dmem_bytes,
-            } => write!(f, "data of {data_bytes} B exceeds {dmem_bytes} B of data memory"),
+            } => write!(
+                f,
+                "data of {data_bytes} B exceeds {dmem_bytes} B of data memory"
+            ),
             DeployError::Assembly(msg) => write!(f, "assembly error: {msg}"),
         }
     }
@@ -153,11 +159,15 @@ impl Deployment {
                 imem_bytes,
             });
         }
-        let mut cpu = Cpu::new(imem_bytes, dmem_bytes);
+        // Deployments run on the block-cached engine: the program image is
+        // fixed, so every inference after the first dispatches fully
+        // pre-decoded blocks (the cache is shared across the per-frame CPU
+        // clones). Use `set_exec_mode` to fall back to the reference
+        // interpreter, e.g. for cross-checking.
+        let mut cpu = Cpu::new(imem_bytes, dmem_bytes).with_exec_mode(ExecMode::BlockCached);
         cpu.load_program(&program)
             .map_err(|e| DeployError::Assembly(e.to_string()))?;
-        cpu.mem
-            .write_dmem(plan.weight_addr[0], &plan.weight_image);
+        cpu.mem.write_dmem(plan.weight_addr[0], &plan.weight_image);
         Ok(Self {
             target,
             model: model.clone(),
@@ -170,6 +180,16 @@ impl Deployment {
     /// The deployment target.
     pub fn target(&self) -> Target {
         self.target
+    }
+
+    /// The simulator engine inferences run on (block-cached by default).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.base_cpu.exec_mode()
+    }
+
+    /// Selects the simulator engine used by subsequent inferences.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.base_cpu.set_exec_mode(mode);
     }
 
     /// The memory plan (addresses and sizes in data memory).
@@ -204,9 +224,7 @@ impl Deployment {
         let summary = cpu.run(50_000_000)?;
         let mut logits = Vec::with_capacity(self.model.config.num_classes);
         for i in 0..self.model.config.num_classes {
-            let bytes = cpu
-                .mem
-                .read_dmem(self.plan.logits_addr + 4 * i as u32, 4);
+            let bytes = cpu.mem.read_dmem(self.plan.logits_addr + 4 * i as u32, 4);
             logits.push(i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
         }
         let prediction = logits
@@ -408,7 +426,10 @@ mod tests {
         (x, y)
     }
 
-    fn quantized_model(assignment: PrecisionAssignment, rng: &mut StdRng) -> (QuantizedCnn, Tensor) {
+    fn quantized_model(
+        assignment: PrecisionAssignment,
+        rng: &mut StdRng,
+    ) -> (QuantizedCnn, Tensor) {
         let (x, y) = toy_dataset(120, rng);
         let cfg = CnnConfig::seed().with_channels(5, 6, 10);
         let mut net = cfg.build(rng);
@@ -493,6 +514,30 @@ mod tests {
             Target::Ibex,
             3,
         );
+    }
+
+    #[test]
+    fn block_cached_engine_matches_simple_engine_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (model, x) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        for target in [Target::Maupiti, Target::Ibex] {
+            let cached = Deployment::new(&model, target).expect("deploy");
+            assert_eq!(cached.exec_mode(), ExecMode::BlockCached);
+            let mut simple = cached.clone();
+            simple.set_exec_mode(ExecMode::Simple);
+            for i in 0..5 {
+                let frame = &x.data()[i * 64..(i + 1) * 64];
+                let rc = cached.run_frame(frame).expect("cached run");
+                let rs = simple.run_frame(frame).expect("simple run");
+                assert_eq!(rc.logits, rs.logits, "{target} frame {i}");
+                assert_eq!(rc.prediction, rs.prediction);
+                assert_eq!(rc.instructions, rs.instructions);
+                assert_eq!(rc.sdotp, rs.sdotp);
+                // The pipelined model only adds load-use stalls on top of
+                // the flat costs.
+                assert!(rc.cycles >= rs.cycles, "{} < {}", rc.cycles, rs.cycles);
+            }
+        }
     }
 
     #[test]

@@ -300,12 +300,7 @@ pub fn emit_conv3x3(asm: &mut Assembler, name: &str, variant: KernelVariant) {
     asm.add(reg::T2, reg::T2, reg::T6);
     asm.mul(reg::T2, reg::T2, reg::A5);
     asm.add(reg::T2, reg::T2, reg::S10);
-    emit_channel_loop(
-        asm,
-        &format!("{p}_k{}", "x"),
-        variant.input,
-        variant.simd,
-    );
+    emit_channel_loop(asm, &format!("{p}_k{}", "x"), variant.input, variant.simd);
     asm.label(format!("{p}_kx_next"));
     asm.addi(reg::T6, reg::T6, 1);
     asm.jump(format!("{p}_kx"));
@@ -478,7 +473,7 @@ mod tests {
         };
         let out_features = 3usize;
         // Deterministic small test vectors within the precision's range.
-        let qmax = variant.input.qmax() as i32;
+        let qmax = variant.input.qmax();
         let x: Vec<i8> = (0..in_features)
             .map(|i| (((i as i32 * 3 + 1) % (2 * qmax + 1)) - qmax) as i8)
             .collect();

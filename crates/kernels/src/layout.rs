@@ -166,8 +166,7 @@ impl MemoryPlan {
         let buf_a_addr = input_addr + input_bytes as u32;
         let buf_b_addr = buf_a_addr + act_buf_bytes as u32;
         let logits_addr = buf_b_addr + act_buf_bytes as u32;
-        let total_bytes =
-            (logits_addr - base) as usize + geo.classes * 4;
+        let total_bytes = (logits_addr - base) as usize + geo.classes * 4;
 
         Self {
             geometry: geo,

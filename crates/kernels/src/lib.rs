@@ -26,6 +26,7 @@ mod kernels;
 mod layout;
 
 pub use asm::Assembler;
-pub use deploy::{Deployment, DeploymentReport, Target};
+pub use deploy::{DeployError, Deployment, DeploymentReport, InferenceRun, Target};
 pub use kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
-pub use layout::{lane_count, pad_channels, pack_values, MemoryPlan};
+pub use layout::{lane_count, pack_values, pad_channels, MemoryPlan};
+pub use pcount_isa::ExecMode;

@@ -57,7 +57,10 @@ impl ChannelMask {
     /// The binarised mask, guaranteeing at least one alive channel.
     pub fn binary(&self) -> Vec<f32> {
         let th = self.theta.data();
-        let mut bin: Vec<f32> = th.iter().map(|&t| if t >= 0.0 { 1.0 } else { 0.0 }).collect();
+        let mut bin: Vec<f32> = th
+            .iter()
+            .map(|&t| if t >= 0.0 { 1.0 } else { 0.0 })
+            .collect();
         if bin.iter().all(|&b| b == 0.0) {
             let mut best = 0usize;
             for (i, &t) in th.iter().enumerate() {
@@ -102,6 +105,7 @@ impl ChannelMask {
             let od = out.data_mut();
             let n = shape[0];
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     if bin[ci] == 0.0 {
                         let base = (ni * c + ci) * inner;
@@ -134,6 +138,7 @@ impl ChannelMask {
         {
             let tg = self.theta_grad.data_mut();
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     let base = (ni * c + ci) * inner;
                     let mut acc = 0.0f32;
@@ -149,6 +154,7 @@ impl ChannelMask {
         {
             let gi = grad_in.data_mut();
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     if bin[ci] == 0.0 {
                         let base = (ni * c + ci) * inner;

@@ -183,10 +183,8 @@ impl Layer for BatchNorm2d {
                     let base = (ni * c + ci) * h * w;
                     let k = g[ci] * cache.std_inv[ci] / m;
                     for i in 0..h * w {
-                        gi[base + i] = k
-                            * (m * gd[base + i]
-                                - sum_dy[ci]
-                                - xh[base + i] * sum_dy_xhat[ci]);
+                        gi[base + i] =
+                            k * (m * gd[base + i] - sum_dy[ci] - xh[base + i] * sum_dy_xhat[ci]);
                     }
                 }
             }

@@ -84,12 +84,7 @@ impl Conv2d {
     ///
     /// Panics if the tensor shapes are inconsistent with the declared
     /// dimensions.
-    pub fn from_parts(
-        weight: Tensor,
-        bias: Tensor,
-        stride: usize,
-        padding: usize,
-    ) -> Self {
+    pub fn from_parts(weight: Tensor, bias: Tensor, stride: usize, padding: usize) -> Self {
         let shape = weight.shape().to_vec();
         assert_eq!(shape.len(), 4, "conv weight must be [out, in, k, k]");
         assert_eq!(shape[2], shape[3], "conv kernel must be square");
@@ -130,6 +125,7 @@ impl Conv2d {
         let od = out.data_mut();
         let k = self.kernel;
         for ni in 0..n {
+            #[allow(clippy::needless_range_loop)]
             for co in 0..self.out_channels {
                 let wbase_co = co * self.in_channels * k * k;
                 let obase = (ni * self.out_channels + co) * ho * wo;
@@ -188,6 +184,7 @@ impl Conv2d {
             let bg = self.bias_grad.data_mut();
             let gi = grad_in.data_mut();
             for ni in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for co in 0..self.out_channels {
                     let wbase_co = co * self.in_channels * k * k;
                     let obase = (ni * self.out_channels + co) * ho * wo;

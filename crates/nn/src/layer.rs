@@ -341,7 +341,9 @@ impl Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 

@@ -139,9 +139,9 @@ mod tests {
             let preds: Vec<usize> = seq.iter().map(|(p, _)| *p).collect();
             let targets: Vec<usize> = seq.iter().map(|(_, t)| *t).collect();
             let cm = confusion_matrix(&preds, &targets, 4);
-            for class in 0..4 {
+            for (class, row) in cm.iter().enumerate() {
                 let expected = targets.iter().filter(|&&t| t == class).count();
-                let row_sum: usize = cm[class].iter().sum();
+                let row_sum: usize = row.iter().sum();
                 prop_assert_eq!(expected, row_sum);
             }
         }

@@ -141,17 +141,12 @@ mod tests {
         let x = Tensor::from_vec((0..100).map(|i| i as f32 / 100.0).collect(), &[100]);
         let mut q4 = FakeQuantAct::new(Precision::Int4, 1.0);
         let mut q8 = FakeQuantAct::new(Precision::Int8, 1.0);
-        let e4: f32 = q4
-            .forward(&x)
-            .sub(&x)
-            .map(f32::abs)
-            .sum();
-        let e8: f32 = q8
-            .forward(&x)
-            .sub(&x)
-            .map(f32::abs)
-            .sum();
-        assert!(e4 > e8 * 4.0, "int4 error {e4} should dwarf int8 error {e8}");
+        let e4: f32 = q4.forward(&x).sub(&x).map(f32::abs).sum();
+        let e8: f32 = q8.forward(&x).sub(&x).map(f32::abs).sum();
+        assert!(
+            e4 > e8 * 4.0,
+            "int4 error {e4} should dwarf int8 error {e8}"
+        );
     }
 
     #[test]

@@ -117,10 +117,7 @@ pub fn fold_sequential(config: CnnConfig, net: &Sequential) -> Result<FoldedCnn,
     })
 }
 
-fn downcast<'a, T: 'static>(
-    layer: &'a dyn std::any::Any,
-    what: &str,
-) -> Result<&'a T, FoldError> {
+fn downcast<'a, T: 'static>(layer: &'a dyn std::any::Any, what: &str) -> Result<&'a T, FoldError> {
     layer.downcast_ref::<T>().ok_or_else(|| FoldError {
         message: format!("{what} has an unexpected type"),
     })

@@ -170,10 +170,7 @@ impl QuantizedCnn {
         let qmax = self.layers[0].precision.qmax();
         frame
             .iter()
-            .map(|&v| {
-                ((v / self.input_scale).round() as i32)
-                    .clamp(-qmax, qmax) as i8
-            })
+            .map(|&v| ((v / self.input_scale).round() as i32).clamp(-qmax, qmax) as i8)
             .collect()
     }
 
@@ -186,7 +183,11 @@ impl QuantizedCnn {
     pub fn forward_int(&self, input_q: &[i8]) -> Vec<i32> {
         let cfg = &self.config;
         let hw = cfg.input_size;
-        assert_eq!(input_q.len(), cfg.input_channels * hw * hw, "bad input size");
+        assert_eq!(
+            input_q.len(),
+            cfg.input_channels * hw * hw,
+            "bad input size"
+        );
         // Layer 1: conv 3x3, pad 1, stride 1 on 8x8, then ReLU+requant, then
         // 2x2 max pool.
         let l1 = &self.layers[0];

@@ -191,7 +191,13 @@ mod tests {
         .memory_bytes(&cfg);
         assert!(m4 < mixed && mixed < m8);
         // INT8 memory is weights + 4-byte biases.
-        assert_eq!(m8, cfg.layer_dims().iter().map(|d| d.weight_count() + d.out_features * 4).sum::<usize>());
+        assert_eq!(
+            m8,
+            cfg.layer_dims()
+                .iter()
+                .map(|d| d.weight_count() + d.out_features * 4)
+                .sum::<usize>()
+        );
     }
 
     #[test]

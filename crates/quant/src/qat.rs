@@ -369,7 +369,11 @@ mod tests {
         assert!(m4 < m8);
         // Weights halve; biases stay 32-bit, so the ratio is below 2 but
         // clearly above 1.5 for these layer shapes.
-        assert!((m8 as f64 / m4 as f64) > 1.5, "ratio {}", m8 as f64 / m4 as f64);
+        assert!(
+            (m8 as f64 / m4 as f64) > 1.5,
+            "ratio {}",
+            m8 as f64 / m4 as f64
+        );
     }
 
     #[test]

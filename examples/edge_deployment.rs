@@ -42,9 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Precision::Int8,
     ]);
     let mut qat = QatCnn::from_folded(&folded, assignment);
-    let _ = qat_finetune(&mut qat, &x_train, &y_train, &QatConfig::default(), &mut rng);
+    let _ = qat_finetune(
+        &mut qat,
+        &x_train,
+        &y_train,
+        &QatConfig::default(),
+        &mut rng,
+    );
     let model = QuantizedCnn::from_qat(&qat);
-    println!("model {assignment}: {} weight bytes, {} MACs", model.weight_bytes(), model.macs());
+    println!(
+        "model {assignment}: {} weight bytes, {} MACs",
+        model.weight_bytes(),
+        model.macs()
+    );
 
     let frame = &x_test.data()[0..64];
 

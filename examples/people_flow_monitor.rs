@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let folded = fold_sequential(arch, &net)?;
     let mut qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
-    let _ = qat_finetune(&mut qat, &x_train, &y_train, &QatConfig::default(), &mut rng);
+    let _ = qat_finetune(
+        &mut qat,
+        &x_train,
+        &y_train,
+        &QatConfig::default(),
+        &mut rng,
+    );
     let deployment = Deployment::new(&QuantizedCnn::from_qat(&qat), Target::Maupiti)?;
 
     // Stream the held-out session in temporal order, exactly as the sensor

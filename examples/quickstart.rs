@@ -8,7 +8,9 @@ use maupiti::dataset::{DatasetConfig, IrDataset};
 use maupiti::kernels::{Deployment, Target};
 use maupiti::nn::{evaluate, train_classifier, CnnConfig, TrainConfig};
 use maupiti::platform::PlatformSpec;
-use maupiti::quant::{fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn};
+use maupiti::quant::{
+    fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,7 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Fold batch-norm, quantise to INT8 and fine-tune.
     let folded = fold_sequential(arch, &net)?;
     let mut qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
-    let _ = qat_finetune(&mut qat, &x_train, &y_train, &QatConfig::default(), &mut rng);
+    let _ = qat_finetune(
+        &mut qat,
+        &x_train,
+        &y_train,
+        &QatConfig::default(),
+        &mut rng,
+    );
     let int8_bas = qat.evaluate(&x_test, &y_test, data.num_classes());
     println!(
         "int8 model: {} bytes of weights, test BAS {:.3}",
@@ -66,6 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.sdotp,
         PlatformSpec::MAUPITI.energy_uj(run.cycles)
     );
-    println!("predicted people count for the first test frame: {}", run.prediction);
+    println!(
+        "predicted people count for the first test frame: {}",
+        run.prediction
+    );
     Ok(())
 }

@@ -1,0 +1,251 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion it uses: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple warmup + timed-batch mean (wall clock, reported
+//! as time per iteration and iterations per second on stdout). There is no
+//! statistical analysis, HTML report or regression tracking — enough to
+//! compare implementations on the same machine in the same run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~10 batches within
+        // the measurement budget.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < self.measurement_time / 10 || warmup_iters < 1 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((self.measurement_time.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64)
+            .clamp(1, 10_000_000);
+
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+        }
+        self.last_ns_per_iter = start.elapsed().as_nanos() as f64 / total_iters as f64;
+    }
+}
+
+fn report(label: &str, ns_per_iter: f64) {
+    let (scaled, unit) = if ns_per_iter >= 1e9 {
+        (ns_per_iter / 1e9, "s")
+    } else if ns_per_iter >= 1e6 {
+        (ns_per_iter / 1e6, "ms")
+    } else if ns_per_iter >= 1e3 {
+        (ns_per_iter / 1e3, "us")
+    } else {
+        (ns_per_iter, "ns")
+    };
+    println!(
+        "{label:<50} time: {scaled:>10.3} {unit}/iter  ({:.3e} iter/s)",
+        1e9 / ns_per_iter
+    );
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (this harness sizes batches by time, not count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            last_ns_per_iter: f64::NAN,
+        };
+        routine(&mut bencher, input);
+        report(&label, bencher.last_ns_per_iter);
+        self
+    }
+
+    /// Benchmarks `routine`.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            last_ns_per_iter: f64::NAN,
+        };
+        routine(&mut bencher);
+        report(&label, bencher.last_ns_per_iter);
+        self
+    }
+
+    /// Ends the group (compatibility no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (no CLI parsing in the offline harness).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        let mut bencher = Bencher {
+            measurement_time: self.measurement_time,
+            last_ns_per_iter: f64::NAN,
+        };
+        routine(&mut bencher);
+        report(&label, bencher.last_ns_per_iter);
+        self
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("test");
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
