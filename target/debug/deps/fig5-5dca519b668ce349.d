@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-5dca519b668ce349.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-5dca519b668ce349.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

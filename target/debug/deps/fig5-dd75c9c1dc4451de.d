@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-dd75c9c1dc4451de.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-dd75c9c1dc4451de: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-605314e48e3be301.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-605314e48e3be301: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

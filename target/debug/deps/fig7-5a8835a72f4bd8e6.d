@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5a8835a72f4bd8e6.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5a8835a72f4bd8e6: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_experiments-3ba6df7301bd33dc.d: tests/flow_experiments.rs
+
+/root/repo/target/debug/deps/flow_experiments-3ba6df7301bd33dc: tests/flow_experiments.rs
+
+tests/flow_experiments.rs:

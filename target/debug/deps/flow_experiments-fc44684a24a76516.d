@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_experiments-fc44684a24a76516.d: tests/flow_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_experiments-fc44684a24a76516.rmeta: tests/flow_experiments.rs Cargo.toml
+
+tests/flow_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

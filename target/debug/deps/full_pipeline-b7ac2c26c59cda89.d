@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-b7ac2c26c59cda89.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-b7ac2c26c59cda89: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

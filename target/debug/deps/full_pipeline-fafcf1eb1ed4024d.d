@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-fafcf1eb1ed4024d.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-fafcf1eb1ed4024d.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

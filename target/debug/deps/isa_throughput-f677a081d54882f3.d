@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/isa_throughput-f677a081d54882f3.d: crates/bench/benches/isa_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libisa_throughput-f677a081d54882f3.rmeta: crates/bench/benches/isa_throughput.rs Cargo.toml
+
+crates/bench/benches/isa_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

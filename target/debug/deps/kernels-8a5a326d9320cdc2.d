@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-8a5a326d9320cdc2.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-8a5a326d9320cdc2.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/maupiti-1abf2c81d7b278bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/maupiti-1abf2c81d7b278bb: src/lib.rs
+
+src/lib.rs:

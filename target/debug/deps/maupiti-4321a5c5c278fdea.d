@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/maupiti-4321a5c5c278fdea.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmaupiti-4321a5c5c278fdea.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmaupiti-4321a5c5c278fdea.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maupiti-446dc6876f508401.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaupiti-446dc6876f508401.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

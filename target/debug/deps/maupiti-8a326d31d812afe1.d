@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maupiti-8a326d31d812afe1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaupiti-8a326d31d812afe1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

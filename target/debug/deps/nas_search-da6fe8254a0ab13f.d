@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nas_search-da6fe8254a0ab13f.d: crates/bench/benches/nas_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnas_search-da6fe8254a0ab13f.rmeta: crates/bench/benches/nas_search.rs Cargo.toml
+
+crates/bench/benches/nas_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

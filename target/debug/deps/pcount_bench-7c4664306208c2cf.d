@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcount_bench-7c4664306208c2cf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_bench-7c4664306208c2cf.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_bench-7c4664306208c2cf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

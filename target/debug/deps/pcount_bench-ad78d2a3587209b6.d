@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_bench-ad78d2a3587209b6.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_bench-ad78d2a3587209b6.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

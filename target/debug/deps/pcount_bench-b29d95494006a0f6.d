@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcount_bench-b29d95494006a0f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pcount_bench-b29d95494006a0f6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

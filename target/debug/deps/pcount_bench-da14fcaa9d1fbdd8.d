@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_bench-da14fcaa9d1fbdd8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_bench-da14fcaa9d1fbdd8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcount_core-39d11018090bb661.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_core-39d11018090bb661.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/flow.rs:
+crates/core/src/pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

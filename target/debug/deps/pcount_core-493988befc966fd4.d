@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcount_core-493988befc966fd4.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+/root/repo/target/debug/deps/libpcount_core-493988befc966fd4.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+/root/repo/target/debug/deps/libpcount_core-493988befc966fd4.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/flow.rs:
+crates/core/src/pareto.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcount_core-de1a3e7dd77c3284.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_core-de1a3e7dd77c3284.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/flow.rs:
+crates/core/src/pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcount_core-ff5b20d1c47d7f5e.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+/root/repo/target/debug/deps/pcount_core-ff5b20d1c47d7f5e: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/flow.rs:
+crates/core/src/pareto.rs:

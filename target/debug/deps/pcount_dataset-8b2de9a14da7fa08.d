@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_dataset-8b2de9a14da7fa08.d: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+/root/repo/target/debug/deps/libpcount_dataset-8b2de9a14da7fa08.rlib: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+/root/repo/target/debug/deps/libpcount_dataset-8b2de9a14da7fa08.rmeta: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/cv.rs:
+crates/dataset/src/scene.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcount_dataset-9a491b21da68d046.d: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+/root/repo/target/debug/deps/pcount_dataset-9a491b21da68d046: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/cv.rs:
+crates/dataset/src/scene.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_dataset-bf2266bbaabc7a81.d: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_dataset-bf2266bbaabc7a81.rmeta: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/cv.rs:
+crates/dataset/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_dataset-e70c95fe8080791b.d: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_dataset-e70c95fe8080791b.rmeta: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/cv.rs:
+crates/dataset/src/scene.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcount_isa-1ee9dae7503aafdd.d: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_isa-1ee9dae7503aafdd.rmeta: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/block.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/engine.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/memory.rs:
+crates/isa/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

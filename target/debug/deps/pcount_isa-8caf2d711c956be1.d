@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcount_isa-8caf2d711c956be1.d: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+/root/repo/target/debug/deps/libpcount_isa-8caf2d711c956be1.rlib: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+/root/repo/target/debug/deps/libpcount_isa-8caf2d711c956be1.rmeta: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/block.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/engine.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/memory.rs:
+crates/isa/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_isa-9dc0cf1c08174cc7.d: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+/root/repo/target/debug/deps/pcount_isa-9dc0cf1c08174cc7: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/block.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/engine.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/memory.rs:
+crates/isa/src/pipeline.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcount_isa-f46837fc609467d9.d: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_isa-f46837fc609467d9.rmeta: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/block.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/engine.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/memory.rs:
+crates/isa/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcount_kernels-34feb5f663c11146.d: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_kernels-34feb5f663c11146.rmeta: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/asm.rs:
+crates/kernels/src/deploy.rs:
+crates/kernels/src/kernels.rs:
+crates/kernels/src/layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

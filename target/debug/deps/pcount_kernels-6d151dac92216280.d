@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_kernels-6d151dac92216280.d: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+/root/repo/target/debug/deps/libpcount_kernels-6d151dac92216280.rlib: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+/root/repo/target/debug/deps/libpcount_kernels-6d151dac92216280.rmeta: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/asm.rs:
+crates/kernels/src/deploy.rs:
+crates/kernels/src/kernels.rs:
+crates/kernels/src/layout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_kernels-6d80a8ac3a029370.d: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+/root/repo/target/debug/deps/pcount_kernels-6d80a8ac3a029370: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/asm.rs:
+crates/kernels/src/deploy.rs:
+crates/kernels/src/kernels.rs:
+crates/kernels/src/layout.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcount_nas-2bb6d07a7b7c5b00.d: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_nas-2bb6d07a7b7c5b00.rmeta: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs Cargo.toml
+
+crates/nas/src/lib.rs:
+crates/nas/src/cost.rs:
+crates/nas/src/mask.rs:
+crates/nas/src/model.rs:
+crates/nas/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

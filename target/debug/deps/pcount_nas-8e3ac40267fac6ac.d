@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_nas-8e3ac40267fac6ac.d: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+/root/repo/target/debug/deps/pcount_nas-8e3ac40267fac6ac: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cost.rs:
+crates/nas/src/mask.rs:
+crates/nas/src/model.rs:
+crates/nas/src/search.rs:

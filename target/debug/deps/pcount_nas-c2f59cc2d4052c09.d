@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_nas-c2f59cc2d4052c09.d: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+/root/repo/target/debug/deps/libpcount_nas-c2f59cc2d4052c09.rlib: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+/root/repo/target/debug/deps/libpcount_nas-c2f59cc2d4052c09.rmeta: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cost.rs:
+crates/nas/src/mask.rs:
+crates/nas/src/model.rs:
+crates/nas/src/search.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pcount_nn-ea35f6ce454010b3.d: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_nn-ea35f6ce454010b3.rmeta: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/batchnorm.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

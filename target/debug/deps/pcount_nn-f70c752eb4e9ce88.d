@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcount_nn-f70c752eb4e9ce88.d: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/pcount_nn-f70c752eb4e9ce88: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/batchnorm.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcount_platform-1cda7359be59df09.d: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_platform-1cda7359be59df09.rlib: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_platform-1cda7359be59df09.rmeta: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcount_platform-1ebbaeeb9a895d0e.d: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/pcount_platform-1ebbaeeb9a895d0e: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_platform-42f6e093a90a75d2.d: crates/platform/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_platform-42f6e093a90a75d2.rmeta: crates/platform/src/lib.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_platform-f81e2744c68c1e3f.d: crates/platform/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_platform-f81e2744c68c1e3f.rmeta: crates/platform/src/lib.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

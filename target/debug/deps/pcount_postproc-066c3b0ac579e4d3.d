@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_postproc-066c3b0ac579e4d3.d: crates/postproc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_postproc-066c3b0ac579e4d3.rmeta: crates/postproc/src/lib.rs Cargo.toml
+
+crates/postproc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

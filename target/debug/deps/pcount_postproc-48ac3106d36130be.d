@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcount_postproc-48ac3106d36130be.d: crates/postproc/src/lib.rs
+
+/root/repo/target/debug/deps/pcount_postproc-48ac3106d36130be: crates/postproc/src/lib.rs
+
+crates/postproc/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcount_postproc-9adfac6f34a40b10.d: crates/postproc/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_postproc-9adfac6f34a40b10.rlib: crates/postproc/src/lib.rs
+
+/root/repo/target/debug/deps/libpcount_postproc-9adfac6f34a40b10.rmeta: crates/postproc/src/lib.rs
+
+crates/postproc/src/lib.rs:

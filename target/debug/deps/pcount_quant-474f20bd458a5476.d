@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcount_quant-474f20bd458a5476.d: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+/root/repo/target/debug/deps/libpcount_quant-474f20bd458a5476.rlib: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+/root/repo/target/debug/deps/libpcount_quant-474f20bd458a5476.rmeta: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/fake.rs:
+crates/quant/src/fold.rs:
+crates/quant/src/int.rs:
+crates/quant/src/mixed.rs:
+crates/quant/src/qat.rs:
+crates/quant/src/qparams.rs:

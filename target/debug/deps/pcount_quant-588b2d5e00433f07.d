@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcount_quant-588b2d5e00433f07.d: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_quant-588b2d5e00433f07.rmeta: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs Cargo.toml
+
+crates/quant/src/lib.rs:
+crates/quant/src/fake.rs:
+crates/quant/src/fold.rs:
+crates/quant/src/int.rs:
+crates/quant/src/mixed.rs:
+crates/quant/src/qat.rs:
+crates/quant/src/qparams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

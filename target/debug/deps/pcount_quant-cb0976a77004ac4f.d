@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_quant-cb0976a77004ac4f.d: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+/root/repo/target/debug/deps/pcount_quant-cb0976a77004ac4f: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/fake.rs:
+crates/quant/src/fold.rs:
+crates/quant/src/int.rs:
+crates/quant/src/mixed.rs:
+crates/quant/src/qat.rs:
+crates/quant/src/qparams.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_tensor-23951768410487ba.d: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_tensor-23951768410487ba.rmeta: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcount_tensor-aacd4402640bf8f5.d: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcount_tensor-aacd4402640bf8f5.rmeta: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

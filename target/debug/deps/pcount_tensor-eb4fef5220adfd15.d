@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcount_tensor-eb4fef5220adfd15.d: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/pcount_tensor-eb4fef5220adfd15: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcount_tensor-ffd78d41ff784c7e.d: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libpcount_tensor-ffd78d41ff784c7e.rlib: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libpcount_tensor-ffd78d41ff784c7e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postproc-cd386c98be33bb63.d: crates/bench/benches/postproc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostproc-cd386c98be33bb63.rmeta: crates/bench/benches/postproc.rs Cargo.toml
+
+crates/bench/benches/postproc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

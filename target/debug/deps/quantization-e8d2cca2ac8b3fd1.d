@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quantization-e8d2cca2ac8b3fd1.d: crates/bench/benches/quantization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquantization-e8d2cca2ac8b3fd1.rmeta: crates/bench/benches/quantization.rs Cargo.toml
+
+crates/bench/benches/quantization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

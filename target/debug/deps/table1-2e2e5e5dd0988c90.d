@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-2e2e5e5dd0988c90.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-2e2e5e5dd0988c90: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

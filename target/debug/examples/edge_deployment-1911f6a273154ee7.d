@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-1911f6a273154ee7.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-1911f6a273154ee7: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

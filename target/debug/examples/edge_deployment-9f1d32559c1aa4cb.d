@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/edge_deployment-9f1d32559c1aa4cb.d: examples/edge_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libedge_deployment-9f1d32559c1aa4cb.rmeta: examples/edge_deployment.rs Cargo.toml
+
+examples/edge_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

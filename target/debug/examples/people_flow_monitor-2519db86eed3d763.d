@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/people_flow_monitor-2519db86eed3d763.d: examples/people_flow_monitor.rs
+
+/root/repo/target/debug/examples/people_flow_monitor-2519db86eed3d763: examples/people_flow_monitor.rs
+
+examples/people_flow_monitor.rs:

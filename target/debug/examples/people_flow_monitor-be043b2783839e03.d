@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/people_flow_monitor-be043b2783839e03.d: examples/people_flow_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpeople_flow_monitor-be043b2783839e03.rmeta: examples/people_flow_monitor.rs Cargo.toml
+
+examples/people_flow_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

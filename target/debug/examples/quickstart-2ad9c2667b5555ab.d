@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2ad9c2667b5555ab.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2ad9c2667b5555ab.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9f0bfb188e7c751b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9f0bfb188e7c751b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_building_occupancy-1fb317d1c3cf55af.d: examples/smart_building_occupancy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_building_occupancy-1fb317d1c3cf55af.rmeta: examples/smart_building_occupancy.rs Cargo.toml
+
+examples/smart_building_occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_building_occupancy-6502b4b4216b9fe5.d: examples/smart_building_occupancy.rs
+
+/root/repo/target/debug/examples/smart_building_occupancy-6502b4b4216b9fe5: examples/smart_building_occupancy.rs
+
+examples/smart_building_occupancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-51d015a6082ec8bd.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-51d015a6082ec8bd: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-fa2c4df88fd7b3e3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-fa2c4df88fd7b3e3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

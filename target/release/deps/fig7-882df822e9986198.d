@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-882df822e9986198.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-882df822e9986198: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/isa_throughput-9e14dbb0256fe4a4.d: crates/bench/benches/isa_throughput.rs
+
+/root/repo/target/release/deps/isa_throughput-9e14dbb0256fe4a4: crates/bench/benches/isa_throughput.rs
+
+crates/bench/benches/isa_throughput.rs:

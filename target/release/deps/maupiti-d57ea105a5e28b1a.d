@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/maupiti-d57ea105a5e28b1a.d: src/lib.rs
+
+/root/repo/target/release/deps/libmaupiti-d57ea105a5e28b1a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmaupiti-d57ea105a5e28b1a.rmeta: src/lib.rs
+
+src/lib.rs:

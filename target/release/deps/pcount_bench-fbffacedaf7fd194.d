@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcount_bench-fbffacedaf7fd194.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_bench-fbffacedaf7fd194.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_bench-fbffacedaf7fd194.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcount_core-8218dab968320c80.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+/root/repo/target/release/deps/libpcount_core-8218dab968320c80.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+/root/repo/target/release/deps/libpcount_core-8218dab968320c80.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/flow.rs crates/core/src/pareto.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/flow.rs:
+crates/core/src/pareto.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pcount_dataset-e8a03146879c4c96.d: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+/root/repo/target/release/deps/libpcount_dataset-e8a03146879c4c96.rlib: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+/root/repo/target/release/deps/libpcount_dataset-e8a03146879c4c96.rmeta: crates/dataset/src/lib.rs crates/dataset/src/cv.rs crates/dataset/src/scene.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/cv.rs:
+crates/dataset/src/scene.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pcount_isa-6728193e9f867019.d: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+/root/repo/target/release/deps/libpcount_isa-6728193e9f867019.rlib: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+/root/repo/target/release/deps/libpcount_isa-6728193e9f867019.rmeta: crates/isa/src/lib.rs crates/isa/src/block.rs crates/isa/src/cpu.rs crates/isa/src/engine.rs crates/isa/src/instr.rs crates/isa/src/memory.rs crates/isa/src/pipeline.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/block.rs:
+crates/isa/src/cpu.rs:
+crates/isa/src/engine.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/memory.rs:
+crates/isa/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcount_kernels-9bf79e7aaf808cae.d: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+/root/repo/target/release/deps/libpcount_kernels-9bf79e7aaf808cae.rlib: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+/root/repo/target/release/deps/libpcount_kernels-9bf79e7aaf808cae.rmeta: crates/kernels/src/lib.rs crates/kernels/src/asm.rs crates/kernels/src/deploy.rs crates/kernels/src/kernels.rs crates/kernels/src/layout.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/asm.rs:
+crates/kernels/src/deploy.rs:
+crates/kernels/src/kernels.rs:
+crates/kernels/src/layout.rs:

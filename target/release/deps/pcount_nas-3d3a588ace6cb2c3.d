@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcount_nas-3d3a588ace6cb2c3.d: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+/root/repo/target/release/deps/libpcount_nas-3d3a588ace6cb2c3.rlib: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+/root/repo/target/release/deps/libpcount_nas-3d3a588ace6cb2c3.rmeta: crates/nas/src/lib.rs crates/nas/src/cost.rs crates/nas/src/mask.rs crates/nas/src/model.rs crates/nas/src/search.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cost.rs:
+crates/nas/src/mask.rs:
+crates/nas/src/model.rs:
+crates/nas/src/search.rs:

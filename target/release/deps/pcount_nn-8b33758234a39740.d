@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pcount_nn-8b33758234a39740.d: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libpcount_nn-8b33758234a39740.rlib: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libpcount_nn-8b33758234a39740.rmeta: crates/nn/src/lib.rs crates/nn/src/batchnorm.rs crates/nn/src/conv.rs crates/nn/src/layer.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/batchnorm.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcount_platform-d0ac480dd9fee3fd.d: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_platform-d0ac480dd9fee3fd.rlib: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_platform-d0ac480dd9fee3fd.rmeta: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcount_postproc-334274b85d3dff46.d: crates/postproc/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_postproc-334274b85d3dff46.rlib: crates/postproc/src/lib.rs
+
+/root/repo/target/release/deps/libpcount_postproc-334274b85d3dff46.rmeta: crates/postproc/src/lib.rs
+
+crates/postproc/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pcount_quant-5b2ab54872faf01c.d: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+/root/repo/target/release/deps/libpcount_quant-5b2ab54872faf01c.rlib: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+/root/repo/target/release/deps/libpcount_quant-5b2ab54872faf01c.rmeta: crates/quant/src/lib.rs crates/quant/src/fake.rs crates/quant/src/fold.rs crates/quant/src/int.rs crates/quant/src/mixed.rs crates/quant/src/qat.rs crates/quant/src/qparams.rs
+
+crates/quant/src/lib.rs:
+crates/quant/src/fake.rs:
+crates/quant/src/fold.rs:
+crates/quant/src/int.rs:
+crates/quant/src/mixed.rs:
+crates/quant/src/qat.rs:
+crates/quant/src/qparams.rs:

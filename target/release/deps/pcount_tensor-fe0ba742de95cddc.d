@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pcount_tensor-fe0ba742de95cddc.d: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libpcount_tensor-fe0ba742de95cddc.rlib: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libpcount_tensor-fe0ba742de95cddc.rmeta: crates/tensor/src/lib.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ab67a1efe7a87ac0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ab67a1efe7a87ac0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_deployment-ed4512ee31cb7b29.d: examples/edge_deployment.rs
+
+/root/repo/target/release/examples/edge_deployment-ed4512ee31cb7b29: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:
