@@ -1,65 +1,220 @@
 //! Simulator throughput: `ExecMode::Simple` vs `ExecMode::BlockCached`
-//! instructions/second on the deployed CNN workload (the program every
-//! Table-I / Fig. 5–7 measurement funnels through).
+//! (with and without superblock chaining) and serial vs pooled-parallel
+//! batch evaluation, in instructions/second on the deployed CNN workload
+//! (the program every Table-I / Fig. 5–7 measurement funnels through).
 //!
 //! Besides the criterion timings, the bench prints an explicit
-//! instructions-per-second summary and the speedup factor, since the
-//! block-cache engine's acceptance bar is a >= 5x throughput gain over the
-//! reference interpreter on this workload.
+//! instructions-per-second summary (engine speedup, chaining delta,
+//! parallel scaling), a trace-cache profile of the hottest superblocks,
+//! and writes the numbers to `BENCH_isa.json` at the workspace root so
+//! the perf trajectory stays machine-readable across PRs.
+//!
+//! `BENCH_SMOKE=1` (used by CI) shrinks every measurement window to a
+//! handful of iterations and skips the wall-clock assertions — the
+//! bit-identity checks across engines, chaining modes and thread counts
+//! still run, so engine regressions fail fast without timing noise.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcount_bench::demo_int8_model;
 use pcount_kernels::{Deployment, ExecMode, Target};
 use pcount_quant::QuantizedCnn;
+use pcount_tensor::Tensor;
 use std::time::Instant;
 
-fn deployment_with_mode(model: &QuantizedCnn, mode: ExecMode) -> Deployment {
+/// Worker threads used for the parallel-batch measurement.
+const PARALLEL_THREADS: usize = 4;
+
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Per-measurement wall-clock budget in seconds.
+fn measure_secs() -> f64 {
+    if smoke_mode() {
+        0.02
+    } else {
+        1.0
+    }
+}
+
+fn deployment_with_mode(model: &QuantizedCnn, mode: ExecMode, chaining: bool) -> Deployment {
     let mut deployment = Deployment::new(model, Target::Maupiti).expect("deploy");
     deployment.set_exec_mode(mode);
+    deployment.set_superblock_chaining(chaining);
     deployment
 }
 
-/// Measures sustained simulated instructions/second over ~1 s of wall time.
+/// Measures sustained simulated instructions/second of the serial
+/// per-frame path.
 fn measure_ips(deployment: &Deployment, frame: &[f32]) -> f64 {
     let per_frame = deployment.run_frame(frame).expect("warmup").instructions;
+    let budget = measure_secs();
     let start = Instant::now();
     let mut frames = 0u64;
-    while start.elapsed().as_secs_f64() < 1.0 {
+    loop {
         black_box(deployment.run_frame(black_box(frame)).expect("run"));
         frames += 1;
+        if start.elapsed().as_secs_f64() >= budget {
+            break;
+        }
     }
     (frames * per_frame) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Measures sustained simulated instructions/second of the pooled batch
+/// path at the given thread count.
+fn measure_batch_ips(deployment: &Deployment, batch: &Tensor, threads: usize) -> f64 {
+    let mut pool = deployment.make_pool(threads).expect("pool");
+    // Retired instruction counts are data-dependent (requant clamps,
+    // pooling comparisons), so sum the real per-frame counts of the
+    // warmup batch instead of extrapolating from one frame.
+    let per_batch: u64 = deployment
+        .run_batch(batch, &mut pool)
+        .expect("warmup")
+        .iter()
+        .map(|r| r.instructions)
+        .sum();
+    let budget = measure_secs();
+    let start = Instant::now();
+    let mut batches = 0u64;
+    loop {
+        black_box(
+            deployment
+                .run_batch(black_box(batch), &mut pool)
+                .expect("batch"),
+        );
+        batches += 1;
+        if start.elapsed().as_secs_f64() >= budget {
+            break;
+        }
+    }
+    (batches * per_batch) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Asserts bit-identical logits/instret across every execution strategy;
+/// this is the timing-independent engine-regression tripwire that also
+/// runs in smoke mode.
+fn check_bit_identity(model: &QuantizedCnn, batch: &Tensor) {
+    let n = batch.shape()[0];
+    let simple = deployment_with_mode(model, ExecMode::Simple, true);
+    let chained = deployment_with_mode(model, ExecMode::BlockCached, true);
+    let unchained = deployment_with_mode(model, ExecMode::BlockCached, false);
+    let serial: Vec<_> = (0..n)
+        .map(|i| {
+            chained
+                .run_frame(&batch.data()[i * 64..(i + 1) * 64])
+                .expect("serial frame")
+        })
+        .collect();
+    let mut pool = chained.make_pool(PARALLEL_THREADS).expect("pool");
+    let parallel = chained.run_batch(batch, &mut pool).expect("parallel batch");
+    assert_eq!(parallel, serial, "parallel batch must be bit-identical");
+    for (i, run) in serial.iter().enumerate() {
+        let frame = &batch.data()[i * 64..(i + 1) * 64];
+        let rs = simple.run_frame(frame).expect("simple frame");
+        let ru = unchained.run_frame(frame).expect("unchained frame");
+        assert_eq!(run.logits, rs.logits, "engine logits diverged (frame {i})");
+        assert_eq!(run.instructions, rs.instructions, "instret diverged");
+        assert_eq!(run.logits, ru.logits, "chaining changed logits (frame {i})");
+        assert_eq!(run.cycles, ru.cycles, "chaining changed cycle counts");
+    }
+}
+
+fn write_bench_json(lines: &[(&str, String)]) {
+    let body: Vec<String> = lines
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_isa.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
 fn bench_engine_throughput(c: &mut Criterion) {
+    let smoke = smoke_mode();
     let (model, x) = demo_int8_model(7);
     let frame: Vec<f32> = x.data()[0..64].to_vec();
+    let batch_n = if smoke { 8 } else { 32 };
+    let batch = Tensor::from_vec(x.data()[..batch_n * 64].to_vec(), &[batch_n, 1, 8, 8]);
 
-    let mut group = c.benchmark_group("isa_throughput");
-    group.sample_size(10);
-    for (name, mode) in [
-        ("simple", ExecMode::Simple),
-        ("block_cached", ExecMode::BlockCached),
-    ] {
-        let deployment = deployment_with_mode(&model, mode);
-        group.bench_with_input(
-            BenchmarkId::new("cnn_inference", name),
-            &deployment,
-            |b, d| b.iter(|| d.run_frame(black_box(&frame)).expect("run")),
+    check_bit_identity(&model, &batch);
+
+    if !smoke {
+        let mut group = c.benchmark_group("isa_throughput");
+        group.sample_size(10);
+        for (name, mode) in [
+            ("simple", ExecMode::Simple),
+            ("block_cached", ExecMode::BlockCached),
+        ] {
+            let deployment = deployment_with_mode(&model, mode, true);
+            group.bench_with_input(
+                BenchmarkId::new("cnn_inference", name),
+                &deployment,
+                |b, d| b.iter(|| d.run_frame(black_box(&frame)).expect("run")),
+            );
+        }
+        group.finish();
+    }
+
+    let simple = deployment_with_mode(&model, ExecMode::Simple, true);
+    let chained = deployment_with_mode(&model, ExecMode::BlockCached, true);
+    let unchained = deployment_with_mode(&model, ExecMode::BlockCached, false);
+    let ips_simple = measure_ips(&simple, &frame);
+    let ips_unchained = measure_ips(&unchained, &frame);
+    let ips_chained = measure_ips(&chained, &frame);
+    let ips_parallel = measure_batch_ips(&chained, &batch, PARALLEL_THREADS);
+    let speedup = ips_chained / ips_simple;
+    let chaining_delta = ips_chained / ips_unchained;
+    let scaling = ips_parallel / ips_chained;
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("isa_throughput summary (deployed CNN, MAUPITI target):");
+    println!("  simple:                  {ips_simple:>10.2e} instructions/s");
+    println!("  block_cached (no chain): {ips_unchained:>10.2e} instructions/s");
+    println!("  block_cached (chained):  {ips_chained:>10.2e} instructions/s");
+    println!("  parallel x{PARALLEL_THREADS} (chained):   {ips_parallel:>10.2e} instructions/s");
+    println!("  engine speedup:          {speedup:.2}x (acceptance target: >= 5x)");
+    println!("  chaining delta:          {chaining_delta:.3}x single-thread");
+    println!("  parallel scaling:        {scaling:.2}x at {PARALLEL_THREADS} threads ({host_threads} host threads)");
+
+    println!("hottest superblock traces (one inference):");
+    for h in chained.hottest_blocks(&frame, 8).expect("profile") {
+        println!(
+            "  pc {:#07x}: {:>9} executions, {:>10} instructions",
+            h.entry_pc, h.executions, h.instructions
         );
     }
-    group.finish();
 
-    let simple = deployment_with_mode(&model, ExecMode::Simple);
-    let cached = deployment_with_mode(&model, ExecMode::BlockCached);
-    let ips_simple = measure_ips(&simple, &frame);
-    let ips_cached = measure_ips(&cached, &frame);
-    let speedup = ips_cached / ips_simple;
-    println!("isa_throughput summary (deployed CNN, MAUPITI target):");
-    println!("  simple:       {:>10.2e} instructions/s", ips_simple);
-    println!("  block_cached: {:>10.2e} instructions/s", ips_cached);
-    println!("  speedup:      {speedup:.2}x (acceptance target: >= 5x)");
-    // The engine measures ~6.9x on an idle host; the hard guard sits lower
+    write_bench_json(&[
+        ("bench", "\"isa_throughput\"".into()),
+        (
+            "mode",
+            format!("\"{}\"", if smoke { "smoke" } else { "full" }),
+        ),
+        ("host_threads", host_threads.to_string()),
+        ("parallel_threads", PARALLEL_THREADS.to_string()),
+        ("ips_simple", format!("{ips_simple:.3e}")),
+        ("ips_block_cached_unchained", format!("{ips_unchained:.3e}")),
+        ("ips_block_cached", format!("{ips_chained:.3e}")),
+        ("ips_parallel", format!("{ips_parallel:.3e}")),
+        ("engine_speedup", format!("{speedup:.3}")),
+        ("chaining_delta", format!("{chaining_delta:.3}")),
+        ("parallel_scaling", format!("{scaling:.3}")),
+    ]);
+
+    if smoke {
+        println!("BENCH_SMOKE=1: wall-clock assertions skipped");
+        return;
+    }
+    // The engine measures ~7x on an idle host; the hard guard sits lower
     // because both operands are independent wall-clock measurements and a
     // loaded machine can perturb them by tens of percent. A reading under
     // the 5x target on a quiet machine is a real regression.
@@ -67,6 +222,23 @@ fn bench_engine_throughput(c: &mut Criterion) {
         speedup >= 3.0,
         "block-cached engine regressed to {speedup:.2}x the reference interpreter"
     );
+    // On the deployed CNN the dispatch memo and self-loop fast path
+    // already cover most dispatches, so the chaining delta hovers around
+    // 1.0x (it pays off on workloads that ping-pong between traces); the
+    // floor guards against chaining ever *costing* throughput, with
+    // headroom for wall-clock noise.
+    assert!(
+        chaining_delta >= 0.9,
+        "superblock chaining regressed single-thread throughput to {chaining_delta:.3}x"
+    );
+    // Batch scaling needs real cores; on a >= 4-thread host the pooled
+    // path must deliver the acceptance target.
+    if host_threads >= PARALLEL_THREADS {
+        assert!(
+            scaling >= 2.5,
+            "parallel batch scaled only {scaling:.2}x at {PARALLEL_THREADS} threads"
+        );
+    }
 }
 
 criterion_group!(benches, bench_engine_throughput);

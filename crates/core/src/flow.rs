@@ -7,6 +7,7 @@ use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
 };
+use pcount_platform::{result_from_report, PlatformSpec};
 use pcount_postproc::apply_majority;
 use pcount_quant::{
     fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
@@ -41,6 +42,10 @@ pub struct FlowConfig {
     pub majority_window: usize,
     /// How many cross-validation folds to evaluate (1..=4).
     pub max_folds: usize,
+    /// Worker threads for the post-sweep deployment evaluation (`0` =
+    /// auto: the host's available parallelism). Results are identical for
+    /// any value — candidates are independent and collected in order.
+    pub deploy_threads: usize,
 }
 
 impl FlowConfig {
@@ -103,6 +108,7 @@ impl FlowConfig {
             ],
             majority_window: 5,
             max_folds: 1,
+            deploy_threads: 0,
         }
     }
 
@@ -153,6 +159,7 @@ impl FlowConfig {
             ],
             majority_window: 5,
             max_folds: 1,
+            deploy_threads: 0,
         }
     }
 }
@@ -177,6 +184,32 @@ pub struct CandidateModel {
     pub macs: usize,
     /// Integer model from the last evaluated fold, ready for deployment.
     pub quantized: QuantizedCnn,
+    /// Measured on-simulator deployment cost (`None` when the candidate
+    /// does not fit the 16 KB on-chip memories).
+    pub deployed: Option<DeployedCost>,
+}
+
+/// Per-inference cost of a candidate measured on the simulated sensor
+/// node (Table I axes), produced by the deployment sweep at the end of
+/// [`run_flow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeployedCost {
+    /// The execution target the candidate was compiled for.
+    pub target: Target,
+    /// Program size in bytes.
+    pub code_bytes: usize,
+    /// Data memory usage in bytes.
+    pub data_bytes: usize,
+    /// Cycles per inference on the pipelined IBEX timing model.
+    pub cycles: u64,
+    /// Instructions retired per inference.
+    pub instructions: u64,
+    /// SDOTP instructions per inference.
+    pub sdotp: u64,
+    /// Latency per inference in milliseconds at the platform clock.
+    pub latency_ms: f64,
+    /// Energy per inference in microjoules.
+    pub energy_uj: f64,
 }
 
 impl CandidateModel {
@@ -234,6 +267,16 @@ impl FlowResult {
         self.quantized
             .iter()
             .map(CandidateModel::majority_point)
+            .collect()
+    }
+
+    /// Every candidate that fits the on-chip memories, paired with its
+    /// measured deployment cost — the latency/energy axes of the Fig. 7
+    /// variant and Table I. Candidate order is preserved.
+    pub fn deployed_rows(&self) -> Vec<(&CandidateModel, &DeployedCost)> {
+        self.quantized
+            .iter()
+            .filter_map(|c| c.deployed.as_ref().map(|d| (c, d)))
             .collect()
     }
 }
@@ -341,9 +384,17 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
                 memory_bytes: assignment.memory_bytes(&arch),
                 macs: arch.macs(),
                 quantized: q,
+                deployed: None,
             });
         }
     }
+
+    // --- Deployment sweep: measure every candidate on the simulator ------
+    // Candidates are independent, so the compile + inference runs fan out
+    // across threads (the simulator CPU is `Send`); results land in
+    // candidate order either way.
+    let sample_frame = &x_s1.data()[..x_s1.shape()[1..].iter().product()];
+    evaluate_deployments(&mut quantized, sample_frame, cfg.deploy_threads);
 
     FlowResult {
         seed_point,
@@ -351,6 +402,44 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
         quantized,
         majority_window: cfg.majority_window,
     }
+}
+
+/// Deploys every candidate to MAUPITI and measures per-inference cycles,
+/// latency and energy on `sample_frame`, in parallel across `threads`
+/// workers (`0` = auto). Candidates that do not fit on-chip keep
+/// `deployed = None`.
+fn evaluate_deployments(candidates: &mut [CandidateModel], sample_frame: &[f32], threads: usize) {
+    if candidates.is_empty() {
+        return;
+    }
+    let workers = pcount_kernels::resolve_threads(threads).clamp(1, candidates.len());
+    let chunk = candidates.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        for slice in candidates.chunks_mut(chunk) {
+            s.spawn(move || {
+                for candidate in slice {
+                    candidate.deployed = measure_deployment(candidate, sample_frame);
+                }
+            });
+        }
+    });
+}
+
+/// Compiles and measures one candidate on the MAUPITI target.
+fn measure_deployment(candidate: &CandidateModel, sample_frame: &[f32]) -> Option<DeployedCost> {
+    let deployment = candidate.deploy(Target::Maupiti).ok()?;
+    let report = deployment.report(sample_frame).ok()?;
+    let platform = result_from_report(PlatformSpec::MAUPITI, &report);
+    Some(DeployedCost {
+        target: Target::Maupiti,
+        code_bytes: platform.code_bytes,
+        data_bytes: platform.data_bytes,
+        cycles: platform.cycles,
+        instructions: report.instructions,
+        sdotp: report.sdotp,
+        latency_ms: platform.latency_ms,
+        energy_uj: platform.energy_uj,
+    })
 }
 
 fn batched_predict(qat: &mut QatCnn, x: &Tensor) -> Vec<usize> {
@@ -434,6 +523,36 @@ mod tests {
         let report = deployment.report(&vec![0.5f32; 64]).expect("inference");
         assert!(report.cycles > 0);
         assert!(report.code_bytes <= 16 * 1024);
+        // The deployment sweep measured cycle/energy numbers for every
+        // candidate that fits on-chip, independent of the thread count.
+        let rows = result.deployed_rows();
+        assert!(!rows.is_empty(), "quick-flow candidates fit on-chip");
+        for (candidate, cost) in &rows {
+            assert_eq!(cost.target, Target::Maupiti);
+            assert!(cost.cycles > 0);
+            assert!(cost.instructions > 0);
+            assert!(cost.latency_ms > 0.0);
+            assert!(cost.energy_uj > 0.0);
+            assert!(cost.code_bytes <= 16 * 1024);
+            assert!(
+                candidate.deployed.is_some(),
+                "rows only list deployed candidates"
+            );
+        }
+        // Deterministic across worker counts: a serial re-sweep measures
+        // the exact same numbers.
+        let mut serial = result.quantized.clone();
+        // Match the sample frame run_flow used (the first search frame).
+        let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
+        let s1 = dataset.session_indices(0);
+        let (x_s1, _) = dataset.gather_normalized(&s1);
+        evaluate_deployments(&mut serial, &x_s1.data()[..64], 1);
+        for (a, b) in result.quantized.iter().zip(serial.iter()) {
+            assert_eq!(
+                a.deployed, b.deployed,
+                "deployment sweep must be deterministic"
+            );
+        }
     }
 
     #[test]

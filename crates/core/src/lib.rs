@@ -28,5 +28,7 @@ mod flow;
 mod pareto;
 
 pub use baseline::{manual_grid_baseline, BaselineConfig};
-pub use flow::{run_flow, select_table1_models, CandidateModel, FlowConfig, FlowResult};
+pub use flow::{
+    run_flow, select_table1_models, CandidateModel, DeployedCost, FlowConfig, FlowResult,
+};
 pub use pareto::{pareto_front_by, ParetoPoint};

@@ -30,6 +30,7 @@
 use crate::instr::{decode, Decoded, Op};
 use crate::memory::Memory;
 use std::collections::HashSet;
+use std::sync::{OnceLock, Weak};
 
 /// Upper bound on decoded instructions per trace, so pathological images
 /// (e.g. instruction memory full of straight-line code) still produce
@@ -89,6 +90,16 @@ pub(crate) struct Block {
     /// Conditional branches hold their exit's index in
     /// [`Decoded::exit_ordinal`].
     pub exits: Vec<ExitPoint>,
+    /// Superblock chaining: the successor trace of each side exit, cached
+    /// the first time the exit is taken. Side-exit targets are static, so
+    /// the link never changes once set; later executions of the exit
+    /// re-enter the engine's dispatch memo directly, skipping the
+    /// dispatch-table probe. Links are weak so that mutually-branching
+    /// traces do not form `Arc` cycles — the cache's published snapshot
+    /// keeps every block alive, and a failed upgrade simply falls back to
+    /// the table probe. The last entry (the end exit) is present but
+    /// unused: end exits can have dynamic targets (JALR).
+    pub chain: Vec<OnceLock<Weak<Block>>>,
 }
 
 fn prefix_counts(instrs: &[Decoded]) -> Vec<(&'static str, u64)> {
@@ -173,12 +184,14 @@ pub(crate) fn build_block(mem: &Memory, entry_pc: u32) -> Block {
         retired: instrs.len(),
         counts: prefix_counts(&instrs),
     });
+    let chain = (0..exits.len()).map(|_| OnceLock::new()).collect();
     Block {
         entry_pc,
         instrs,
         end,
         cont_pc: pc,
         exits,
+        chain,
     }
 }
 

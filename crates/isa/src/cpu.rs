@@ -147,6 +147,26 @@ pub struct Cpu {
     pub(crate) touched_flags: Vec<bool>,
     /// Slots with live execution counters.
     pub(crate) touched_slots: Vec<usize>,
+    /// Persistent per-block trace-cache profile: completed executions per
+    /// slot, accumulated across block-cached runs.
+    pub(crate) block_exec_counts: Vec<u64>,
+    /// Instructions retired through each slot's exits (see
+    /// [`Cpu::hottest_blocks`]).
+    pub(crate) block_instr_counts: Vec<u64>,
+    /// Whether side exits chain to their successor trace (see
+    /// [`Cpu::set_superblock_chaining`]).
+    pub(crate) chain_enabled: bool,
+}
+
+/// One entry of the [`Cpu::hottest_blocks`] trace-cache profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotBlock {
+    /// Entry address of the superblock trace.
+    pub entry_pc: u32,
+    /// Completed executions of the trace (any exit).
+    pub executions: u64,
+    /// Instructions retired through the trace's exits.
+    pub instructions: u64,
 }
 
 /// Result of executing one instruction in the reference interpreter.
@@ -184,6 +204,9 @@ impl Cpu {
             block_exit_counts: Vec::new(),
             touched_flags: Vec::new(),
             touched_slots: Vec::new(),
+            block_exec_counts: Vec::new(),
+            block_instr_counts: Vec::new(),
+            chain_enabled: true,
         }
     }
 
@@ -243,6 +266,47 @@ impl Cpu {
         self.cache.len()
     }
 
+    /// Whether block-cached side exits chain to their successor trace
+    /// (enabled by default).
+    pub fn superblock_chaining(&self) -> bool {
+        self.chain_enabled
+    }
+
+    /// Enables or disables superblock chaining. Architectural results are
+    /// identical either way — chaining only removes dispatch-table probes
+    /// on branchy code; the throughput bench flips this to measure the
+    /// chaining delta.
+    pub fn set_superblock_chaining(&mut self, enabled: bool) {
+        self.chain_enabled = enabled;
+    }
+
+    /// The `n` hottest superblock traces executed by this CPU under
+    /// [`ExecMode::BlockCached`], ordered by retired instructions
+    /// (descending, then by entry address). Counts accumulate across runs
+    /// and reset on [`Cpu::load_program`]; runs cut short mid-trace by a
+    /// budget or fault only count their completed trace executions.
+    pub fn hottest_blocks(&self, n: usize) -> Vec<HotBlock> {
+        let mut hot: Vec<HotBlock> = self
+            .block_exec_counts
+            .iter()
+            .zip(self.block_instr_counts.iter())
+            .enumerate()
+            .filter(|&(_, (&execs, _))| execs > 0)
+            .map(|(slot, (&executions, &instructions))| HotBlock {
+                entry_pc: IMEM_BASE + 4 * slot as u32,
+                executions,
+                instructions,
+            })
+            .collect();
+        hot.sort_by(|a, b| {
+            b.instructions
+                .cmp(&a.instructions)
+                .then(a.entry_pc.cmp(&b.entry_pc))
+        });
+        hot.truncate(n);
+        hot
+    }
+
     /// Encodes `program` and loads it at the start of instruction memory,
     /// resetting the PC.
     ///
@@ -279,6 +343,8 @@ impl Cpu {
         self.block_exit_counts = Vec::new();
         self.touched_flags = Vec::new();
         self.touched_slots.clear();
+        self.block_exec_counts = Vec::new();
+        self.block_instr_counts = Vec::new();
         self.pipeline.reset();
         Ok(())
     }

@@ -24,11 +24,22 @@
 //! [`crate::Trace`] when [`run`] returns (on success *and* on error), so
 //! observable state is indistinguishable from the reference interpreter.
 //!
-//! The cache is shared (copy-on-`load_program`) between clones of a `Cpu`:
-//! a deployment that clones a pristine CPU per inference warms the cache on
-//! the first frame and every later frame dispatches fully pre-decoded
-//! code. Loading a new program image swaps in a fresh cache, so clones
-//! diverging by program never see each other's blocks.
+//! The cache is shared (copy-on-`load_program`) between clones of a `Cpu`,
+//! including clones running on other threads: decoded blocks live behind
+//! `Arc` in an immutable published snapshot, each CPU probes its own
+//! lock-free snapshot handle, and a mutex-guarded publish step (taken only
+//! when a block is *built*) makes new blocks visible to every clone. A
+//! deployment that clones a pristine CPU per inference therefore warms the
+//! cache once and every later frame — on any thread — dispatches fully
+//! pre-decoded code. Loading a new program image swaps in a fresh cache,
+//! so clones diverging by program never see each other's blocks.
+//!
+//! Side exits additionally *chain*: the first taken execution of a side
+//! exit resolves its (static) target trace and caches the link on the
+//! block ([`Block::chain`]), so branchy code that ping-pongs between
+//! traces re-enters the dispatch memo directly instead of probing the
+//! cache table. [`Cpu::set_superblock_chaining`] disables this (used by
+//! the throughput bench to measure the chaining delta).
 //!
 //! Architectural results (registers, memory, instruction counts, trace,
 //! faults) are identical to [`ExecMode::Simple`] — the differential tests
@@ -42,8 +53,7 @@ use crate::cpu::{sdotp4, sdotp8, Cpu, RunSummary, SimError};
 use crate::instr::Op;
 use crate::memory::{Memory, IMEM_BASE};
 use crate::pipeline::LOAD_USE_STALL;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, Weak};
 
 /// Which execution engine a [`Cpu`] uses in [`Cpu::run`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -56,25 +66,36 @@ pub enum ExecMode {
     BlockCached,
 }
 
-/// Lazily populated cache of decoded blocks, direct-mapped by word index.
+/// One decoded-block table: direct-mapped by word index, immutable once
+/// published.
+type Slots = Vec<Option<Arc<Block>>>;
+
+/// Lazily populated cache of decoded blocks, shared between CPU clones
+/// across threads (see module docs).
 ///
-/// The slot table is shared between CPU clones (see module docs); a
-/// [`BlockCache::invalidate`] gives the owning CPU a fresh private table.
-///
-/// The sharing uses `Rc`/`RefCell`, which makes `Cpu` (and everything
-/// embedding it, like a deployment) single-threaded (`!Send`). Parallel
-/// inference wants one `Cpu` clone per thread anyway; lifting this to
-/// `Arc` + per-thread caches is tracked as a ROADMAP open item.
+/// Reads go through `local`, a lock-free snapshot handle owned by this
+/// CPU. Building a block takes the `published` mutex, re-checks the latest
+/// snapshot (another thread may have built the same block), publishes a
+/// copy-on-write successor snapshot and refreshes `local`. The copy is
+/// O(slots) but happens at most once per distinct block per program image
+/// — never on the dispatch hot path. Everything here is `Send + Sync`, so
+/// `Cpu` can move across threads and a warmed deployment CPU can be cloned
+/// into a thread pool.
 #[derive(Debug, Clone)]
 pub(crate) struct BlockCache {
-    slots: Rc<RefCell<Vec<Option<Rc<Block>>>>>,
+    /// Latest published snapshot, shared by every clone of this image.
+    published: Arc<Mutex<Arc<Slots>>>,
+    /// This CPU's read-only snapshot.
+    local: Arc<Slots>,
 }
 
 impl BlockCache {
     /// An empty cache with one slot per instruction word.
     pub(crate) fn new(imem_bytes: usize) -> Self {
+        let slots: Arc<Slots> = Arc::new(vec![None; imem_bytes / 4]);
         Self {
-            slots: Rc::new(RefCell::new(vec![None; imem_bytes / 4])),
+            published: Arc::new(Mutex::new(Arc::clone(&slots))),
+            local: slots,
         }
     }
 
@@ -84,36 +105,69 @@ impl BlockCache {
         *self = Self::new(imem_bytes);
     }
 
-    /// Number of blocks currently cached.
+    /// Number of blocks currently published.
     pub(crate) fn len(&self) -> usize {
-        self.slots.borrow().iter().filter(|s| s.is_some()).count()
+        self.published
+            .lock()
+            .expect("block cache lock")
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
     }
 
     /// Returns the slot index and block entered at `pc`, building and
-    /// caching the block on miss. `None` means `pc` cannot index
+    /// publishing the block on miss. `None` means `pc` cannot index
     /// instruction memory at all.
     #[inline]
-    fn get_or_build(&self, mem: &Memory, pc: u32) -> Option<(usize, Rc<Block>)> {
+    fn get_or_build(&mut self, mem: &Memory, pc: u32) -> Option<(usize, Arc<Block>)> {
         let off = pc.checked_sub(IMEM_BASE)? as usize;
-        let index = off / 4;
-        {
-            let slots = self.slots.borrow();
-            match slots.get(index) {
-                Some(Some(block)) if off.is_multiple_of(4) => {
-                    return Some((index, Rc::clone(block)))
-                }
-                Some(_) if off.is_multiple_of(4) => {}
-                _ => return None,
-            }
+        if !off.is_multiple_of(4) {
+            return None;
         }
-        let block = Rc::new(build_block(mem, pc));
-        self.slots.borrow_mut()[index] = Some(Rc::clone(&block));
+        let index = off / 4;
+        match self.local.get(index)? {
+            Some(block) => Some((index, Arc::clone(block))),
+            None => self.build_and_publish(mem, pc, index),
+        }
+    }
+
+    /// Cold path of [`BlockCache::get_or_build`]: builds the block under
+    /// the publish lock (unless a sibling already did) and makes it
+    /// visible to every clone.
+    #[cold]
+    fn build_and_publish(
+        &mut self,
+        mem: &Memory,
+        pc: u32,
+        index: usize,
+    ) -> Option<(usize, Arc<Block>)> {
+        let mut published = self.published.lock().expect("block cache lock");
+        if let Some(block) = &published[index] {
+            let block = Arc::clone(block);
+            self.local = Arc::clone(&published);
+            return Some((index, block));
+        }
+        let block = Arc::new(build_block(mem, pc));
+        let mut next: Slots = (**published).clone();
+        next[index] = Some(Arc::clone(&block));
+        let next = Arc::new(next);
+        *published = Arc::clone(&next);
+        self.local = next;
         Some((index, block))
     }
 
-    /// The block cached in `slot`, if any.
-    fn cached(&self, slot: usize) -> Option<Rc<Block>> {
-        self.slots.borrow().get(slot)?.as_ref().map(Rc::clone)
+    /// The block cached in `slot`, if any, refreshing the local snapshot
+    /// when the slot was published by a sibling (e.g. a block only ever
+    /// reached through a chained side exit set by another thread).
+    fn cached(&mut self, slot: usize) -> Option<Arc<Block>> {
+        if let Some(block) = self.local.get(slot)?.as_ref() {
+            return Some(Arc::clone(block));
+        }
+        let published = self.published.lock().expect("block cache lock");
+        if !Arc::ptr_eq(&published, &self.local) {
+            self.local = Arc::clone(&published);
+        }
+        self.local.get(slot)?.as_ref().map(Arc::clone)
     }
 }
 
@@ -139,10 +193,12 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     let mut load_dest = cpu.pipeline.load_dest;
     let mut stalls = 0u64;
     let mut flushes = 0u64;
-    // One-entry dispatch memo: loop back-edges re-enter the same trace, so
-    // the common case is a single PC compare instead of a cache probe.
-    let mut memo: Option<(u32, usize, Rc<Block>)> = None;
+    // One-entry dispatch memo: loop back-edges re-enter the same trace and
+    // chained side exits pre-fill it, so the common case is a single PC
+    // compare instead of a cache probe.
+    let mut memo: Option<(u32, usize, Arc<Block>)> = None;
     let mut fault: Option<SimError> = None;
+    let chaining = cpu.chain_enabled;
     // Accounting state is allocated on first block-cached use, so CPUs that
     // only ever run the reference interpreter (and the pristine CPU a
     // deployment clones per inference) carry nothing to copy.
@@ -150,6 +206,8 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     if cpu.block_exit_counts.len() != slots {
         cpu.block_exit_counts = vec![Vec::new(); slots];
         cpu.touched_flags = vec![false; slots];
+        cpu.block_exec_counts = vec![0; slots];
+        cpu.block_instr_counts = vec![0; slots];
     }
 
     // Writes `rd`, keeping x0 hard-wired to zero without a branch.
@@ -168,15 +226,18 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
             break;
         }
         let pc = cpu.pc;
-        if !matches!(&memo, Some((memo_pc, _, _)) if *memo_pc == pc) {
-            let Some((slot, block)) = cpu.cache.get_or_build(&cpu.mem, pc) else {
-                fault = Some(SimError::BadFetch { pc });
-                break;
-            };
-            memo = Some((pc, slot, block));
-        }
-        let (_, slot, block) = memo.as_ref().expect("memo was just filled");
-        let slot = *slot;
+        let (slot, block) = match &memo {
+            Some((memo_pc, slot, block)) if *memo_pc == pc => (*slot, Arc::clone(block)),
+            _ => {
+                let Some((slot, block)) = cpu.cache.get_or_build(&cpu.mem, pc) else {
+                    fault = Some(SimError::BadFetch { pc });
+                    break;
+                };
+                memo = Some((pc, slot, Arc::clone(&block)));
+                (slot, block)
+            }
+        };
+        let block = &block;
         if !cpu.touched_flags[slot] {
             cpu.touched_flags[slot] = true;
             cpu.touched_slots.push(slot);
@@ -437,6 +498,23 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                     continue;
                 }
                 cpu.pc = ctrl_next;
+                // Superblock chaining: resolve the (static) side-exit
+                // target once, cache the link on the exit, and pre-fill
+                // the dispatch memo so the next iteration skips the cache
+                // probe. A dead link (cache generation gone) falls back to
+                // the ordinary dispatch probe.
+                if chaining {
+                    let link = &block.chain[ordinal as usize];
+                    if let Some(next) = link.get().and_then(Weak::upgrade) {
+                        let next_slot = (next.entry_pc - IMEM_BASE) as usize / 4;
+                        memo = Some((ctrl_next, next_slot, next));
+                    } else if let Some((next_slot, next)) =
+                        cpu.cache.get_or_build(&cpu.mem, ctrl_next)
+                    {
+                        let _ = link.set(Arc::downgrade(&next));
+                        memo = Some((ctrl_next, next_slot, next));
+                    }
+                }
                 continue 'dispatch;
             }
 
@@ -493,23 +571,30 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     }
 }
 
-/// Folds per-slot, per-exit execution counts into the trace.
+/// Folds per-slot, per-exit execution counts into the trace and the
+/// persistent per-block profiling totals behind [`Cpu::hottest_blocks`].
 fn fold_exec_counts(cpu: &mut Cpu) {
     while let Some(slot) = cpu.touched_slots.pop() {
         cpu.touched_flags[slot] = false;
         if let Some(block) = cpu.cache.cached(slot) {
+            let mut execs = 0u64;
+            let mut instrs = 0u64;
             for (exit, count) in block
                 .exits
                 .iter()
                 .zip(cpu.block_exit_counts[slot].iter_mut())
             {
                 if *count > 0 {
+                    execs += *count;
+                    instrs += *count * exit.retired as u64;
                     for &(mnemonic, per_exec) in &exit.counts {
                         cpu.trace.record_many(mnemonic, per_exec * *count);
                     }
                     *count = 0;
                 }
             }
+            cpu.block_exec_counts[slot] += execs;
+            cpu.block_instr_counts[slot] += instrs;
         } else {
             for count in cpu.block_exit_counts[slot].iter_mut() {
                 *count = 0;
@@ -1107,6 +1192,180 @@ mod tests {
         let summary = cpu.run(100).unwrap();
         assert_eq!(cpu.reg(reg::A0), 10);
         assert_eq!(summary.instructions, 7); // 6 remaining addis + ebreak
+    }
+
+    #[test]
+    fn cpu_is_send_and_sync() {
+        // Compile-time property: parallel frame evaluation moves warmed
+        // CPU clones across threads. The shared block cache must therefore
+        // never reintroduce `Rc`/`RefCell`.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cpu>();
+        assert_send_sync::<BlockCache>();
+        assert_send_sync::<Block>();
+    }
+
+    #[test]
+    fn warmed_cpu_clone_runs_on_another_thread_with_identical_results() {
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 30,
+            },
+            Instr::Add {
+                rd: reg::A0,
+                rs1: reg::A0,
+                rs2: reg::T0,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -8,
+            },
+            Instr::Ebreak,
+        ];
+        let mut base = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        base.load_program(&program).unwrap();
+        // Warm the shared cache on this thread.
+        let mut warm = base.clone();
+        warm.run(100_000).unwrap();
+        assert!(base.cached_blocks() > 0, "warming published the blocks");
+        let results: Vec<Cpu> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut cpu = base.clone();
+                    s.spawn(move || {
+                        cpu.run(100_000).unwrap();
+                        cpu
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for cpu in &results {
+            assert_same_architectural_state(&warm, cpu);
+        }
+    }
+
+    #[test]
+    fn chaining_disabled_matches_chaining_enabled_exactly() {
+        // Nested loops with multiple traces, so side exits chain between
+        // distinct blocks in the chained run.
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 15,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::ZERO,
+                imm: 9,
+            },
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T1,
+                rs2: reg::ZERO,
+                offset: -8,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -20,
+            },
+            Instr::Ebreak,
+        ];
+        let mut chained = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        chained.load_program(&program).unwrap();
+        assert!(chained.superblock_chaining(), "chaining defaults on");
+        let mut unchained = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        unchained.set_superblock_chaining(false);
+        unchained.load_program(&program).unwrap();
+        let rc = chained.run(100_000).unwrap();
+        let ru = unchained.run(100_000).unwrap();
+        assert_eq!(rc, ru, "summaries must be identical");
+        assert_same_architectural_state(&chained, &unchained);
+        assert_eq!(chained.cycles, unchained.cycles);
+    }
+
+    #[test]
+    fn hottest_blocks_ranks_the_inner_loop_first() {
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 20,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::ZERO,
+                imm: 10,
+            },
+            // inner loop body at +8
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T1,
+                rs2: reg::ZERO,
+                offset: -4,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: -16,
+            },
+            Instr::Ebreak,
+        ];
+        let mut cpu = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(&program).unwrap();
+        cpu.run(100_000).unwrap();
+        let hot = cpu.hottest_blocks(10);
+        assert!(!hot.is_empty());
+        let total: u64 = hot.iter().map(|h| h.instructions).sum();
+        assert_eq!(total, cpu.instret, "profile accounts every instruction");
+        assert!(
+            hot[0].executions >= 20,
+            "the hottest trace is executed once per outer iteration at least"
+        );
+        for pair in hot.windows(2) {
+            assert!(pair[0].instructions >= pair[1].instructions);
+        }
+        // The profile resets with the program image.
+        cpu.load_program(&[Instr::Ebreak]).unwrap();
+        assert!(cpu.hottest_blocks(10).is_empty());
     }
 
     #[test]

@@ -15,10 +15,13 @@
 //! * a [`Cpu`] executing from byte-addressed instruction/data memories
 //!   with an instruction [`Trace`] and two engines selected by
 //!   [`ExecMode`]: the `Simple` reference interpreter with flat IBEX
-//!   cycle costs, and the `BlockCached` superblock-trace engine with a
-//!   pipelined IBEX timing model (load-use interlock and branch-flush
-//!   stall accounting via [`PipelineStats`]) that runs the deployed CNN
-//!   workloads several times faster;
+//!   cycle costs, and the `BlockCached` superblock-trace engine with
+//!   side-exit chaining, a pipelined IBEX timing model (load-use
+//!   interlock and branch-flush stall accounting via [`PipelineStats`])
+//!   and a per-block execution profile ([`Cpu::hottest_blocks`]) that
+//!   runs the deployed CNN workloads several times faster. The decoded
+//!   blocks are shared `Arc` snapshots, so `Cpu` is `Send` and a warmed
+//!   CPU clones across threads for parallel frame evaluation;
 //! * register ABI-name constants in [`reg`] used by the kernel code
 //!   generator in `pcount-kernels`.
 //!
@@ -45,7 +48,7 @@ mod instr;
 mod memory;
 mod pipeline;
 
-pub use cpu::{Cpu, RunSummary, SimError, Trace};
+pub use cpu::{Cpu, HotBlock, RunSummary, SimError, Trace};
 pub use engine::ExecMode;
 pub use instr::{decode, BranchOp, Decoded, Instr, LoadOp, StoreOp};
 pub use memory::{Memory, DMEM_BASE, IMEM_BASE};

@@ -3,11 +3,13 @@
 use crate::asm::Assembler;
 use crate::kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 use crate::layout::MemoryPlan;
-use pcount_isa::{reg, Cpu, ExecMode, SimError};
+use crate::pool::{resolve_threads, CpuPool};
+use pcount_isa::{reg, Cpu, ExecMode, HotBlock, SimError};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// The execution target of a deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -212,13 +214,25 @@ impl Deployment {
         self.plan.weight_bytes
     }
 
+    /// Enables or disables superblock chaining on the simulator engine
+    /// (enabled by default; architectural results are identical either
+    /// way). Used by the throughput bench to measure the chaining delta.
+    pub fn set_superblock_chaining(&mut self, enabled: bool) {
+        self.base_cpu.set_superblock_chaining(enabled);
+    }
+
     /// Runs one inference on an ambient-normalised 8x8 frame.
     ///
     /// # Errors
     ///
     /// Propagates simulator faults (which indicate a code-generation bug).
     pub fn run_frame(&self, frame: &[f32]) -> Result<InferenceRun, SimError> {
-        let mut cpu = self.base_cpu.clone();
+        self.run_frame_on(&mut self.base_cpu.clone(), frame)
+    }
+
+    /// Runs one inference on the given pristine CPU clone, leaving the
+    /// post-inference state (trace, profile counters) on `cpu`.
+    fn run_frame_on(&self, cpu: &mut Cpu, frame: &[f32]) -> Result<InferenceRun, SimError> {
         let input = self.plan.pack_input(&self.model, frame);
         cpu.mem.write_dmem(self.plan.input_addr, &input);
         let summary = cpu.run(50_000_000)?;
@@ -242,20 +256,123 @@ impl Deployment {
         })
     }
 
-    /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames.
+    /// Builds a pool of `threads` warmed CPUs (`0` = auto) for
+    /// [`Deployment::run_batch`]. The warmup inference (on an all-zero
+    /// frame) decodes and publishes every superblock of the deployed
+    /// program into the shared cache, so pooled CPUs never decode on the
+    /// batch path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults from the warmup inference.
+    pub fn make_pool(&self, threads: usize) -> Result<CpuPool, SimError> {
+        let pixels = self.plan.geometry.h * self.plan.geometry.h;
+        self.run_frame(&vec![0.0; pixels])?;
+        Ok(CpuPool::from_base(&self.base_cpu, threads))
+    }
+
+    /// Runs one inference per frame of a `[N, 1, 8, 8]` batch across the
+    /// pool's threads, returning the runs in frame order.
+    ///
+    /// Results are bit-identical to a serial [`Deployment::run_frame`]
+    /// loop — logits, predictions, cycles and instruction counts —
+    /// regardless of the pool size: every frame's inference is
+    /// independent, and each worker writes into its own contiguous slice
+    /// of the output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator fault of the lowest faulting frame index.
+    pub fn run_batch(&self, x: &Tensor, pool: &mut CpuPool) -> Result<Vec<InferenceRun>, SimError> {
+        let n = x.shape()[0];
+        let pixels: usize = x.shape()[1..].iter().product();
+        let data = x.data();
+        let frame = |i: usize| &data[i * pixels..(i + 1) * pixels];
+        if pool.threads() <= 1 || n <= 1 {
+            return (0..n).map(|i| self.run_frame(frame(i))).collect();
+        }
+        let chunk = n.div_ceil(pool.threads());
+        let mut out: Vec<Option<InferenceRun>> = vec![None; n];
+        // The error of the lowest faulting frame, so parallel and serial
+        // runs report the same fault.
+        let first_error: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
+        std::thread::scope(|s| {
+            for (w, (cpu, slots)) in pool.cpus.iter_mut().zip(out.chunks_mut(chunk)).enumerate() {
+                let first_error = &first_error;
+                s.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        let i = w * chunk + j;
+                        match self.run_frame_on(&mut cpu.clone(), frame(i)) {
+                            Ok(run) => *slot = Some(run),
+                            Err(e) => {
+                                let mut fe = first_error.lock().expect("batch error lock");
+                                if fe.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                                    *fe = Some((i, e));
+                                }
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some((_, e)) = first_error.into_inner().expect("batch error lock") {
+            return Err(e);
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every frame before the first error ran"))
+            .collect())
+    }
+
+    /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames,
+    /// evaluating frames in parallel across `threads` workers (`0` =
+    /// auto). Predictions are identical to the serial path for any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn predict_batch_with_threads(
+        &self,
+        x: &Tensor,
+        threads: usize,
+    ) -> Result<Vec<usize>, SimError> {
+        let mut pool = CpuPool::from_base(
+            &self.base_cpu,
+            resolve_threads(threads).min(x.shape()[0].max(1)),
+        );
+        Ok(self
+            .run_batch(x, &mut pool)?
+            .into_iter()
+            .map(|r| r.prediction)
+            .collect())
+    }
+
+    /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames using
+    /// the host's available parallelism.
     ///
     /// # Errors
     ///
     /// Propagates simulator faults.
     pub fn predict_batch(&self, x: &Tensor) -> Result<Vec<usize>, SimError> {
-        let n = x.shape()[0];
-        let pixels: usize = x.shape()[1..].iter().product();
-        (0..n)
-            .map(|i| {
-                self.run_frame(&x.data()[i * pixels..(i + 1) * pixels])
-                    .map(|r| r.prediction)
-            })
-            .collect()
+        self.predict_batch_with_threads(x, 0)
+    }
+
+    /// Trace-cache profile: runs one inference on `frame` and returns the
+    /// `n` hottest superblock traces by retired instructions. The
+    /// profiling run always uses [`ExecMode::BlockCached`] (the per-trace
+    /// counters only exist there), regardless of the deployment's
+    /// configured engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn hottest_blocks(&self, frame: &[f32], n: usize) -> Result<Vec<HotBlock>, SimError> {
+        let mut cpu = self.base_cpu.clone();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        self.run_frame_on(&mut cpu, frame)?;
+        Ok(cpu.hottest_blocks(n))
     }
 
     /// Builds a static + dynamic cost report using `frame` as the sample
@@ -538,6 +655,66 @@ mod tests {
                 assert!(rc.cycles >= rs.cycles, "{} < {}", rc.cycles, rs.cycles);
             }
         }
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_bit_exactly_in_both_exec_modes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (model, x) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        let n = 12usize;
+        let batch = Tensor::from_vec(x.data()[..n * 64].to_vec(), &[n, 1, 8, 8]);
+        for mode in [ExecMode::BlockCached, ExecMode::Simple] {
+            let mut deployment = Deployment::new(&model, Target::Maupiti).expect("deploy");
+            deployment.set_exec_mode(mode);
+            let serial: Vec<InferenceRun> = (0..n)
+                .map(|i| {
+                    deployment
+                        .run_frame(&batch.data()[i * 64..(i + 1) * 64])
+                        .expect("serial run")
+                })
+                .collect();
+            for threads in [1usize, 3, 4] {
+                let mut pool = deployment.make_pool(threads).expect("pool");
+                assert_eq!(pool.threads(), threads);
+                let parallel = deployment.run_batch(&batch, &mut pool).expect("batch");
+                // Bit-identical: logits, prediction, cycles, instret and
+                // sdotp all compare equal, in frame order.
+                assert_eq!(parallel, serial, "{mode:?} with {threads} threads");
+            }
+            let serial_preds: Vec<usize> = serial.iter().map(|r| r.prediction).collect();
+            assert_eq!(
+                deployment.predict_batch(&batch).expect("predict"),
+                serial_preds,
+                "{mode:?} predict_batch"
+            );
+            assert_eq!(
+                deployment
+                    .predict_batch_with_threads(&batch, 4)
+                    .expect("predict"),
+                serial_preds,
+            );
+        }
+    }
+
+    #[test]
+    fn hottest_blocks_report_covers_the_inference() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let (model, x) = quantized_model(PrecisionAssignment::uniform(Precision::Int8), &mut rng);
+        let deployment = Deployment::new(&model, Target::Maupiti).expect("deploy");
+        let frame = &x.data()[0..64];
+        let run = deployment.run_frame(frame).expect("run");
+        let hot = deployment.hottest_blocks(frame, 5).expect("profile");
+        assert!(!hot.is_empty());
+        assert!(hot.len() <= 5);
+        assert!(hot[0].executions > 0);
+        // The top traces dominate the kernel inner loops: together they
+        // must account for a large share of the retired instructions.
+        let top_instrs: u64 = hot.iter().map(|h| h.instructions).sum();
+        assert!(
+            top_instrs * 2 > run.instructions,
+            "top-5 traces cover under half the inference ({top_instrs} of {})",
+            run.instructions
+        );
     }
 
     #[test]

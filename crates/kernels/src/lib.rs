@@ -24,9 +24,11 @@ mod asm;
 mod deploy;
 mod kernels;
 mod layout;
+mod pool;
 
 pub use asm::Assembler;
 pub use deploy::{DeployError, Deployment, DeploymentReport, InferenceRun, Target};
 pub use kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 pub use layout::{lane_count, pack_values, pad_channels, MemoryPlan};
-pub use pcount_isa::ExecMode;
+pub use pcount_isa::{ExecMode, HotBlock};
+pub use pool::{resolve_threads, CpuPool};

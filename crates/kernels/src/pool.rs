@@ -1,0 +1,63 @@
+//! A pool of warmed simulator CPUs for parallel frame evaluation.
+//!
+//! The block-cached engine shares its decoded-trace cache between CPU
+//! clones through `Arc` snapshots ([`pcount_isa::Cpu`] is `Send`), so one
+//! warmup inference decodes the whole deployed program once and every
+//! pooled CPU — on any thread — dispatches fully pre-decoded, chained
+//! superblocks from the first frame.
+//!
+//! [`Deployment::run_batch`][crate::Deployment::run_batch] drives the pool
+//! with `std::thread::scope`: each worker owns one pooled CPU, processes a
+//! contiguous range of frame indices and writes results into its own slice
+//! of the output, so the collected batch is deterministic and
+//! order-preserving — bit-identical to the serial
+//! [`run_frame`][crate::Deployment::run_frame] loop regardless of the
+//! thread count.
+
+use pcount_isa::Cpu;
+
+/// Default upper bound on auto-selected worker threads; batch sizes in the
+/// flow are modest and clone/join overhead dominates beyond this.
+const MAX_AUTO_THREADS: usize = 8;
+
+/// A fixed set of warmed, pristine CPUs, one per worker thread.
+///
+/// Created by [`Deployment::make_pool`][crate::Deployment::make_pool];
+/// every CPU is a clone of the deployment's base CPU taken *after* a
+/// warmup inference populated the shared block cache.
+#[derive(Debug, Clone)]
+pub struct CpuPool {
+    pub(crate) cpus: Vec<Cpu>,
+}
+
+impl CpuPool {
+    /// Builds a pool of `threads` clones of `base` (`0` = auto: the host's
+    /// available parallelism, capped at 8).
+    pub(crate) fn from_base(base: &Cpu, threads: usize) -> Self {
+        let threads = resolve_threads(threads);
+        Self {
+            cpus: (0..threads).map(|_| base.clone()).collect(),
+        }
+    }
+
+    /// Number of worker threads this pool drives.
+    pub fn threads(&self) -> usize {
+        self.cpus.len()
+    }
+}
+
+/// Maps the `0 = auto` thread-count knob to a concrete worker count:
+/// explicit values pass through, `0` becomes the host's available
+/// parallelism capped at 8. Shared by every parallel evaluation surface
+/// (`predict_batch`, the flow's deployment sweep) so the knob means the
+/// same thing everywhere.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_AUTO_THREADS)
+    }
+}
