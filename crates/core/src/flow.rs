@@ -1,8 +1,8 @@
 //! The end-to-end optimisation flow.
 
 use crate::pareto::ParetoPoint;
-use pcount_dataset::{DatasetConfig, IrDataset};
-use pcount_kernels::{DeployError, Deployment, Target};
+use pcount_dataset::{CvFold, DatasetConfig, IrDataset};
+use pcount_kernels::{resolve_threads, DeployError, Deployment, Target};
 use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
@@ -12,7 +12,7 @@ use pcount_postproc::apply_majority;
 use pcount_quant::{
     fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
 };
-use pcount_tensor::Tensor;
+use pcount_tensor::{SplitMix64, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,6 +46,13 @@ pub struct FlowConfig {
     /// auto: the host's available parallelism). Results are identical for
     /// any value — candidates are independent and collected in order.
     pub deploy_threads: usize,
+    /// Worker threads for the per-fold training and QAT loops (`0` =
+    /// auto). Every fold draws from its own RNG stream derived via
+    /// SplitMix64 from [`FlowConfig::rng_seed`], so results are identical
+    /// for any value — folds are independent and collected in order. (The
+    /// switch from one shared RNG stream to per-fold derived streams was a
+    /// one-time results change; see the README's training-engine notes.)
+    pub train_threads: usize,
 }
 
 impl FlowConfig {
@@ -109,6 +116,7 @@ impl FlowConfig {
             majority_window: 5,
             max_folds: 1,
             deploy_threads: 0,
+            train_threads: 0,
         }
     }
 
@@ -160,6 +168,7 @@ impl FlowConfig {
             majority_window: 5,
             max_folds: 1,
             deploy_threads: 0,
+            train_threads: 0,
         }
     }
 }
@@ -282,6 +291,7 @@ impl FlowResult {
 }
 
 /// Snapshot of all trainable parameters of a network.
+#[cfg(test)]
 fn snapshot_params(net: &mut Sequential) -> Vec<Tensor> {
     net.params_and_grads()
         .into_iter()
@@ -290,6 +300,7 @@ fn snapshot_params(net: &mut Sequential) -> Vec<Tensor> {
 }
 
 /// Restores a parameter snapshot taken with [`snapshot_params`].
+#[cfg(test)]
 fn restore_params(net: &mut Sequential, snapshot: &[Tensor]) {
     let params = net.params_and_grads();
     assert_eq!(params.len(), snapshot.len(), "parameter count changed");
@@ -298,9 +309,159 @@ fn restore_params(net: &mut Sequential, snapshot: &[Tensor]) {
     }
 }
 
+/// RNG stream tags for [`derive_seed`]: one namespace per flow phase.
+const STREAM_SEED_EVAL: u64 = 1;
+const STREAM_SEARCH: u64 = 2;
+const STREAM_FOLD: u64 = 3;
+
+/// Derives the deterministic seed of one training work item from the
+/// flow's root seed via SplitMix64.
+///
+/// Every (phase, λ index, fold index) triple owns an independent stream,
+/// so work items can run on any thread in any order and still consume
+/// exactly the same random numbers — this is what makes
+/// [`FlowConfig::train_threads`] a pure performance knob.
+fn derive_seed(root: u64, phase: u64, lambda_index: u64, fold: u64) -> u64 {
+    let stream = (phase << 48) ^ (lambda_index << 24) ^ fold;
+    let mut sm = SplitMix64::new(root ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+/// Runs `f(0..n)` across `threads` scoped workers (`0` = auto), returning
+/// the results in index order. Each worker owns a contiguous index range,
+/// so the output is deterministic for any worker count as long as `f` is
+/// independent per index.
+fn parallel_map_folds<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_threads(threads).clamp(1, n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (w, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled its slot"))
+        .collect()
+}
+
+/// One quantised candidate's metrics on a single cross-validation fold.
+#[derive(Debug, Clone)]
+pub struct CandidateEval {
+    /// Single-frame balanced accuracy on the fold's test split.
+    pub bas: f64,
+    /// Balanced accuracy after majority voting.
+    pub bas_majority: f64,
+    /// The QAT-fine-tuned integer model.
+    pub quantized: QuantizedCnn,
+}
+
+/// Per-fold result of [`FoldTrainJob::run`]: the FP32 fine-tuning score
+/// plus one [`CandidateEval`] per precision assignment.
+#[derive(Debug, Clone)]
+pub struct FoldOutcome {
+    /// FP32 balanced accuracy of the fine-tuned network on this fold.
+    pub fp32_bas: f64,
+    /// Per-assignment QAT results, in `assignments` order.
+    pub candidates: Vec<CandidateEval>,
+}
+
+/// The per-fold fine-tuning + QAT workload of one λ-sweep point.
+///
+/// [`run_flow`] builds one job per discovered architecture; the
+/// `train_throughput` bench drives the same type directly to measure
+/// serial vs parallel fold wall-clock. Folds are embarrassingly parallel:
+/// each one clones `network`, trains it on the fold's training split with
+/// a fold-private RNG stream (see [`FlowConfig::train_threads`]) and QATs
+/// every precision assignment, so [`FoldTrainJob::run`] returns identical
+/// results for any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldTrainJob<'a> {
+    /// Architecture discovered by the search.
+    pub arch: CnnConfig,
+    /// The post-search network fine-tuning starts from (cloned per fold).
+    pub network: &'a Sequential,
+    /// Dataset the fold indices point into.
+    pub dataset: &'a IrDataset,
+    /// The cross-validation folds to evaluate.
+    pub folds: &'a [CvFold],
+    /// FP32 fine-tuning hyper-parameters.
+    pub train: &'a TrainConfig,
+    /// QAT fine-tuning hyper-parameters.
+    pub qat: &'a QatConfig,
+    /// Precision assignments to QAT on every fold.
+    pub assignments: &'a [PrecisionAssignment],
+    /// Majority-voting window for the post-processed metric.
+    pub majority_window: usize,
+    /// Root seed the per-fold streams are derived from.
+    pub rng_seed: u64,
+    /// λ index (salts the per-fold seed streams per sweep point).
+    pub lambda_index: usize,
+}
+
+impl FoldTrainJob<'_> {
+    /// Evaluates every fold across `threads` workers (`0` = auto) and
+    /// returns the outcomes in fold order. Results are identical for any
+    /// thread count.
+    pub fn run(&self, threads: usize) -> Vec<FoldOutcome> {
+        let num_classes = self.dataset.num_classes();
+        parallel_map_folds(self.folds.len(), threads, |fi| {
+            let fold = &self.folds[fi];
+            let mut rng = StdRng::seed_from_u64(derive_seed(
+                self.rng_seed,
+                STREAM_FOLD,
+                self.lambda_index as u64,
+                fi as u64,
+            ));
+            let (x_train, y_train) = self.dataset.gather_normalized(fold.train.as_slice());
+            let (x_test, y_test) = self.dataset.gather_normalized(fold.test.as_slice());
+            let mut net = self.network.clone();
+            let _ = train_classifier(&mut net, &x_train, &y_train, self.train, &mut rng);
+            let fp32_bas = evaluate(&mut net, &x_test, &y_test, num_classes);
+            let folded = fold_sequential(self.arch, &net)
+                .expect("NAS-extracted networks always have the canonical layout");
+            let candidates = self
+                .assignments
+                .iter()
+                .map(|&assignment| {
+                    let mut qat = QatCnn::from_folded(&folded, assignment);
+                    let _ = qat_finetune(&mut qat, &x_train, &y_train, self.qat, &mut rng);
+                    let preds = batched_predict(&mut qat, &x_test);
+                    let bas = balanced_accuracy(&preds, &y_test, num_classes);
+                    let smoothed = apply_majority(&preds, self.majority_window);
+                    let bas_majority = balanced_accuracy(&smoothed, &y_test, num_classes);
+                    CandidateEval {
+                        bas,
+                        bas_majority,
+                        quantized: QuantizedCnn::from_qat(&qat),
+                    }
+                })
+                .collect();
+            FoldOutcome {
+                fp32_bas,
+                candidates,
+            }
+        })
+    }
+}
+
 /// Runs the complete optimisation flow.
 pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
-    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
     let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
     let num_classes = dataset.num_classes();
     let folds: Vec<_> = dataset
@@ -312,78 +473,83 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     let s1 = dataset.session_indices(0);
     let (x_s1, y_s1) = dataset.gather_normalized(&s1);
 
-    // --- Seed evaluation -------------------------------------------------
-    let mut seed_bas_sum = 0.0;
-    for fold in &folds {
+    // --- Seed evaluation (parallel across folds) -------------------------
+    let seed_scores = parallel_map_folds(folds.len(), cfg.train_threads, |fi| {
+        let fold = &folds[fi];
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(cfg.rng_seed, STREAM_SEED_EVAL, 0, fi as u64));
         let (x_train, y_train) = dataset.gather_normalized(fold.train.as_slice());
         let (x_test, y_test) = dataset.gather_normalized(fold.test.as_slice());
         let mut seed_net = cfg.seed_architecture.build(&mut rng);
         let _ = train_classifier(&mut seed_net, &x_train, &y_train, &cfg.train, &mut rng);
-        seed_bas_sum += evaluate(&mut seed_net, &x_test, &y_test, num_classes);
-    }
+        evaluate(&mut seed_net, &x_test, &y_test, num_classes)
+    });
     let seed_point = ParetoPoint::new(
         "seed FP32",
-        seed_bas_sum / folds.len() as f64,
+        seed_scores.iter().sum::<f64>() / folds.len() as f64,
         cfg.seed_architecture.memory_bytes_fp32(),
         cfg.seed_architecture.macs(),
     );
 
     // --- λ sweep: DNAS + fine-tuning + mixed-precision QAT ---------------
+    // The search itself is serial per λ (one architecture per sweep
+    // point); the fold loop underneath fans out over the CPU pool.
     let mut fp32_points = Vec::new();
     let mut quantized = Vec::new();
-    for &lambda in &cfg.lambdas {
+    for (li, &lambda) in cfg.lambdas.iter().enumerate() {
         let nas_cfg = NasConfig { lambda, ..cfg.nas };
-        let mut outcome = search(cfg.seed_architecture, &x_s1, &y_s1, &nas_cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.rng_seed, STREAM_SEARCH, li as u64, 0));
+        let outcome = search(cfg.seed_architecture, &x_s1, &y_s1, &nas_cfg, &mut rng);
         let arch = outcome.config;
-        let snapshot = snapshot_params(&mut outcome.network);
 
-        let mut fp32_sum = 0.0;
-        let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); cfg.assignments.len()];
-        let mut last_quantized: Vec<Option<QuantizedCnn>> = vec![None; cfg.assignments.len()];
-        for fold in &folds {
-            let (x_train, y_train) = dataset.gather_normalized(fold.train.as_slice());
-            let (x_test, y_test) = dataset.gather_normalized(fold.test.as_slice());
-            restore_params(&mut outcome.network, &snapshot);
-            let _ = train_classifier(
-                &mut outcome.network,
-                &x_train,
-                &y_train,
-                &cfg.train,
-                &mut rng,
-            );
-            fp32_sum += evaluate(&mut outcome.network, &x_test, &y_test, num_classes);
-            let folded = fold_sequential(arch, &outcome.network)
-                .expect("NAS-extracted networks always have the canonical layout");
-            for (ai, &assignment) in cfg.assignments.iter().enumerate() {
-                let mut qat = QatCnn::from_folded(&folded, assignment);
-                let _ = qat_finetune(&mut qat, &x_train, &y_train, &cfg.qat, &mut rng);
-                let preds = batched_predict(&mut qat, &x_test);
-                let bas = balanced_accuracy(&preds, &y_test, num_classes);
-                let smoothed = apply_majority(&preds, cfg.majority_window);
-                let bas_majority = balanced_accuracy(&smoothed, &y_test, num_classes);
-                sums[ai].0 += bas;
-                sums[ai].1 += bas_majority;
-                last_quantized[ai] = Some(QuantizedCnn::from_qat(&qat));
-            }
-        }
+        let job = FoldTrainJob {
+            arch,
+            network: &outcome.network,
+            dataset: &dataset,
+            folds: &folds,
+            train: &cfg.train,
+            qat: &cfg.qat,
+            assignments: &cfg.assignments,
+            majority_window: cfg.majority_window,
+            rng_seed: cfg.rng_seed,
+            lambda_index: li,
+        };
+        let mut outcomes = job.run(cfg.train_threads);
+
         let nf = folds.len() as f64;
         fp32_points.push(ParetoPoint::new(
             format!("λ={lambda} FP32 {arch:?}"),
-            fp32_sum / nf,
+            outcomes.iter().map(|o| o.fp32_bas).sum::<f64>() / nf,
             arch.memory_bytes_fp32(),
             arch.macs(),
         ));
-        for (ai, &assignment) in cfg.assignments.iter().enumerate() {
-            let q = last_quantized[ai].take().expect("at least one fold ran");
+        let sums: Vec<(f64, f64)> = (0..cfg.assignments.len())
+            .map(|ai| {
+                (
+                    outcomes.iter().map(|o| o.candidates[ai].bas).sum::<f64>(),
+                    outcomes
+                        .iter()
+                        .map(|o| o.candidates[ai].bas_majority)
+                        .sum::<f64>(),
+                )
+            })
+            .collect();
+        // Keep the last fold's integer models (as before the parallel
+        // refactor), moving them out instead of cloning.
+        let last = outcomes.pop().expect("at least one fold ran");
+        drop(outcomes);
+        for ((&assignment, eval), (bas_sum, maj_sum)) in
+            cfg.assignments.iter().zip(last.candidates).zip(sums)
+        {
             quantized.push(CandidateModel {
                 label: format!("λ={lambda} {assignment}"),
                 config: arch,
                 assignment,
-                bas: sums[ai].0 / nf,
-                bas_majority: sums[ai].1 / nf,
+                bas: bas_sum / nf,
+                bas_majority: maj_sum / nf,
                 memory_bytes: assignment.memory_bytes(&arch),
                 macs: arch.macs(),
-                quantized: q,
+                quantized: eval.quantized,
                 deployed: None,
             });
         }
@@ -409,20 +575,12 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
 /// workers (`0` = auto). Candidates that do not fit on-chip keep
 /// `deployed = None`.
 fn evaluate_deployments(candidates: &mut [CandidateModel], sample_frame: &[f32], threads: usize) {
-    if candidates.is_empty() {
-        return;
-    }
-    let workers = pcount_kernels::resolve_threads(threads).clamp(1, candidates.len());
-    let chunk = candidates.len().div_ceil(workers);
-    std::thread::scope(|s| {
-        for slice in candidates.chunks_mut(chunk) {
-            s.spawn(move || {
-                for candidate in slice {
-                    candidate.deployed = measure_deployment(candidate, sample_frame);
-                }
-            });
-        }
+    let costs = parallel_map_folds(candidates.len(), threads, |i| {
+        measure_deployment(&candidates[i], sample_frame)
     });
+    for (candidate, cost) in candidates.iter_mut().zip(costs) {
+        candidate.deployed = cost;
+    }
 }
 
 /// Compiles and measures one candidate on the MAUPITI target.
@@ -553,6 +711,47 @@ mod tests {
                 "deployment sweep must be deterministic"
             );
         }
+    }
+
+    /// Asserts two flow results are identical in every observable metric.
+    fn assert_flow_results_identical(a: &FlowResult, b: &FlowResult) {
+        assert_eq!(a.seed_point, b.seed_point, "seed point diverged");
+        assert_eq!(a.fp32_points, b.fp32_points, "fp32 front diverged");
+        assert_eq!(a.majority_window, b.majority_window);
+        assert_eq!(a.quantized.len(), b.quantized.len());
+        for (ca, cb) in a.quantized.iter().zip(b.quantized.iter()) {
+            assert_eq!(ca.label, cb.label);
+            assert_eq!(ca.bas, cb.bas, "bas diverged for {}", ca.label);
+            assert_eq!(
+                ca.bas_majority, cb.bas_majority,
+                "majority bas diverged for {}",
+                ca.label
+            );
+            assert_eq!(ca.memory_bytes, cb.memory_bytes);
+            assert_eq!(ca.macs, cb.macs);
+            assert_eq!(ca.deployed, cb.deployed, "deployment diverged");
+        }
+    }
+
+    #[test]
+    fn run_flow_is_deterministic_across_train_thread_counts() {
+        // Per-fold derived RNG streams make the parallel fold loop consume
+        // exactly the same randomness as the serial one, so `run_flow`
+        // must produce bit-identical results for any `train_threads`.
+        let mut cfg = FlowConfig::quick();
+        cfg.max_folds = 2;
+        cfg.lambdas = vec![0.5];
+        cfg.assignments.truncate(2);
+        cfg.nas.epochs = 2;
+        cfg.nas.warmup_epochs = 1;
+        cfg.train.epochs = 2;
+        cfg.qat.epochs = 1;
+
+        cfg.train_threads = 1;
+        let serial = run_flow(&cfg);
+        cfg.train_threads = 4;
+        let parallel = run_flow(&cfg);
+        assert_flow_results_identical(&serial, &parallel);
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod pareto;
 
 pub use baseline::{manual_grid_baseline, BaselineConfig};
 pub use flow::{
-    run_flow, select_table1_models, CandidateModel, DeployedCost, FlowConfig, FlowResult,
+    run_flow, select_table1_models, CandidateEval, CandidateModel, DeployedCost, FlowConfig,
+    FlowResult, FoldOutcome, FoldTrainJob,
 };
 pub use pareto::{pareto_front_by, ParetoPoint};

@@ -90,16 +90,23 @@ pub(crate) struct Block {
     /// Conditional branches hold their exit's index in
     /// [`Decoded::exit_ordinal`].
     pub exits: Vec<ExitPoint>,
-    /// Superblock chaining: the successor trace of each side exit, cached
-    /// the first time the exit is taken. Side-exit targets are static, so
-    /// the link never changes once set; later executions of the exit
-    /// re-enter the engine's dispatch memo directly, skipping the
-    /// dispatch-table probe. Links are weak so that mutually-branching
-    /// traces do not form `Arc` cycles — the cache's published snapshot
-    /// keeps every block alive, and a failed upgrade simply falls back to
-    /// the table probe. The last entry (the end exit) is present but
-    /// unused: end exits can have dynamic targets (JALR).
+    /// Superblock chaining: the successor trace of each exit, cached the
+    /// first time the exit is taken. Side-exit targets are static, so the
+    /// link never changes once set; later executions of the exit re-enter
+    /// the engine's dispatch memo directly, skipping the dispatch-table
+    /// probe. Links are weak so that mutually-branching traces do not form
+    /// `Arc` cycles — the cache's published snapshot keeps every block
+    /// alive, and a failed upgrade simply falls back to the table probe.
+    /// The last entry serves the end exit when [`Block::end_chainable`]
+    /// says its target is static.
     pub chain: Vec<OnceLock<Weak<Block>>>,
+    /// Whether the end exit leaves for a *static* successor address and may
+    /// therefore use the last [`Block::chain`] link: true for
+    /// [`BlockEnd::Fallthrough`] (the `MAX_BLOCK_LEN` split) and for traces
+    /// ending in an unfollowed static JAL. False when the last instruction
+    /// decides the target at run time (JALR), halts the core, or the end
+    /// defers a fault.
+    pub end_chainable: bool,
 }
 
 fn prefix_counts(instrs: &[Decoded]) -> Vec<(&'static str, u64)> {
@@ -185,6 +192,11 @@ pub(crate) fn build_block(mem: &Memory, entry_pc: u32) -> Block {
         counts: prefix_counts(&instrs),
     });
     let chain = (0..exits.len()).map(|_| OnceLock::new()).collect();
+    let end_chainable = match end {
+        BlockEnd::Fallthrough => true,
+        BlockEnd::Terminator => matches!(instrs.last().map(|d| &d.op), Some(Op::Jal { .. })),
+        BlockEnd::BadFetch { .. } | BlockEnd::Illegal { .. } => false,
+    };
     Block {
         entry_pc,
         instrs,
@@ -192,6 +204,7 @@ pub(crate) fn build_block(mem: &Memory, entry_pc: u32) -> Block {
         cont_pc: pc,
         exits,
         chain,
+        end_chainable,
     }
 }
 

@@ -220,6 +220,25 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
         }};
     }
 
+    // Superblock chaining: resolve the (static) exit target once, cache
+    // the link on the exit's `Block::chain` slot, and pre-fill the
+    // dispatch memo so the next iteration skips the cache probe. A dead
+    // link (cache generation gone) falls back to the ordinary dispatch
+    // probe. Shared by side exits and chainable end exits (fall-through
+    // and static-JAL ends).
+    macro_rules! chain_to {
+        ($block:expr, $ordinal:expr, $target:expr) => {{
+            let link = &$block.chain[$ordinal];
+            if let Some(next) = link.get().and_then(Weak::upgrade) {
+                let next_slot = (next.entry_pc - IMEM_BASE) as usize / 4;
+                memo = Some(($target, next_slot, next));
+            } else if let Some((next_slot, next)) = cpu.cache.get_or_build(&cpu.mem, $target) {
+                let _ = link.set(Arc::downgrade(&next));
+                memo = Some(($target, next_slot, next));
+            }
+        }};
+    }
+
     'dispatch: while !cpu.halted {
         if executed >= max_instructions {
             fault = Some(SimError::Timeout { max_instructions });
@@ -498,22 +517,9 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                     continue;
                 }
                 cpu.pc = ctrl_next;
-                // Superblock chaining: resolve the (static) side-exit
-                // target once, cache the link on the exit, and pre-fill
-                // the dispatch memo so the next iteration skips the cache
-                // probe. A dead link (cache generation gone) falls back to
-                // the ordinary dispatch probe.
+                // Side-exit targets are always static.
                 if chaining {
-                    let link = &block.chain[ordinal as usize];
-                    if let Some(next) = link.get().and_then(Weak::upgrade) {
-                        let next_slot = (next.entry_pc - IMEM_BASE) as usize / 4;
-                        memo = Some((ctrl_next, next_slot, next));
-                    } else if let Some((next_slot, next)) =
-                        cpu.cache.get_or_build(&cpu.mem, ctrl_next)
-                    {
-                        let _ = link.set(Arc::downgrade(&next));
-                        memo = Some((ctrl_next, next_slot, next));
-                    }
+                    chain_to!(block, ordinal as usize, ctrl_next);
                 }
                 continue 'dispatch;
             }
@@ -554,6 +560,12 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                     fault = Some(SimError::IllegalInstruction { pc, word });
                     break 'dispatch;
                 }
+            }
+            // End-exit chaining: fall-through and static-JAL ends leave
+            // for a fixed successor, so they carry a cached link exactly
+            // like side exits; dynamic ends (JALR) and halts do not.
+            if chaining && block.end_chainable && !cpu.halted {
+                chain_to!(block, end_exit, ctrl_next);
             }
             continue 'dispatch;
         }
@@ -1309,6 +1321,131 @@ mod tests {
         assert_eq!(rc, ru, "summaries must be identical");
         assert_same_architectural_state(&chained, &unchained);
         assert_eq!(chained.cycles, unchained.cycles);
+    }
+
+    #[test]
+    fn end_exit_chaining_is_bit_identical_to_unchained_execution() {
+        // One program exercising both chainable end-exit kinds:
+        //  * a straight-line run longer than MAX_BLOCK_LEN, so the first
+        //    trace ends with BlockEnd::Fallthrough and chains to its
+        //    continuation;
+        //  * a backward JAL into the trace's own entry, which ends the
+        //    trace with a static unfollowed JAL that chains to the loop
+        //    head.
+        use crate::block::MAX_BLOCK_LEN;
+        let body = MAX_BLOCK_LEN + 40; // splits into two traces
+        let mut program = vec![Instr::Addi {
+            rd: reg::T0,
+            rs1: reg::ZERO,
+            imm: 25,
+        }];
+        let loop_head = program.len(); // trace entry of the loop
+        for _ in 0..body {
+            program.push(Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            });
+        }
+        program.push(Instr::Addi {
+            rd: reg::T0,
+            rs1: reg::T0,
+            imm: -1,
+        });
+        // Loop exit: skip the backward jump once t0 hits zero.
+        program.push(Instr::Branch {
+            op: BranchOp::Beq,
+            rs1: reg::T0,
+            rs2: reg::ZERO,
+            offset: 8,
+        });
+        let jal_at = program.len();
+        program.push(Instr::Jal {
+            rd: reg::ZERO,
+            offset: ((loop_head as i64 - jal_at as i64) * 4) as i32,
+        });
+        program.push(Instr::Ebreak);
+
+        let mut simple = Cpu::new_default();
+        simple.load_program(&program).unwrap();
+        let mut chained = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        chained.load_program(&program).unwrap();
+        let mut unchained = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        unchained.set_superblock_chaining(false);
+        unchained.load_program(&program).unwrap();
+
+        let budget = 200_000;
+        let rs = simple.run(budget).unwrap();
+        let rc = chained.run(budget).unwrap();
+        let ru = unchained.run(budget).unwrap();
+        assert_eq!(rc, ru, "summaries must be identical");
+        assert_same_architectural_state(&chained, &unchained);
+        assert_same_architectural_state(&simple, &chained);
+        assert_eq!(chained.cycles, unchained.cycles, "cycles must not move");
+        assert_eq!(rs.instructions, rc.instructions);
+        assert_eq!(chained.reg(reg::A0), 25 * body as u32);
+        // The straight-line body really did split: more than one trace.
+        assert!(chained.cached_blocks() >= 2, "fallthrough split expected");
+    }
+
+    #[test]
+    fn static_jal_end_exit_chains_between_distinct_traces() {
+        // The entry trace runs into the loop and ends with an *unfollowed*
+        // static JAL (its target is already inside the trace), whose end
+        // exit chains to the loop-head trace — a distinct block, so the
+        // self-loop fast path does not swallow the link. Results must be
+        // bit-identical with chaining off and against the reference
+        // interpreter.
+        let program = [
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 25,
+            },
+            // loop head (idx 1)
+            Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::A0,
+                imm: 1,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Beq,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: 12,
+            },
+            Instr::Addi {
+                rd: reg::A1,
+                rs1: reg::A1,
+                imm: 1,
+            },
+            // idx 5: backward jump to the loop head (idx 1).
+            Instr::Jal {
+                rd: reg::ZERO,
+                offset: -16,
+            },
+            Instr::Ebreak,
+        ];
+        let (mut simple, mut chained) = cpu_pair(&program);
+        let mut unchained = Cpu::new_default().with_exec_mode(ExecMode::BlockCached);
+        unchained.set_superblock_chaining(false);
+        unchained.load_program(&program).unwrap();
+        let rs = simple.run(10_000).unwrap();
+        let rc = chained.run(10_000).unwrap();
+        let ru = unchained.run(10_000).unwrap();
+        assert_eq!(rc, ru, "summaries must be identical");
+        assert_same_architectural_state(&simple, &chained);
+        assert_same_architectural_state(&chained, &unchained);
+        assert_eq!(chained.cycles, unchained.cycles);
+        assert_eq!(rs.instructions, rc.instructions);
+        assert_eq!(chained.reg(reg::A0), 25);
+        assert_eq!(chained.reg(reg::A1), 24);
+        assert!(chained.cached_blocks() >= 2, "two distinct traces expected");
     }
 
     #[test]

@@ -1,16 +1,35 @@
 //! 2-D convolution over NCHW tensors.
 
 use crate::layer::{Layer, Mode};
-use pcount_tensor::Tensor;
+use pcount_tensor::{col2im, gemm, im2col, GemmScratch, Tensor};
 use rand::Rng;
+
+/// Reusable per-layer buffers for the GEMM-lowered convolution: the
+/// im2col column matrix, the column-gradient matrix and the GEMM packing
+/// arena. Cloning a layer yields fresh (empty) buffers — they are
+/// transient per-call state, not parameters.
+#[derive(Debug, Default)]
+pub(crate) struct ConvScratch {
+    col: Vec<f32>,
+    dcol: Vec<f32>,
+    gemm: GemmScratch,
+}
+
+impl Clone for ConvScratch {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
 
 /// A 2-D convolution layer with square kernels, zero padding and bias.
 ///
 /// Weight layout is `[out_channels, in_channels, k, k]`; inputs and outputs
-/// are NCHW. The implementation is a straightforward nested loop — the
-/// people-counting models operate on 8x8 inputs so this is more than fast
-/// enough and keeps the arithmetic easy to cross-check against the integer
-/// kernels in `pcount-kernels`.
+/// are NCHW. Forward and backward lower to cache-blocked GEMMs over
+/// im2col-packed buffers (`pcount-tensor`'s [`gemm`] engine), with the
+/// original 7-deep nested loops kept as
+/// [`Conv2d::forward_naive_with_weight`] /
+/// [`Conv2d::backward_naive_with_weight`] — the bit-for-bit reference the
+/// equivalence tests and the training-throughput bench compare against.
 ///
 /// # Example
 ///
@@ -45,6 +64,7 @@ pub struct Conv2d {
     /// Accumulated bias gradient.
     pub bias_grad: Tensor,
     cached_input: Option<Tensor>,
+    scratch: ConvScratch,
 }
 
 impl Conv2d {
@@ -75,6 +95,7 @@ impl Conv2d {
             weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             bias_grad: Tensor::zeros(&[out_channels]),
             cached_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -101,6 +122,7 @@ impl Conv2d {
             weight,
             bias,
             cached_input: None,
+            scratch: ConvScratch::default(),
         }
     }
 
@@ -110,8 +132,69 @@ impl Conv2d {
     }
 
     /// Forward pass using an externally supplied effective weight tensor
-    /// (used by the NAS masked layers); caches the input for backward.
+    /// (used by the QAT fake-quantised weights and the NAS masked-layer
+    /// path); caches the input for backward.
+    ///
+    /// Lowered to one GEMM per image over an im2col-packed column matrix:
+    /// `out_n[Co, Ho*Wo] = W[Co, Ci*k*k] · col_n[Ci*k*k, Ho*Wo] + b`. The
+    /// packing buffers are reused across calls, so steady-state training
+    /// allocates only the output tensor.
     pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "conv expects NCHW input");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.in_channels, "conv input channel mismatch");
+        let ho = self.output_size(h);
+        let wo = self.output_size(w);
+        let mut out = Tensor::zeros(&[n, self.out_channels, ho, wo]);
+        let xd = x.data();
+        let wd = weight.data();
+        let bd = self.bias.data();
+        let od = out.data_mut();
+        let k = self.kernel;
+        let ckk = c * k * k;
+        let plane = ho * wo;
+        for ni in 0..n {
+            let img = &xd[ni * c * h * w..(ni + 1) * c * h * w];
+            let (ho2, wo2) = im2col(
+                img,
+                c,
+                h,
+                w,
+                k,
+                self.stride,
+                self.padding,
+                &mut self.scratch.col,
+            );
+            debug_assert_eq!((ho2, wo2), (ho, wo));
+            let dst = &mut od[ni * self.out_channels * plane..(ni + 1) * self.out_channels * plane];
+            gemm(
+                &mut self.scratch.gemm,
+                false,
+                false,
+                self.out_channels,
+                plane,
+                ckk,
+                wd,
+                &self.scratch.col,
+                dst,
+                false,
+            );
+            for (co, row) in dst.chunks_exact_mut(plane).enumerate() {
+                let b = bd[co];
+                for v in row {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    /// Reference forward pass: the original 7-deep nested loops. Kept for
+    /// the GEMM-equivalence tests and the `train_throughput` bench; not
+    /// used by the training stack.
+    pub fn forward_naive_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
         let shape = x.shape();
         assert_eq!(shape.len(), 4, "conv expects NCHW input");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -163,7 +246,92 @@ impl Conv2d {
     /// Backward pass using an externally supplied effective weight tensor;
     /// accumulates into `weight_grad`/`bias_grad` and returns the input
     /// gradient.
+    ///
+    /// Both gradients are GEMMs over the packed column matrix of the
+    /// cached input: `dW += dY_n · col_nᵀ` and
+    /// `dcol = Wᵀ · dY_n` followed by a [`col2im`] scatter-add.
     pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let xs = x.shape();
+        let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
+        let gs = grad_out.shape();
+        let (ho, wo) = (gs[2], gs[3]);
+        assert_eq!(gs[1], self.out_channels, "grad channel mismatch");
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        let k = self.kernel;
+        let ckk = c * k * k;
+        let plane = ho * wo;
+        let xd = x.data();
+        let wd = weight.data();
+        let gd = grad_out.data();
+        let wg = self.weight_grad.data_mut();
+        let bg = self.bias_grad.data_mut();
+        let gi = grad_in.data_mut();
+        for ni in 0..n {
+            let img = &xd[ni * c * h * w..(ni + 1) * c * h * w];
+            let _ = im2col(
+                img,
+                c,
+                h,
+                w,
+                k,
+                self.stride,
+                self.padding,
+                &mut self.scratch.col,
+            );
+            let gy = &gd[ni * self.out_channels * plane..(ni + 1) * self.out_channels * plane];
+            // dW[Co, Ci*k*k] += dY_n[Co, Ho*Wo] · col_nᵀ[Ho*Wo, Ci*k*k].
+            gemm(
+                &mut self.scratch.gemm,
+                false,
+                true,
+                self.out_channels,
+                ckk,
+                plane,
+                gy,
+                &self.scratch.col,
+                wg,
+                true,
+            );
+            // db[co] += Σ dY_n[co, :].
+            for (co, row) in gy.chunks_exact(plane).enumerate() {
+                bg[co] += row.iter().sum::<f32>();
+            }
+            // dcol[Ci*k*k, Ho*Wo] = Wᵀ[Ci*k*k, Co] · dY_n[Co, Ho*Wo].
+            self.scratch.dcol.resize(ckk * plane, 0.0);
+            gemm(
+                &mut self.scratch.gemm,
+                true,
+                false,
+                ckk,
+                plane,
+                self.out_channels,
+                wd,
+                gy,
+                &mut self.scratch.dcol,
+                false,
+            );
+            col2im(
+                &self.scratch.dcol,
+                c,
+                h,
+                w,
+                k,
+                self.stride,
+                self.padding,
+                &mut gi[ni * c * h * w..(ni + 1) * c * h * w],
+            );
+        }
+        grad_in
+    }
+
+    /// Reference backward pass mirroring
+    /// [`Conv2d::forward_naive_with_weight`]; accumulates into
+    /// `weight_grad`/`bias_grad` and returns the input gradient.
+    pub fn backward_naive_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
@@ -250,6 +418,10 @@ impl Layer for Conv2d {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

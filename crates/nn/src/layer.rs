@@ -22,7 +22,11 @@ pub enum Mode {
 /// gradients. Gradients are accumulated (`+=`) so call
 /// [`Layer::zero_grad`] (usually through [`Sequential::zero_grad`]) between
 /// optimisation steps.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` plain data, so whole networks can be cloned
+/// into worker threads — the parallel per-fold training in `pcount-core`
+/// clones one [`Sequential`] per cross-validation fold.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `x`.
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor;
 
@@ -58,6 +62,16 @@ pub trait Layer {
     /// layer type (used by the quantisation flow to fold batch-norm layers
     /// of a [`Sequential`] into their preceding convolutions).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Clones the layer behind a fresh box (object-safe `Clone`), so
+    /// containers of boxed layers — and whole networks — can be cloned.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Rectified linear unit.
@@ -108,6 +122,10 @@ impl Layer for Relu {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Flattens an NCHW tensor into `[N, C*H*W]`.
@@ -147,6 +165,10 @@ impl Layer for Flatten {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -246,6 +268,10 @@ impl Layer for MaxPool2d {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// A plain feed-forward stack of boxed layers.
@@ -259,6 +285,7 @@ impl Layer for MaxPool2d {
 /// let y = net.forward(&Tensor::ones(&[2, 3, 2, 2]), Mode::Eval);
 /// assert_eq!(y.shape(), &[2, 12]);
 /// ```
+#[derive(Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }

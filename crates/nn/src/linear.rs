@@ -1,14 +1,20 @@
 //! Fully connected (linear) layer.
 
 use crate::layer::{Layer, Mode};
-use pcount_tensor::Tensor;
+use pcount_tensor::{gemm, GemmScratch, Tensor};
 use rand::Rng;
 
 /// A fully connected layer computing `y = x W^T + b`.
 ///
 /// Weight layout is `[out_features, in_features]`, matching the convention
 /// of the convolution layer (output dimension first) so that the NAS channel
-/// masks and the quantizer treat both uniformly.
+/// masks and the quantizer treat both uniformly. Forward and both backward
+/// products run on the cache-blocked [`gemm`] engine (the transposed
+/// operands are free — packing reads through strides), with the weight
+/// gradient accumulated directly into `weight_grad`, so no intermediate
+/// tensors are allocated. [`Linear::forward_naive_with_weight`] /
+/// [`Linear::backward_naive_with_weight`] keep the plain triple-loop
+/// reference for the equivalence tests.
 ///
 /// # Example
 ///
@@ -37,6 +43,7 @@ pub struct Linear {
     /// Accumulated bias gradient.
     pub bias_grad: Tensor,
     cached_input: Option<Tensor>,
+    scratch: GemmScratch,
 }
 
 impl Linear {
@@ -56,6 +63,7 @@ impl Linear {
             weight_grad: Tensor::zeros(&[out_features, in_features]),
             bias_grad: Tensor::zeros(&[out_features]),
             cached_input: None,
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -76,39 +84,145 @@ impl Linear {
             weight,
             bias,
             cached_input: None,
+            scratch: GemmScratch::default(),
         }
     }
 
     /// Forward pass with an externally supplied effective weight tensor
-    /// (used by the NAS masked layers).
+    /// (used by the QAT fake-quantised weights and the NAS masked-layer
+    /// path): one `y = x · Wᵀ` GEMM plus a fused bias add.
     pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 2, "linear expects [N, in] input");
         assert_eq!(x.shape()[1], self.in_features, "linear input size mismatch");
+        let n = x.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        gemm(
+            &mut self.scratch,
+            false,
+            true,
+            n,
+            self.out_features,
+            self.in_features,
+            x.data(),
+            weight.data(),
+            out.data_mut(),
+            false,
+        );
+        let bd = self.bias.data();
+        for row in out.data_mut().chunks_exact_mut(self.out_features) {
+            for (v, &b) in row.iter_mut().zip(bd.iter()) {
+                *v += b;
+            }
+        }
         self.cached_input = Some(x.clone());
-        x.matmul(&weight.transpose()).add_row_bias(&self.bias)
+        out
     }
 
     /// Backward pass with an externally supplied effective weight tensor.
+    ///
+    /// `dW += dYᵀ · X` accumulates straight into `weight_grad` (no
+    /// intermediate), `db` is the column sums of `dY`, and `dX = dY · W`.
     pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
         let x = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("backward called before forward");
-        // dW = dY^T X, db = column sums of dY, dX = dY W.
-        let dw = grad_out.transpose().matmul(x);
-        self.weight_grad.axpy(1.0, &dw);
         let n = grad_out.shape()[0];
         let c = grad_out.shape()[1];
+        assert_eq!(c, self.out_features, "linear gradient size mismatch");
+        gemm(
+            &mut self.scratch,
+            true,
+            false,
+            self.out_features,
+            self.in_features,
+            n,
+            grad_out.data(),
+            x.data(),
+            self.weight_grad.data_mut(),
+            true,
+        );
         {
             let bg = self.bias_grad.data_mut();
-            let gd = grad_out.data();
-            for i in 0..n {
-                for j in 0..c {
-                    bg[j] += gd[i * c + j];
+            for row in grad_out.data().chunks_exact(c) {
+                for (b, &g) in bg.iter_mut().zip(row.iter()) {
+                    *b += g;
                 }
             }
         }
-        grad_out.matmul(weight)
+        let mut grad_in = Tensor::zeros(&[n, self.in_features]);
+        gemm(
+            &mut self.scratch,
+            false,
+            false,
+            n,
+            self.in_features,
+            self.out_features,
+            grad_out.data(),
+            weight.data(),
+            grad_in.data_mut(),
+            false,
+        );
+        grad_in
+    }
+
+    /// Reference forward pass: plain triple loop over `y = x Wᵀ + b`. Kept
+    /// for the GEMM-equivalence tests; not used by the training stack.
+    pub fn forward_naive_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "linear expects [N, in] input");
+        assert_eq!(x.shape()[1], self.in_features, "linear input size mismatch");
+        let n = x.shape()[0];
+        let (xd, wd, bd) = (x.data(), weight.data(), self.bias.data());
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        let od = out.data_mut();
+        for i in 0..n {
+            for o in 0..self.out_features {
+                let mut acc = bd[o];
+                for p in 0..self.in_features {
+                    acc += xd[i * self.in_features + p] * wd[o * self.in_features + p];
+                }
+                od[i * self.out_features + o] = acc;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    /// Reference backward pass mirroring
+    /// [`Linear::forward_naive_with_weight`].
+    pub fn backward_naive_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward called before forward");
+        let n = grad_out.shape()[0];
+        let c = grad_out.shape()[1];
+        assert_eq!(c, self.out_features, "linear gradient size mismatch");
+        let (xd, wd, gd) = (x.data(), weight.data(), grad_out.data());
+        {
+            let wg = self.weight_grad.data_mut();
+            let bg = self.bias_grad.data_mut();
+            for i in 0..n {
+                for o in 0..c {
+                    let g = gd[i * c + o];
+                    bg[o] += g;
+                    for p in 0..self.in_features {
+                        wg[o * self.in_features + p] += g * xd[i * self.in_features + p];
+                    }
+                }
+            }
+        }
+        let mut grad_in = Tensor::zeros(&[n, self.in_features]);
+        let gi = grad_in.data_mut();
+        for i in 0..n {
+            for o in 0..c {
+                let g = gd[i * c + o];
+                for p in 0..self.in_features {
+                    gi[i * self.in_features + p] += g * wd[o * self.in_features + p];
+                }
+            }
+        }
+        grad_in
     }
 }
 
@@ -136,6 +250,10 @@ impl Layer for Linear {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 

@@ -60,6 +60,10 @@ impl FakeQuantAct {
     }
 
     /// Forward pass (fake quantisation or calibration pass-through).
+    ///
+    /// The quantisation runs as one in-place slice sweep with all
+    /// constants hoisted (clip, divide-round, re-scale) — branch-free, so
+    /// it vectorises; QAT spends a large share of its forward time here.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         if !self.enabled {
             let max_abs = x.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
@@ -69,14 +73,21 @@ impl FakeQuantAct {
         self.cached_input = Some(x.clone());
         let alpha = self.alpha_value();
         let scale = self.scale();
-        let qmax = self.precision.qmax() as f32;
-        x.map(|v| {
-            let clipped = v.clamp(-alpha, alpha);
-            ((clipped / scale).round().clamp(-qmax, qmax)) * scale
-        })
+        let qmax = self.precision.qmax();
+        let mut out = x.clone();
+        for v in out.data_mut() {
+            *v = v.clamp(-alpha, alpha);
+        }
+        crate::qparams::fake_quant_slice(out.data_mut(), scale, qmax);
+        out
     }
 
     /// Backward pass; accumulates the `α` gradient and returns `dL/dx`.
+    ///
+    /// The straight-through estimator is computed branchlessly over the
+    /// slice: per element, a ±1/0 clip indicator both masks the input
+    /// gradient and weights the `α` gradient contribution, so the loop has
+    /// no data-dependent branches and vectorises.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         if !self.enabled {
             return grad_out.clone();
@@ -91,13 +102,10 @@ impl FakeQuantAct {
         {
             let gi = grad_in.data_mut();
             for (g, &v) in gi.iter_mut().zip(x.data().iter()) {
-                if v >= alpha {
-                    alpha_g += *g;
-                    *g = 0.0;
-                } else if v <= -alpha {
-                    alpha_g -= *g;
-                    *g = 0.0;
-                }
+                // +1 above the clip range, -1 below, 0 inside.
+                let clip = (v >= alpha) as i32 - (v <= -alpha) as i32;
+                alpha_g += clip as f32 * *g;
+                *g *= (clip == 0) as i32 as f32;
             }
         }
         self.alpha_grad.data_mut()[0] += alpha_g;

@@ -76,10 +76,28 @@ pub fn weight_scale(weights: &Tensor, precision: Precision) -> f32 {
     (max_abs / precision.qmax() as f32).max(1e-8)
 }
 
+/// Quantise-dequantise a slice in place: `v ← round(v / scale)·scale`,
+/// clamped to `±qmax` codes.
+///
+/// This is the shared vectorised kernel under all QAT fake quantisation:
+/// the clamp bounds and scales are hoisted out of the loop and the body is
+/// branch-free, so the compiler turns it into straight SIMD. For inputs
+/// whose codes fit in `i32` (always true for weights and clipped
+/// activations, whose scale is derived from their own maximum) the results
+/// are bit-identical to the scalar [`quantize_value`] path.
+pub fn fake_quant_slice(values: &mut [f32], scale: f32, qmax: i32) {
+    let qmax_f = qmax as f32;
+    for v in values {
+        *v = (*v / scale).round().clamp(-qmax_f, qmax_f) * scale;
+    }
+}
+
 /// Quantises and immediately dequantises a tensor ("fake quantisation"),
-/// the operation simulated during QAT.
+/// the operation simulated during QAT. Rides [`fake_quant_slice`].
 pub fn fake_quant_tensor(t: &Tensor, scale: f32, qmax: i32) -> Tensor {
-    t.map(|v| quantize_value(v, scale, qmax) as f32 * scale)
+    let mut out = t.clone();
+    fake_quant_slice(out.data_mut(), scale, qmax);
+    out
 }
 
 #[cfg(test)]

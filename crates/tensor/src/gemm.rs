@@ -1,0 +1,678 @@
+//! Cache-blocked GEMM with a register-blocked micro-kernel, plus
+//! `im2col`/`col2im` packing for convolution lowering.
+//!
+//! This module is the training hot path of the whole reproduction: every
+//! `Conv2d` and `Linear` forward/backward in `pcount-nn` lowers to calls
+//! into [`gemm`], and the QAT sweep in `pcount-core` rides the same code.
+//! The design is the classic three-level blocking of Goto-style GEMMs,
+//! scaled down for the model sizes of this paper (matrices up to a few
+//! hundred on a side):
+//!
+//! * the innermost **micro-kernel** keeps an `MR x NR` accumulator tile in
+//!   registers and streams packed panels of A and B through it (the `NR`
+//!   dimension auto-vectorises);
+//! * operands are **packed** into panel-major buffers once per cache
+//!   block, which makes transposed operands free (packing reads through
+//!   strides) and keeps the micro-kernel's memory traffic unit-stride;
+//! * packing buffers live in a caller-owned [`GemmScratch`] **arena** so a
+//!   training loop that issues thousands of small GEMMs per epoch performs
+//!   zero allocations after warm-up.
+//!
+//! Accumulation order is fixed by the blocking (k is swept in `KC` chunks,
+//! innermost), so results are deterministic across runs and threads —
+//! parallel fold training in `pcount-core` relies on this.
+
+/// Rows of the register tile (accumulator height).
+const MR: usize = 4;
+/// Columns of the register tile; 16 f32 lanes vectorise to 2–4 SIMD
+/// registers per accumulator row.
+const NR: usize = 16;
+/// k-dimension cache block: one packed A panel column stays in L1/L2.
+const KC: usize = 256;
+/// m-dimension cache block (multiple of [`MR`]).
+const MC: usize = 128;
+/// n-dimension cache block (multiple of [`NR`]).
+const NC: usize = 1024;
+
+/// Reusable packing arena for [`gemm`].
+///
+/// Holds the panel-major copies of the current A and B cache blocks. Create
+/// one per training thread (it is cheap when empty) and pass it to every
+/// GEMM call; buffers grow to the high-water mark of the workload and are
+/// never shrunk, so steady-state training performs no allocation.
+///
+/// # Example
+///
+/// ```
+/// use pcount_tensor::{gemm, GemmScratch};
+/// let (a, b) = (vec![1.0f32; 6], vec![1.0f32; 6]);
+/// let mut c = vec![0.0f32; 4];
+/// let mut scratch = GemmScratch::default();
+/// // C[2x2] = A[2x3] * B[3x2]
+/// gemm(&mut scratch, false, false, 2, 2, 3, &a, &b, &mut c, false);
+/// assert_eq!(c, vec![3.0; 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    packed_a: Vec<f32>,
+    packed_b: Vec<f32>,
+}
+
+impl Clone for GemmScratch {
+    /// Clones are fresh arenas: packed panels are transient per-call state
+    /// and copying them would only waste memory.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+/// `C[m x n] = A_eff[m x k] · B_eff[k x n]` (`+=` when `accumulate`).
+///
+/// `A_eff` is `a` interpreted as row-major `[m, k]`, or as the transpose
+/// of row-major `[k, m]` when `trans_a` is set; `B_eff` likewise is
+/// `[k, n]` or the transpose of `[n, k]` when `trans_b` is set. `c` is
+/// always row-major `[m, n]` and is overwritten unless `accumulate` asks
+/// for `C += A·B` (used to accumulate weight gradients in place).
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its shape implies.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    scratch: &mut GemmScratch,
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    accumulate: bool,
+) {
+    assert!(a.len() >= m * k, "gemm: A too short for {m}x{k}");
+    assert!(b.len() >= k * n, "gemm: B too short for {k}x{n}");
+    assert!(c.len() >= m * n, "gemm: C too short for {m}x{n}");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !accumulate {
+            c[..m * n].fill(0.0);
+        }
+        return;
+    }
+    // Element (r, c) of an effective operand lives at `r*rs + c*cs`.
+    let (rs_a, cs_a) = if trans_a { (1, m) } else { (k, 1) };
+    let (rs_b, cs_b) = if trans_b { (1, k) } else { (n, 1) };
+
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        let first_k_block = pc == 0;
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            pack_b(scratch, b, pc, jc, kc, nc, rs_b, cs_b);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(scratch, a, ic, pc, mc, kc, rs_a, cs_a);
+                multiply_block(
+                    scratch,
+                    c,
+                    n,
+                    ic,
+                    jc,
+                    mc,
+                    nc,
+                    kc,
+                    accumulate || !first_k_block,
+                );
+            }
+        }
+    }
+}
+
+/// Packs the `mc x kc` block of A starting at `(ic, pc)` into panels of
+/// [`MR`] rows, zero-padding the ragged last panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    scratch: &mut GemmScratch,
+    a: &[f32],
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    rs: usize,
+    cs: usize,
+) {
+    let panels = mc.div_ceil(MR);
+    scratch.packed_a.resize(panels * kc * MR, 0.0);
+    for pi in 0..panels {
+        let row0 = ic + pi * MR;
+        let rows = MR.min(ic + mc - row0);
+        let dst = &mut scratch.packed_a[pi * kc * MR..(pi + 1) * kc * MR];
+        if rows < MR {
+            dst.fill(0.0);
+        }
+        for (p, out) in dst.chunks_exact_mut(MR).enumerate() {
+            let col = pc + p;
+            for (i, slot) in out[..rows].iter_mut().enumerate() {
+                *slot = a[(row0 + i) * rs + col * cs];
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` block of B starting at `(pc, jc)` into panels of
+/// [`NR`] columns, zero-padding the ragged last panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    scratch: &mut GemmScratch,
+    b: &[f32],
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    rs: usize,
+    cs: usize,
+) {
+    let panels = nc.div_ceil(NR);
+    scratch.packed_b.resize(panels * kc * NR, 0.0);
+    for pj in 0..panels {
+        let col0 = jc + pj * NR;
+        let cols = NR.min(jc + nc - col0);
+        let dst = &mut scratch.packed_b[pj * kc * NR..(pj + 1) * kc * NR];
+        if cols < NR {
+            dst.fill(0.0);
+        }
+        for (p, out) in dst.chunks_exact_mut(NR).enumerate() {
+            let row = pc + p;
+            if cs == 1 {
+                // Contiguous source row: straight copy (the common
+                // non-transposed case vectorises to memcpy).
+                let base = row * rs + col0;
+                out[..cols].copy_from_slice(&b[base..base + cols]);
+            } else {
+                for (j, slot) in out[..cols].iter_mut().enumerate() {
+                    *slot = b[row * rs + (col0 + j) * cs];
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies the packed A block by the packed B block into the `C` tile
+/// at `(ic, jc)`.
+#[allow(clippy::too_many_arguments)]
+fn multiply_block(
+    scratch: &GemmScratch,
+    c: &mut [f32],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    accumulate: bool,
+) {
+    let m_panels = mc.div_ceil(MR);
+    let n_panels = nc.div_ceil(NR);
+    for pj in 0..n_panels {
+        let pb = &scratch.packed_b[pj * kc * NR..(pj + 1) * kc * NR];
+        let cols = NR.min(nc - pj * NR);
+        for pi in 0..m_panels {
+            let pa = &scratch.packed_a[pi * kc * MR..(pi + 1) * kc * MR];
+            let rows = MR.min(mc - pi * MR);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(kc, pa, pb, &mut acc);
+            let c_row0 = ic + pi * MR;
+            let c_col0 = jc + pj * NR;
+            for (i, acc_row) in acc.iter().enumerate().take(rows) {
+                let dst = &mut c[(c_row0 + i) * ldc + c_col0..(c_row0 + i) * ldc + c_col0 + cols];
+                if accumulate {
+                    for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
+                        *d += v;
+                    }
+                } else {
+                    dst.copy_from_slice(&acc_row[..cols]);
+                }
+            }
+        }
+    }
+}
+
+/// The register-blocked inner kernel: `acc[MR][NR] += pa ⊗ pb` over `kc`
+/// rank-1 updates. `pa`/`pb` are panel-major, so every iteration reads
+/// `MR + NR` contiguous floats; the `NR` loop vectorises.
+#[inline(always)]
+fn microkernel(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let ai = a[i];
+            for (j, slot) in acc_row.iter_mut().enumerate() {
+                *slot += ai * b[j];
+            }
+        }
+    }
+}
+
+/// Lowers one `[c, h, w]` image into a `[c*k*k, ho*wo]` column matrix for
+/// a `k x k` convolution with the given stride and zero padding, writing
+/// into `col` (resized, previous contents discarded).
+///
+/// Row `(ci*k + ky)*k + kx` of the column matrix holds, for every output
+/// position `(oy, ox)`, the input value under kernel tap `(ky, kx)` of
+/// channel `ci` — zero where the tap falls into the padding. A convolution
+/// then becomes `out[co][oy*wo+ox] = Σ W[co][row] · col[row][oy*wo+ox]`,
+/// i.e. one GEMM per image.
+///
+/// Returns `(ho, wo)`.
+///
+/// # Panics
+///
+/// Panics if `src` is shorter than `c*h*w` or the geometry yields an empty
+/// output.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    src: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    col: &mut Vec<f32>,
+) -> (usize, usize) {
+    assert!(src.len() >= c * h * w, "im2col: image too short");
+    assert!(stride > 0 && k > 0, "im2col: degenerate geometry");
+    let ho = (h + 2 * padding - k) / stride + 1;
+    let wo = (w + 2 * padding - k) / stride + 1;
+    col.resize(c * k * k * ho * wo, 0.0);
+    for ci in 0..c {
+        let img = &src[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let dst = &mut col[row * ho * wo..(row + 1) * ho * wo];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    let line = &mut dst[oy * wo..(oy + 1) * wo];
+                    if iy < 0 || iy >= h as isize {
+                        line.fill(0.0);
+                        continue;
+                    }
+                    let src_line = &img[iy as usize * w..(iy as usize + 1) * w];
+                    // Valid ox range: 0 <= ox*stride + kx - padding < w.
+                    let (lo, hi) = valid_range(wo, w, kx, stride, padding);
+                    line[..lo].fill(0.0);
+                    line[hi..].fill(0.0);
+                    if lo >= hi {
+                        // The tap never lands in-bounds on this row (the
+                        // kernel overhangs the full width); everything is
+                        // already zero-filled and the copy offset below
+                        // would underflow.
+                        continue;
+                    }
+                    if stride == 1 {
+                        // For stride 1 the inner gather is a straight copy
+                        // (a non-empty range pins lo + kx >= padding).
+                        let start = lo + kx - padding;
+                        line[lo..hi].copy_from_slice(&src_line[start..start + (hi - lo)]);
+                    } else {
+                        for (ox, slot) in line[lo..hi].iter_mut().enumerate() {
+                            let ix = ((lo + ox) * stride + kx) as isize - padding as isize;
+                            *slot = src_line[ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (ho, wo)
+}
+
+/// Scatter-adds a `[c*k*k, ho*wo]` column-matrix gradient back onto the
+/// `[c, h, w]` image gradient (`dst += col2im(col)`): the exact adjoint of
+/// [`im2col`], used for the convolution input gradient.
+///
+/// # Panics
+///
+/// Panics if the slices are shorter than their shapes imply.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    col: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    dst: &mut [f32],
+) {
+    assert!(dst.len() >= c * h * w, "col2im: image too short");
+    assert!(stride > 0 && k > 0, "col2im: degenerate geometry");
+    let ho = (h + 2 * padding - k) / stride + 1;
+    let wo = (w + 2 * padding - k) / stride + 1;
+    assert!(col.len() >= c * k * k * ho * wo, "col2im: column too short");
+    for ci in 0..c {
+        let img = &mut dst[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let src = &col[row * ho * wo..(row + 1) * ho * wo];
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let line = &src[oy * wo..(oy + 1) * wo];
+                    let img_line = &mut img[iy as usize * w..(iy as usize + 1) * w];
+                    let (lo, hi) = valid_range(wo, w, kx, stride, padding);
+                    for (ox, &v) in line[lo..hi].iter().enumerate() {
+                        let ix = ((lo + ox) * stride + kx) as isize - padding as isize;
+                        img_line[ix as usize] += v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output-column range `[lo, hi)` whose kernel tap `kx` lands inside
+/// `[0, w)` for the given stride/padding.
+fn valid_range(wo: usize, w: usize, kx: usize, stride: usize, padding: usize) -> (usize, usize) {
+    let lo = padding.saturating_sub(kx).div_ceil(stride).min(wo);
+    // Largest ox with ox*stride + kx - padding <= w - 1.
+    let hi = if w + padding > kx {
+        ((w + padding - 1 - kx) / stride + 1).min(wo)
+    } else {
+        0
+    };
+    (lo, hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    fn random_vec(n: usize, rng: &mut SplitMix64) -> Vec<f32> {
+        (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+    }
+
+    /// Naive reference: C = A_eff · B_eff with the same effective-operand
+    /// convention as [`gemm`].
+    #[allow(clippy::too_many_arguments)]
+    fn reference(
+        trans_a: bool,
+        trans_b: bool,
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+    ) -> Vec<f32> {
+        let a_at = |i: usize, p: usize| if trans_a { a[p * m + i] } else { a[i * k + p] };
+        let b_at = |p: usize, j: usize| if trans_b { b[j * k + p] } else { b[p * n + j] };
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += (a_at(i, p) * b_at(p, j)) as f64;
+                }
+                c[i * n + j] = acc as f32;
+            }
+        }
+        c
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], tol: f32) {
+        assert_eq!(got.len(), want.len());
+        for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+            let scale = 1.0f32.max(w.abs());
+            assert!(
+                (g - w).abs() <= tol * scale,
+                "element {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_across_shapes_and_transposes() {
+        let mut rng = SplitMix64::new(1);
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 16, 8),
+            (5, 17, 9),
+            (MR, NR, KC),
+            (MR + 1, NR + 1, KC + 1),
+            (33, 70, 41),
+            (130, 65, 260),
+        ] {
+            for &(ta, tb) in &[(false, false), (true, false), (false, true), (true, true)] {
+                let a = random_vec(m * k, &mut rng);
+                let b = random_vec(k * n, &mut rng);
+                let mut c = vec![f32::NAN; m * n];
+                let mut scratch = GemmScratch::default();
+                gemm(&mut scratch, ta, tb, m, n, k, &a, &b, &mut c, false);
+                let want = reference(ta, tb, m, n, k, &a, &b);
+                assert_close(&c, &want, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_accumulate_adds_onto_existing_c() {
+        let mut rng = SplitMix64::new(2);
+        let (m, n, k) = (7, 19, 300);
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let init = random_vec(m * n, &mut rng);
+        let mut c = init.clone();
+        let mut scratch = GemmScratch::default();
+        gemm(&mut scratch, false, false, m, n, k, &a, &b, &mut c, true);
+        let mut want = reference(false, false, m, n, k, &a, &b);
+        for (w, &i) in want.iter_mut().zip(init.iter()) {
+            *w += i;
+        }
+        assert_close(&c, &want, 1e-4);
+    }
+
+    #[test]
+    fn gemm_with_zero_k_clears_or_preserves_c() {
+        let mut scratch = GemmScratch::default();
+        let mut c = vec![3.0f32; 4];
+        gemm(&mut scratch, false, false, 2, 2, 0, &[], &[], &mut c, false);
+        assert_eq!(c, vec![0.0; 4]);
+        let mut c = vec![3.0f32; 4];
+        gemm(&mut scratch, false, false, 2, 2, 0, &[], &[], &mut c, true);
+        assert_eq!(c, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn gemm_is_deterministic_across_calls_and_scratch_reuse() {
+        let mut rng = SplitMix64::new(3);
+        let (m, n, k) = (31, 47, 129);
+        let a = random_vec(m * k, &mut rng);
+        let b = random_vec(k * n, &mut rng);
+        let mut scratch = GemmScratch::default();
+        let mut c1 = vec![0.0f32; m * n];
+        gemm(&mut scratch, false, false, m, n, k, &a, &b, &mut c1, false);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm(&mut scratch, false, false, m, n, k, &a, &b, &mut c2, false);
+        let mut c3 = vec![0.0f32; m * n];
+        gemm(
+            &mut GemmScratch::default(),
+            false,
+            false,
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            &mut c3,
+            false,
+        );
+        assert_eq!(c1, c2, "scratch reuse must not change results");
+        assert_eq!(c1, c3, "fresh scratch must not change results");
+    }
+
+    /// Direct per-element convolution used as the im2col oracle.
+    #[allow(clippy::too_many_arguments)]
+    fn conv_reference(
+        src: &[f32],
+        weight: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        co: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Vec<f32> {
+        let ho = (h + 2 * padding - k) / stride + 1;
+        let wo = (w + 2 * padding - k) / stride + 1;
+        let mut out = vec![0.0f32; co * ho * wo];
+        for o in 0..co {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as isize - padding as isize;
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += src[(ci * h + iy as usize) * w + ix as usize]
+                                    * weight[((o * c + ci) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    out[(o * ho + oy) * wo + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn im2col_gemm_equals_direct_convolution() {
+        let mut rng = SplitMix64::new(4);
+        for &(c, h, w, co, k, stride, padding) in &[
+            (1, 8, 8, 4, 3, 1, 1),
+            (3, 8, 8, 5, 3, 1, 1),
+            (2, 9, 7, 3, 3, 2, 1),
+            (2, 8, 8, 3, 1, 1, 0),
+            (1, 5, 5, 2, 5, 1, 2),
+            (2, 6, 6, 4, 3, 3, 0),
+        ] {
+            let src = random_vec(c * h * w, &mut rng);
+            let weight = random_vec(co * c * k * k, &mut rng);
+            let mut col = Vec::new();
+            let (ho, wo) = im2col(&src, c, h, w, k, stride, padding, &mut col);
+            let mut out = vec![0.0f32; co * ho * wo];
+            let mut scratch = GemmScratch::default();
+            gemm(
+                &mut scratch,
+                false,
+                false,
+                co,
+                ho * wo,
+                c * k * k,
+                &weight,
+                &col,
+                &mut out,
+                false,
+            );
+            let want = conv_reference(&src, &weight, c, h, w, co, k, stride, padding);
+            assert_close(&out, &want, 1e-5);
+        }
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of an adjoint pair, which is exactly what the conv
+        // backward pass needs.
+        let mut rng = SplitMix64::new(5);
+        for &(c, h, w, k, stride, padding) in &[
+            (2, 8, 8, 3, 1, 1),
+            (1, 7, 9, 3, 2, 1),
+            (3, 5, 5, 1, 1, 0),
+            (1, 6, 6, 3, 3, 0),
+        ] {
+            let x = random_vec(c * h * w, &mut rng);
+            let mut col = Vec::new();
+            let (ho, wo) = im2col(&x, c, h, w, k, stride, padding, &mut col);
+            let y = random_vec(c * k * k * ho * wo, &mut rng);
+            let lhs: f64 = col
+                .iter()
+                .zip(y.iter())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
+            let mut back = vec![0.0f32; c * h * w];
+            col2im(&y, c, h, w, k, stride, padding, &mut back);
+            let rhs: f64 = x
+                .iter()
+                .zip(back.iter())
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
+            assert!(
+                (lhs - rhs).abs() <= 1e-3 * lhs.abs().max(1.0),
+                "adjoint mismatch: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn im2col_handles_kernels_overhanging_the_full_width() {
+        // k > w: some kernel taps never land in-bounds on any output
+        // column — their rows must come back all-zero instead of
+        // panicking on an underflowed copy offset (regression test).
+        let (c, h, w, k, stride, padding) = (1, 6, 2, 6, 1, 2);
+        let src: Vec<f32> = (0..c * h * w).map(|i| i as f32 + 1.0).collect();
+        let mut col = Vec::new();
+        let (ho, wo) = im2col(&src, c, h, w, k, stride, padding, &mut col);
+        assert_eq!((ho, wo), (5, 1));
+        // Tap kx=5 needs ix = 0*1 + 5 - 2 = 3 >= w for every ox: all zero.
+        for ky in 0..k {
+            let row = (ky * k + 5) * ho * wo;
+            assert!(col[row..row + ho * wo].iter().all(|&v| v == 0.0));
+        }
+        // And the whole matrix still matches the direct convolution.
+        let weight = vec![1.0f32; k * k];
+        let mut out = vec![0.0f32; ho * wo];
+        let mut scratch = GemmScratch::default();
+        gemm(
+            &mut scratch,
+            false,
+            false,
+            1,
+            ho * wo,
+            c * k * k,
+            &weight,
+            &col,
+            &mut out,
+            false,
+        );
+        let want = conv_reference(&src, &weight, c, h, w, 1, k, stride, padding);
+        assert_close(&out, &want, 1e-5);
+    }
+
+    #[test]
+    fn col2im_accumulates_into_existing_gradient() {
+        let (c, h, w, k) = (1, 4, 4, 3);
+        let x = vec![1.0f32; c * h * w];
+        let mut col = Vec::new();
+        let _ = im2col(&x, c, h, w, k, 1, 1, &mut col);
+        let ones = vec![1.0f32; col.len()];
+        let mut dst = vec![10.0f32; c * h * w];
+        col2im(&ones, c, h, w, k, 1, 1, &mut dst);
+        // Every interior pixel is covered by k*k = 9 taps; corners by 4.
+        assert_eq!(dst[5], 19.0);
+        assert_eq!(dst[0], 14.0);
+    }
+}

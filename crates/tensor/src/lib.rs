@@ -21,9 +21,11 @@
 //! [`pcount-nas`]: https://docs.rs/pcount-nas
 //! [`pcount-quant`]: https://docs.rs/pcount-quant
 
+mod gemm;
 mod shape;
 mod tensor;
 
+pub use gemm::{col2im, gemm, im2col, GemmScratch};
 pub use shape::{broadcast_shapes, numel, strides_for, Shape, ShapeError};
 pub use tensor::Tensor;
 

@@ -264,29 +264,39 @@ impl Tensor {
 
     /// 2-D matrix multiplication: `self [m, k] x other [k, n] -> [m, n]`.
     ///
+    /// Runs on the cache-blocked [`crate::gemm`] engine with a thread-local
+    /// packing arena, so repeated products allocate nothing beyond the
+    /// result tensor.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Self) -> Self {
+        use std::cell::RefCell;
+        thread_local! {
+            static SCRATCH: RefCell<crate::GemmScratch> =
+                RefCell::new(crate::GemmScratch::default());
+        }
         assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
         assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dimension mismatch ({k} vs {k2})");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row = &other.data[p * n..(p + 1) * n];
-                let dst = &mut out[i * n..(i + 1) * n];
-                for (d, &b) in dst.iter_mut().zip(row.iter()) {
-                    *d += a * b;
-                }
-            }
-        }
+        SCRATCH.with(|scratch| {
+            crate::gemm(
+                &mut scratch.borrow_mut(),
+                false,
+                false,
+                m,
+                n,
+                k,
+                &self.data,
+                &other.data,
+                &mut out,
+                false,
+            );
+        });
         Self::from_vec(out, &[m, n])
     }
 
