@@ -4,19 +4,22 @@
 //! (the program every Table-I / Fig. 5–7 measurement funnels through).
 //!
 //! Besides the criterion timings, the bench prints an explicit
-//! instructions-per-second summary (engine speedup, chaining delta,
-//! parallel scaling), a trace-cache profile of the hottest superblocks,
-//! and writes the numbers to `BENCH_isa.json` at the workspace root so
-//! the perf trajectory stays machine-readable across PRs.
+//! instructions-per-second summary (engine speedup under both memory
+//! models, chaining delta, parallel scaling), the Flat-vs-Maupiti
+//! memory-hierarchy cycle delta with its stall breakdown, a trace-cache
+//! profile of the hottest superblocks (with the per-trace memory-stall
+//! column), and writes the numbers to `BENCH_isa.json` at the workspace
+//! root so the perf trajectory stays machine-readable across PRs.
 //!
 //! `BENCH_SMOKE=1` (used by CI) shrinks every measurement window to a
 //! handful of iterations and skips the wall-clock assertions — the
-//! bit-identity checks across engines, chaining modes and thread counts
-//! still run, so engine regressions fail fast without timing noise.
+//! bit-identity checks across engines, memory models, chaining modes and
+//! thread counts still run, so engine regressions fail fast without
+//! timing noise.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcount_bench::demo_int8_model;
-use pcount_kernels::{Deployment, ExecMode, Target};
+use pcount_kernels::{Deployment, ExecMode, MemoryModel, Target};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::time::Instant;
@@ -40,9 +43,19 @@ fn measure_secs() -> f64 {
 }
 
 fn deployment_with_mode(model: &QuantizedCnn, mode: ExecMode, chaining: bool) -> Deployment {
+    deployment_with(model, mode, chaining, MemoryModel::Flat)
+}
+
+fn deployment_with(
+    model: &QuantizedCnn,
+    mode: ExecMode,
+    chaining: bool,
+    mem: MemoryModel,
+) -> Deployment {
     let mut deployment = Deployment::new(model, Target::Maupiti).expect("deploy");
     deployment.set_exec_mode(mode);
     deployment.set_superblock_chaining(chaining);
+    deployment.set_memory_model(mem);
     deployment
 }
 
@@ -111,6 +124,9 @@ fn check_bit_identity(model: &QuantizedCnn, batch: &Tensor) {
     let mut pool = chained.make_pool(PARALLEL_THREADS).expect("pool");
     let parallel = chained.run_batch(batch, &mut pool).expect("parallel batch");
     assert_eq!(parallel, serial, "parallel batch must be bit-identical");
+    let maupiti_simple = deployment_with(model, ExecMode::Simple, true, MemoryModel::maupiti());
+    let maupiti_chained =
+        deployment_with(model, ExecMode::BlockCached, true, MemoryModel::maupiti());
     for (i, run) in serial.iter().enumerate() {
         let frame = &batch.data()[i * 64..(i + 1) * 64];
         let rs = simple.run_frame(frame).expect("simple frame");
@@ -119,6 +135,18 @@ fn check_bit_identity(model: &QuantizedCnn, batch: &Tensor) {
         assert_eq!(run.instructions, rs.instructions, "instret diverged");
         assert_eq!(run.logits, ru.logits, "chaining changed logits (frame {i})");
         assert_eq!(run.cycles, ru.cycles, "chaining changed cycle counts");
+        // Flat is the default model and must stay free of memory stalls.
+        assert_eq!(run.mem, Default::default(), "Flat charged stalls");
+        // The Maupiti hierarchy keeps architectural results bit-identical,
+        // charges strictly more cycles (exactly its stall breakdown), and
+        // both engines agree on that breakdown.
+        let rm = maupiti_chained.run_frame(frame).expect("maupiti frame");
+        let rms = maupiti_simple.run_frame(frame).expect("maupiti simple");
+        assert_eq!(rm.logits, run.logits, "memory model changed logits");
+        assert_eq!(rm.instructions, run.instructions);
+        assert_eq!(rm.cycles, run.cycles + rm.mem.stall_cycles());
+        assert!(rm.mem.fetch_misses > 0, "CNN branches must miss");
+        assert_eq!(rm.mem, rms.mem, "engines disagree on the stall model");
     }
 }
 
@@ -165,16 +193,28 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let simple = deployment_with_mode(&model, ExecMode::Simple, true);
     let chained = deployment_with_mode(&model, ExecMode::BlockCached, true);
     let unchained = deployment_with_mode(&model, ExecMode::BlockCached, false);
+    let maupiti_simple = deployment_with(&model, ExecMode::Simple, true, MemoryModel::maupiti());
+    let maupiti_chained =
+        deployment_with(&model, ExecMode::BlockCached, true, MemoryModel::maupiti());
     let ips_simple = measure_ips(&simple, &frame);
     let ips_unchained = measure_ips(&unchained, &frame);
     let ips_chained = measure_ips(&chained, &frame);
+    let ips_maupiti_simple = measure_ips(&maupiti_simple, &frame);
+    let ips_maupiti_chained = measure_ips(&maupiti_chained, &frame);
     let ips_parallel = measure_batch_ips(&chained, &batch, PARALLEL_THREADS);
     let speedup = ips_chained / ips_simple;
+    let speedup_maupiti = ips_maupiti_chained / ips_maupiti_simple;
     let chaining_delta = ips_chained / ips_unchained;
     let scaling = ips_parallel / ips_chained;
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    // Flat-vs-Maupiti cycle delta of one inference: how much the modelled
+    // memory hierarchy costs over the ideal memories of the flat model.
+    let run_flat = chained.run_frame(&frame).expect("flat run");
+    let run_maupiti = maupiti_chained.run_frame(&frame).expect("maupiti run");
+    let cycle_delta = run_maupiti.cycles as f64 / run_flat.cycles as f64;
 
     println!("isa_throughput summary (deployed CNN, MAUPITI target):");
     println!("  simple:                  {ips_simple:>10.2e} instructions/s");
@@ -182,14 +222,24 @@ fn bench_engine_throughput(c: &mut Criterion) {
     println!("  block_cached (chained):  {ips_chained:>10.2e} instructions/s");
     println!("  parallel x{PARALLEL_THREADS} (chained):   {ips_parallel:>10.2e} instructions/s");
     println!("  engine speedup:          {speedup:.2}x (acceptance target: >= 5x)");
+    println!("  engine speedup (maupiti mem model): {speedup_maupiti:.2}x");
     println!("  chaining delta:          {chaining_delta:.3}x single-thread");
     println!("  parallel scaling:        {scaling:.2}x at {PARALLEL_THREADS} threads ({host_threads} host threads)");
+    println!(
+        "  memory hierarchy:        flat {} cycles -> maupiti {} cycles/inference ({:.3}x, \
+         {} imem stall + {} dmem stall)",
+        run_flat.cycles,
+        run_maupiti.cycles,
+        cycle_delta,
+        run_maupiti.mem.imem_stall_cycles,
+        run_maupiti.mem.dmem_stall_cycles,
+    );
 
-    println!("hottest superblock traces (one inference):");
-    for h in chained.hottest_blocks(&frame, 8).expect("profile") {
+    println!("hottest superblock traces (one inference, maupiti mem model):");
+    for h in maupiti_chained.hottest_blocks(&frame, 8).expect("profile") {
         println!(
-            "  pc {:#07x}: {:>9} executions, {:>10} instructions",
-            h.entry_pc, h.executions, h.instructions
+            "  pc {:#07x}: {:>9} executions, {:>10} instructions, {:>8} mem-stall cycles",
+            h.entry_pc, h.executions, h.instructions, h.mem_stall_cycles
         );
     }
 
@@ -204,10 +254,36 @@ fn bench_engine_throughput(c: &mut Criterion) {
         ("ips_simple", format!("{ips_simple:.3e}")),
         ("ips_block_cached_unchained", format!("{ips_unchained:.3e}")),
         ("ips_block_cached", format!("{ips_chained:.3e}")),
+        (
+            "ips_simple_maupiti_mem",
+            format!("{ips_maupiti_simple:.3e}"),
+        ),
+        (
+            "ips_block_cached_maupiti_mem",
+            format!("{ips_maupiti_chained:.3e}"),
+        ),
         ("ips_parallel", format!("{ips_parallel:.3e}")),
         ("engine_speedup", format!("{speedup:.3}")),
+        (
+            "engine_speedup_maupiti_mem",
+            format!("{speedup_maupiti:.3}"),
+        ),
         ("chaining_delta", format!("{chaining_delta:.3}")),
         ("parallel_scaling", format!("{scaling:.3}")),
+        ("cycles_per_inference_flat", run_flat.cycles.to_string()),
+        (
+            "cycles_per_inference_maupiti",
+            run_maupiti.cycles.to_string(),
+        ),
+        ("maupiti_cycle_delta", format!("{cycle_delta:.4}")),
+        (
+            "maupiti_imem_stall_cycles",
+            run_maupiti.mem.imem_stall_cycles.to_string(),
+        ),
+        (
+            "maupiti_dmem_stall_cycles",
+            run_maupiti.mem.dmem_stall_cycles.to_string(),
+        ),
     ]);
 
     if smoke {
@@ -221,6 +297,14 @@ fn bench_engine_throughput(c: &mut Criterion) {
     assert!(
         speedup >= 3.0,
         "block-cached engine regressed to {speedup:.2}x the reference interpreter"
+    );
+    // The per-trace memory-model charging must keep the engine fast under
+    // the Maupiti hierarchy too — the summaries exist precisely so the
+    // model is paid once per trace, not once per instruction.
+    assert!(
+        speedup_maupiti >= 3.0,
+        "block-cached engine under the maupiti memory model regressed to \
+         {speedup_maupiti:.2}x the reference interpreter"
     );
     // On the deployed CNN the dispatch memo and self-loop fast path
     // already cover most dispatches, so the chaining delta hovers around

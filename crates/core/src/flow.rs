@@ -2,12 +2,12 @@
 
 use crate::pareto::ParetoPoint;
 use pcount_dataset::{CvFold, DatasetConfig, IrDataset};
-use pcount_kernels::{resolve_threads, DeployError, Deployment, Target};
+use pcount_kernels::{resolve_threads, DeployError, Deployment, MemStats, MemoryModel, Target};
 use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
 };
-use pcount_platform::{result_from_report, PlatformSpec};
+use pcount_platform::{result_from_report, EnergyBreakdown, PlatformSpec};
 use pcount_postproc::apply_majority;
 use pcount_quant::{
     fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
@@ -46,13 +46,23 @@ pub struct FlowConfig {
     /// auto: the host's available parallelism). Results are identical for
     /// any value — candidates are independent and collected in order.
     pub deploy_threads: usize,
-    /// Worker threads for the per-fold training and QAT loops (`0` =
-    /// auto). Every fold draws from its own RNG stream derived via
-    /// SplitMix64 from [`FlowConfig::rng_seed`], so results are identical
-    /// for any value — folds are independent and collected in order. (The
-    /// switch from one shared RNG stream to per-fold derived streams was a
-    /// one-time results change; see the README's training-engine notes.)
+    /// Worker threads for the training workloads (`0` = auto): the λ
+    /// sweep points fan out across workers, and the budget left over per
+    /// sweep point drives its per-fold training and QAT loops. Every
+    /// (phase, λ, fold) work item draws from its own RNG stream derived
+    /// via SplitMix64 from [`FlowConfig::rng_seed`], so results are
+    /// identical for any value — work items are independent and collected
+    /// in order. (The switch from one shared RNG stream to per-item
+    /// derived streams was a one-time results change; see the README's
+    /// training-engine notes.)
     pub train_threads: usize,
+    /// The memory-hierarchy model the deployment sweep charges cycles
+    /// through. The default [`MemoryModel::Flat`] reproduces the
+    /// historical cycle/energy numbers bit-identically;
+    /// [`MemoryModel::maupiti`] adds prefetch-refill and SRAM-contention
+    /// stalls and fills the per-component breakdown of
+    /// [`DeployedCost::mem`] / [`DeployedCost::energy`].
+    pub mem_model: MemoryModel,
 }
 
 impl FlowConfig {
@@ -117,6 +127,7 @@ impl FlowConfig {
             max_folds: 1,
             deploy_threads: 0,
             train_threads: 0,
+            mem_model: MemoryModel::Flat,
         }
     }
 
@@ -169,6 +180,7 @@ impl FlowConfig {
             max_folds: 1,
             deploy_threads: 0,
             train_threads: 0,
+            mem_model: MemoryModel::Flat,
         }
     }
 }
@@ -219,6 +231,12 @@ pub struct DeployedCost {
     pub latency_ms: f64,
     /// Energy per inference in microjoules.
     pub energy_uj: f64,
+    /// Per-cause memory stall breakdown of the measured inference (all
+    /// zero under [`MemoryModel::Flat`]).
+    pub mem: MemStats,
+    /// The per-inference energy split into core / imem / dmem components
+    /// along the stall breakdown.
+    pub energy: EnergyBreakdown,
 }
 
 impl CandidateModel {
@@ -492,11 +510,16 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     );
 
     // --- λ sweep: DNAS + fine-tuning + mixed-precision QAT ---------------
-    // The search itself is serial per λ (one architecture per sweep
-    // point); the fold loop underneath fans out over the CPU pool.
-    let mut fp32_points = Vec::new();
-    let mut quantized = Vec::new();
-    for (li, &lambda) in cfg.lambdas.iter().enumerate() {
+    // Sweep points are independent (each owns derived RNG streams for its
+    // search and folds), so they fan out over scoped workers like the
+    // fold loops; the thread budget left over per in-flight sweep point
+    // drives its per-fold training underneath. Results are identical for
+    // any `train_threads` value and land in λ order.
+    let workers = resolve_threads(cfg.train_threads);
+    let lambda_workers = workers.clamp(1, cfg.lambdas.len().max(1));
+    let fold_threads = (workers / lambda_workers).max(1);
+    let sweeps = parallel_map_folds(cfg.lambdas.len(), lambda_workers, |li| {
+        let lambda = cfg.lambdas[li];
         let nas_cfg = NasConfig { lambda, ..cfg.nas };
         let mut rng = StdRng::seed_from_u64(derive_seed(cfg.rng_seed, STREAM_SEARCH, li as u64, 0));
         let outcome = search(cfg.seed_architecture, &x_s1, &y_s1, &nas_cfg, &mut rng);
@@ -514,15 +537,15 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
             rng_seed: cfg.rng_seed,
             lambda_index: li,
         };
-        let mut outcomes = job.run(cfg.train_threads);
+        let mut outcomes = job.run(fold_threads);
 
         let nf = folds.len() as f64;
-        fp32_points.push(ParetoPoint::new(
+        let fp32_point = ParetoPoint::new(
             format!("λ={lambda} FP32 {arch:?}"),
             outcomes.iter().map(|o| o.fp32_bas).sum::<f64>() / nf,
             arch.memory_bytes_fp32(),
             arch.macs(),
-        ));
+        );
         let sums: Vec<(f64, f64)> = (0..cfg.assignments.len())
             .map(|ai| {
                 (
@@ -538,10 +561,12 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
         // refactor), moving them out instead of cloning.
         let last = outcomes.pop().expect("at least one fold ran");
         drop(outcomes);
-        for ((&assignment, eval), (bas_sum, maj_sum)) in
-            cfg.assignments.iter().zip(last.candidates).zip(sums)
-        {
-            quantized.push(CandidateModel {
+        let candidates: Vec<CandidateModel> = cfg
+            .assignments
+            .iter()
+            .zip(last.candidates)
+            .zip(sums)
+            .map(|((&assignment, eval), (bas_sum, maj_sum))| CandidateModel {
                 label: format!("λ={lambda} {assignment}"),
                 config: arch,
                 assignment,
@@ -551,8 +576,15 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
                 macs: arch.macs(),
                 quantized: eval.quantized,
                 deployed: None,
-            });
-        }
+            })
+            .collect();
+        (fp32_point, candidates)
+    });
+    let mut fp32_points = Vec::with_capacity(cfg.lambdas.len());
+    let mut quantized = Vec::new();
+    for (point, candidates) in sweeps {
+        fp32_points.push(point);
+        quantized.extend(candidates);
     }
 
     // --- Deployment sweep: measure every candidate on the simulator ------
@@ -560,7 +592,12 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     // across threads (the simulator CPU is `Send`); results land in
     // candidate order either way.
     let sample_frame = &x_s1.data()[..x_s1.shape()[1..].iter().product()];
-    evaluate_deployments(&mut quantized, sample_frame, cfg.deploy_threads);
+    evaluate_deployments(
+        &mut quantized,
+        sample_frame,
+        cfg.mem_model,
+        cfg.deploy_threads,
+    );
 
     FlowResult {
         seed_point,
@@ -571,12 +608,19 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
 }
 
 /// Deploys every candidate to MAUPITI and measures per-inference cycles,
-/// latency and energy on `sample_frame`, in parallel across `threads`
-/// workers (`0` = auto). Candidates that do not fit on-chip keep
-/// `deployed = None`.
-fn evaluate_deployments(candidates: &mut [CandidateModel], sample_frame: &[f32], threads: usize) {
+/// latency and energy on `sample_frame` under the given memory-hierarchy
+/// `model`, in parallel across `threads` workers (`0` = auto). Candidates
+/// that do not fit on-chip keep `deployed = None`. [`run_flow`] calls
+/// this with [`FlowConfig::mem_model`]; it is public so results can be
+/// re-measured under a different hierarchy without re-training.
+pub fn evaluate_deployments(
+    candidates: &mut [CandidateModel],
+    sample_frame: &[f32],
+    model: MemoryModel,
+    threads: usize,
+) {
     let costs = parallel_map_folds(candidates.len(), threads, |i| {
-        measure_deployment(&candidates[i], sample_frame)
+        measure_deployment(&candidates[i], sample_frame, model)
     });
     for (candidate, cost) in candidates.iter_mut().zip(costs) {
         candidate.deployed = cost;
@@ -584,8 +628,13 @@ fn evaluate_deployments(candidates: &mut [CandidateModel], sample_frame: &[f32],
 }
 
 /// Compiles and measures one candidate on the MAUPITI target.
-fn measure_deployment(candidate: &CandidateModel, sample_frame: &[f32]) -> Option<DeployedCost> {
-    let deployment = candidate.deploy(Target::Maupiti).ok()?;
+fn measure_deployment(
+    candidate: &CandidateModel,
+    sample_frame: &[f32],
+    model: MemoryModel,
+) -> Option<DeployedCost> {
+    let mut deployment = candidate.deploy(Target::Maupiti).ok()?;
+    deployment.set_memory_model(model);
     let report = deployment.report(sample_frame).ok()?;
     let platform = result_from_report(PlatformSpec::MAUPITI, &report);
     Some(DeployedCost {
@@ -597,6 +646,8 @@ fn measure_deployment(candidate: &CandidateModel, sample_frame: &[f32]) -> Optio
         sdotp: report.sdotp,
         latency_ms: platform.latency_ms,
         energy_uj: platform.energy_uj,
+        mem: report.mem,
+        energy: platform.energy,
     })
 }
 
@@ -697,6 +748,13 @@ mod tests {
                 "rows only list deployed candidates"
             );
         }
+        // Under the default flat memory model the stall breakdown is
+        // zero and all energy is core energy.
+        for (_, cost) in &rows {
+            assert_eq!(cost.mem, Default::default());
+            assert_eq!(cost.energy.imem_uj, 0.0);
+            assert_eq!(cost.energy.dmem_uj, 0.0);
+        }
         // Deterministic across worker counts: a serial re-sweep measures
         // the exact same numbers.
         let mut serial = result.quantized.clone();
@@ -704,12 +762,41 @@ mod tests {
         let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
         let s1 = dataset.session_indices(0);
         let (x_s1, _) = dataset.gather_normalized(&s1);
-        evaluate_deployments(&mut serial, &x_s1.data()[..64], 1);
+        evaluate_deployments(&mut serial, &x_s1.data()[..64], cfg.mem_model, 1);
         for (a, b) in result.quantized.iter().zip(serial.iter()) {
             assert_eq!(
                 a.deployed, b.deployed,
                 "deployment sweep must be deterministic"
             );
+        }
+        // Re-measuring the same candidates under the Maupiti hierarchy
+        // keeps every static metric but surfaces strictly higher cycle
+        // counts with a non-zero stall breakdown in the deployed rows.
+        let flat_costs: Vec<DeployedCost> = rows.iter().map(|&(_, cost)| cost.clone()).collect();
+        let mut result = result;
+        evaluate_deployments(
+            &mut result.quantized,
+            &x_s1.data()[..64],
+            MemoryModel::maupiti(),
+            1,
+        );
+        let maupiti_rows = result.deployed_rows();
+        assert_eq!(maupiti_rows.len(), flat_costs.len());
+        for (flat, (_, hier)) in flat_costs.iter().zip(maupiti_rows.iter()) {
+            assert_eq!(flat.instructions, hier.instructions);
+            assert_eq!(flat.code_bytes, hier.code_bytes);
+            assert!(hier.cycles > flat.cycles, "stalls must cost cycles");
+            assert!(hier.mem.fetch_misses > 0);
+            assert!(hier.mem.contended_accesses > 0);
+            assert_eq!(
+                hier.cycles - flat.cycles,
+                hier.mem.stall_cycles(),
+                "the cycle delta is exactly the stall breakdown"
+            );
+            assert!(hier.energy.imem_uj > 0.0);
+            assert!(hier.energy.dmem_uj > 0.0);
+            assert!(hier.energy_uj > flat.energy_uj);
+            assert!((hier.energy.total_uj() - hier.energy_uj).abs() < 1e-9);
         }
     }
 
@@ -735,12 +822,14 @@ mod tests {
 
     #[test]
     fn run_flow_is_deterministic_across_train_thread_counts() {
-        // Per-fold derived RNG streams make the parallel fold loop consume
-        // exactly the same randomness as the serial one, so `run_flow`
-        // must produce bit-identical results for any `train_threads`.
+        // Per-(λ, fold) derived RNG streams make the parallel λ sweep and
+        // the parallel fold loops underneath consume exactly the same
+        // randomness as the serial schedule, so `run_flow` must produce
+        // bit-identical results for any `train_threads`. Two λ points and
+        // two folds exercise both fan-out levels at once.
         let mut cfg = FlowConfig::quick();
         cfg.max_folds = 2;
-        cfg.lambdas = vec![0.5];
+        cfg.lambdas = vec![0.5, 2.0];
         cfg.assignments.truncate(2);
         cfg.nas.epochs = 2;
         cfg.nas.warmup_epochs = 1;

@@ -100,6 +100,17 @@ pub(crate) struct Block {
     /// The last entry serves the end exit when [`Block::end_chainable`]
     /// says its target is static.
     pub chain: Vec<OnceLock<Weak<Block>>>,
+    /// Per-trace access summary for the memory-hierarchy model:
+    /// `mem_prefix[i]` counts the data accesses (loads + stores) among
+    /// the trace's first `i` instructions, so any retired prefix's access
+    /// count is one subtraction.
+    pub mem_prefix: Vec<u32>,
+    /// Ascending trace positions of instructions that *always* redirect
+    /// the PC when executed — followed JALs mid-trace plus a terminator
+    /// JAL/JALR. Together with [`Block::mem_prefix`] this lets the engine
+    /// charge the memory model once per trace execution
+    /// (`MemModelState::charge_prefix`) instead of once per instruction.
+    pub redirects: Vec<u32>,
     /// Whether the end exit leaves for a *static* successor address and may
     /// therefore use the last [`Block::chain`] link: true for
     /// [`BlockEnd::Fallthrough`] (the `MAX_BLOCK_LEN` split) and for traces
@@ -192,6 +203,18 @@ pub(crate) fn build_block(mem: &Memory, entry_pc: u32) -> Block {
         counts: prefix_counts(&instrs),
     });
     let chain = (0..exits.len()).map(|_| OnceLock::new()).collect();
+    let mut mem_prefix = Vec::with_capacity(instrs.len() + 1);
+    mem_prefix.push(0u32);
+    let mut redirects = Vec::new();
+    for (i, d) in instrs.iter().enumerate() {
+        mem_prefix.push(mem_prefix[i] + (d.is_load || d.is_store) as u32);
+        if matches!(
+            d.op,
+            Op::JalFollowed { .. } | Op::Jal { .. } | Op::Jalr { .. }
+        ) {
+            redirects.push(i as u32);
+        }
+    }
     let end_chainable = match end {
         BlockEnd::Fallthrough => true,
         BlockEnd::Terminator => matches!(instrs.last().map(|d| &d.op), Some(Op::Jal { .. })),
@@ -204,6 +227,8 @@ pub(crate) fn build_block(mem: &Memory, entry_pc: u32) -> Block {
         cont_pc: pc,
         exits,
         chain,
+        mem_prefix,
+        redirects,
         end_chainable,
     }
 }

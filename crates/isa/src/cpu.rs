@@ -9,8 +9,11 @@
 
 use crate::engine::{self, BlockCache, ExecMode};
 use crate::instr::{decode, BranchOp, Instr, LoadOp, StoreOp};
+use crate::mem_model::{MemModelState, MemStats, MemoryModel};
 use crate::memory::{Memory, IMEM_BASE};
-use crate::pipeline::{Pipeline, PipelineStats};
+use crate::pipeline::{
+    Pipeline, PipelineStats, CYCLES_BRANCH_TAKEN, CYCLES_DIV, CYCLES_JUMP, CYCLES_MEM,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -156,6 +159,16 @@ pub struct Cpu {
     /// Whether side exits chain to their successor trace (see
     /// [`Cpu::set_superblock_chaining`]).
     pub(crate) chain_enabled: bool,
+    /// The memory-hierarchy model fetches and data accesses are charged
+    /// through (see [`Cpu::set_memory_model`]).
+    mem_model: MemoryModel,
+    /// Persistent run-time state of the memory model (refill window).
+    pub(crate) mem_state: MemModelState,
+    /// Per-cause memory stall counters (see [`Cpu::mem_stats`]).
+    pub(crate) mem_stats: MemStats,
+    /// Memory-model stall cycles attributed to each block slot,
+    /// accumulated across block-cached runs (see [`Cpu::hottest_blocks`]).
+    pub(crate) block_mem_stall_counts: Vec<u64>,
 }
 
 /// One entry of the [`Cpu::hottest_blocks`] trace-cache profile.
@@ -167,6 +180,10 @@ pub struct HotBlock {
     pub executions: u64,
     /// Instructions retired through the trace's exits.
     pub instructions: u64,
+    /// Memory-hierarchy stall cycles charged while executing the trace
+    /// (zero under [`MemoryModel::Flat`]) — the "why is this block
+    /// expensive" column of the hot-trace report.
+    pub mem_stall_cycles: u64,
 }
 
 /// Result of executing one instruction in the reference interpreter.
@@ -174,18 +191,13 @@ pub struct HotBlock {
 pub(crate) struct ExecOutcome {
     /// Address of the next instruction.
     pub next_pc: u32,
-    /// Flat stage-occupancy cycles (IBEX reference numbers).
+    /// Flat stage-occupancy cycles (IBEX reference numbers, shared per-op
+    /// cost table in [`crate::pipeline`]).
     pub cycles: u64,
+    /// Whether the instruction redirected the PC (jump or taken branch) —
+    /// a prefetch-buffer miss in the memory-hierarchy model.
+    pub redirect: bool,
 }
-
-/// Cycles for a load or store (IBEX data interface).
-const CYCLES_MEM: u64 = 2;
-/// Cycles for a taken branch.
-const CYCLES_BRANCH_TAKEN: u64 = 3;
-/// Cycles for a jump.
-const CYCLES_JUMP: u64 = 2;
-/// Cycles for a division / remainder.
-const CYCLES_DIV: u64 = 37;
 
 impl Cpu {
     /// Creates a CPU with the given memory sizes.
@@ -207,6 +219,10 @@ impl Cpu {
             block_exec_counts: Vec::new(),
             block_instr_counts: Vec::new(),
             chain_enabled: true,
+            mem_model: MemoryModel::Flat,
+            mem_state: MemModelState::default(),
+            mem_stats: MemStats::default(),
+            block_mem_stall_counts: Vec::new(),
         }
     }
 
@@ -261,6 +277,36 @@ impl Cpu {
         self.pipeline.stats()
     }
 
+    /// The memory-hierarchy model fetches and data accesses are charged
+    /// through ([`MemoryModel::Flat`] by default).
+    pub fn memory_model(&self) -> MemoryModel {
+        self.mem_model
+    }
+
+    /// Selects the memory-hierarchy model. Architectural results are
+    /// identical under every model — only cycle counts and the
+    /// [`Cpu::mem_stats`] breakdown change. Switching models clears the
+    /// model's run-time state and stall counters.
+    pub fn set_memory_model(&mut self, model: MemoryModel) {
+        if self.mem_model != model {
+            self.mem_model = model;
+            self.mem_state.reset();
+            self.mem_stats = MemStats::default();
+        }
+    }
+
+    /// Builder-style variant of [`Cpu::set_memory_model`].
+    pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
+        self.set_memory_model(model);
+        self
+    }
+
+    /// Per-cause stall counters of the memory-hierarchy model, identical
+    /// for both execution engines (all zero under [`MemoryModel::Flat`]).
+    pub fn mem_stats(&self) -> MemStats {
+        self.mem_stats
+    }
+
     /// Number of decoded basic blocks currently cached.
     pub fn cached_blocks(&self) -> usize {
         self.cache.len()
@@ -290,13 +336,17 @@ impl Cpu {
             .block_exec_counts
             .iter()
             .zip(self.block_instr_counts.iter())
+            .zip(self.block_mem_stall_counts.iter())
             .enumerate()
-            .filter(|&(_, (&execs, _))| execs > 0)
-            .map(|(slot, (&executions, &instructions))| HotBlock {
-                entry_pc: IMEM_BASE + 4 * slot as u32,
-                executions,
-                instructions,
-            })
+            .filter(|&(_, ((&execs, _), _))| execs > 0)
+            .map(
+                |(slot, ((&executions, &instructions), &mem_stall_cycles))| HotBlock {
+                    entry_pc: IMEM_BASE + 4 * slot as u32,
+                    executions,
+                    instructions,
+                    mem_stall_cycles,
+                },
+            )
             .collect();
         hot.sort_by(|a, b| {
             b.instructions
@@ -345,7 +395,10 @@ impl Cpu {
         self.touched_slots.clear();
         self.block_exec_counts = Vec::new();
         self.block_instr_counts = Vec::new();
+        self.block_mem_stall_counts = Vec::new();
         self.pipeline.reset();
+        self.mem_state.reset();
+        self.mem_stats = MemStats::default();
         Ok(())
     }
 
@@ -367,6 +420,12 @@ impl Cpu {
         let out = self.exec_instr(instr, pc)?;
         self.pc = out.next_pc;
         self.cycles += out.cycles;
+        if let MemoryModel::Maupiti(cfg) = self.mem_model {
+            let is_mem = matches!(instr, Instr::Load { .. } | Instr::Store { .. });
+            self.cycles += self
+                .mem_state
+                .step(&cfg, is_mem, out.redirect, &mut self.mem_stats);
+        }
         Ok(())
     }
 
@@ -378,6 +437,7 @@ impl Cpu {
     pub(crate) fn exec_instr(&mut self, instr: Instr, pc: u32) -> Result<ExecOutcome, SimError> {
         let mut next_pc = pc.wrapping_add(4);
         let mut cost = 1u64;
+        let mut redirect = false;
         match instr {
             Instr::Lui { rd, imm } => self.set_reg(rd, (imm as u32) << 12),
             Instr::Auipc { rd, imm } => self.set_reg(rd, pc.wrapping_add((imm as u32) << 12)),
@@ -385,12 +445,14 @@ impl Cpu {
                 self.set_reg(rd, next_pc);
                 next_pc = pc.wrapping_add(offset as u32);
                 cost = CYCLES_JUMP;
+                redirect = true;
             }
             Instr::Jalr { rd, rs1, offset } => {
                 let target = self.reg(rs1).wrapping_add(offset as u32) & !1;
                 self.set_reg(rd, next_pc);
                 next_pc = target;
                 cost = CYCLES_JUMP;
+                redirect = true;
             }
             Instr::Branch {
                 op,
@@ -411,6 +473,7 @@ impl Cpu {
                 if branch_taken {
                     next_pc = pc.wrapping_add(offset as u32);
                     cost = CYCLES_BRANCH_TAKEN;
+                    redirect = true;
                 }
             }
             Instr::Load {
@@ -569,6 +632,7 @@ impl Cpu {
         Ok(ExecOutcome {
             next_pc,
             cycles: cost,
+            redirect,
         })
     }
 

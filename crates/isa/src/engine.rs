@@ -51,6 +51,7 @@
 use crate::block::{build_block, Block, BlockEnd};
 use crate::cpu::{sdotp4, sdotp8, Cpu, RunSummary, SimError};
 use crate::instr::Op;
+use crate::mem_model::{MemStats, MemoryModel};
 use crate::memory::{Memory, IMEM_BASE};
 use crate::pipeline::LOAD_USE_STALL;
 use std::sync::{Arc, Mutex, Weak};
@@ -199,6 +200,17 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     let mut memo: Option<(u32, usize, Arc<Block>)> = None;
     let mut fault: Option<SimError> = None;
     let chaining = cpu.chain_enabled;
+    // Memory-hierarchy model: `None` for the flat (free) model, so the
+    // dispatch loop pays one branch per trace execution. Under the
+    // Maupiti model, every retired prefix is charged in one
+    // `charge_prefix` call against the block's precomputed access
+    // summary — never per instruction.
+    let maupiti = match cpu.memory_model() {
+        MemoryModel::Flat => None,
+        MemoryModel::Maupiti(cfg) => Some(cfg),
+    };
+    let mut mem_state = cpu.mem_state;
+    let mut mem_stats = MemStats::default();
     // Accounting state is allocated on first block-cached use, so CPUs that
     // only ever run the reference interpreter (and the pristine CPU a
     // deployment clones per inference) carry nothing to copy.
@@ -208,6 +220,28 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
         cpu.touched_flags = vec![false; slots];
         cpu.block_exec_counts = vec![0; slots];
         cpu.block_instr_counts = vec![0; slots];
+        cpu.block_mem_stall_counts = vec![0; slots];
+    }
+
+    // Charges the memory model for the retired prefix of the current
+    // trace ([0, $n)) and attributes the stall cycles to the trace's
+    // profile slot. `$exit_redirect` marks a taken side exit ending the
+    // prefix. A no-op under the flat model.
+    macro_rules! charge_mem {
+        ($block:expr, $slot:expr, $n:expr, $exit_redirect:expr) => {
+            if let Some(cfg) = &maupiti {
+                let stall = mem_state.charge_prefix(
+                    cfg,
+                    &$block.mem_prefix,
+                    &$block.redirects,
+                    $n,
+                    $exit_redirect,
+                    &mut mem_stats,
+                );
+                cycles += stall;
+                cpu.block_mem_stall_counts[$slot] += stall;
+            }
+        };
     }
 
     // Writes `rd`, keeping x0 hard-wired to zero without a branch.
@@ -497,7 +531,9 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 // The faulting instruction counts as issued (it was traced
                 // and counted before the fault in the reference
                 // interpreter) but consumes no cycles, and the PC stays on
-                // it.
+                // it. The memory model charges only the retired prefix —
+                // a faulting access never reaches the SRAM port.
+                charge_mem!(block, slot, i, false);
                 executed += i as u64 + 1;
                 for d in &block.instrs[..=i] {
                     cpu.trace.record(d.mnemonic());
@@ -511,6 +547,9 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
             if let Some((i, ordinal)) = side_exit {
                 executed += i as u64 + 1;
                 cpu.block_exit_counts[slot][ordinal as usize] += 1;
+                // The taken branch ending the prefix is itself a
+                // prefetch-buffer miss.
+                charge_mem!(block, slot, i + 1, true);
                 // Self-loop fast path: the exit jumped back to this trace's
                 // entry, so re-enter without another dispatch.
                 if ctrl_next == entry && executed < max_instructions && !cpu.halted {
@@ -528,6 +567,7 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 // Budget-capped mid-trace: the next dispatch iteration
                 // raises the timeout. The retired prefix is traced directly
                 // (it is not a counted exit).
+                charge_mem!(block, slot, n, false);
                 executed += n as u64;
                 for d in &block.instrs[..n] {
                     cpu.trace.record(d.mnemonic());
@@ -538,6 +578,9 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
 
             executed += len as u64;
             cpu.block_exit_counts[slot][end_exit] += 1;
+            // End-exit redirects (terminator JAL/JALR) sit in the block's
+            // `redirects` summary, so no explicit exit redirect here.
+            charge_mem!(block, slot, len, false);
             if ctrl_next == entry
                 && executed < max_instructions
                 && !cpu.halted
@@ -577,6 +620,8 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     cpu.pipeline.load_dest = load_dest;
     cpu.pipeline.stats.load_use_stalls += stalls;
     cpu.pipeline.stats.flush_cycles += flushes;
+    cpu.mem_state = mem_state;
+    cpu.mem_stats.accumulate(&mem_stats);
     match fault {
         None => Ok(()),
         Some(error) => Err(error),

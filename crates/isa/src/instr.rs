@@ -556,6 +556,9 @@ pub struct Decoded {
     pub reads_rd: bool,
     /// Whether this is a data-memory load (source of load-use hazards).
     pub is_load: bool,
+    /// Whether this is a data-memory store (loads and stores together are
+    /// the accesses charged through the memory-hierarchy model).
+    pub is_store: bool,
     /// Whether this instruction ends a basic block (control flow or halt).
     pub is_terminator: bool,
     /// Fetch-flush cycles charged when this instruction redirects the PC
@@ -617,6 +620,7 @@ impl Decoded {
             Ecall | Ebreak => (0, 0, 0, false),
         };
         let is_load = matches!(instr, Load { .. });
+        let is_store = matches!(instr, Store { .. });
         let is_terminator = matches!(
             instr,
             Jal { .. } | Jalr { .. } | Branch { .. } | Ecall | Ebreak
@@ -626,12 +630,7 @@ impl Decoded {
             Branch { .. } => 2,
             _ => 0,
         };
-        let base_cycles = match instr {
-            Load { .. } | Store { .. } => 2,
-            Div { .. } | Divu { .. } | Rem { .. } | Remu { .. } => 37,
-            Jal { .. } | Jalr { .. } => 2,
-            _ => 1,
-        };
+        let base_cycles = crate::pipeline::stage_cycles(&instr);
         let mut reads_mask = 0u32;
         reads_mask |= 1 << rs1;
         reads_mask |= 1 << rs2;
@@ -711,6 +710,7 @@ impl Decoded {
             rs2,
             reads_rd,
             is_load,
+            is_store,
             is_terminator,
             flush_on_take,
             reads_mask,

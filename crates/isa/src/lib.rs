@@ -22,6 +22,13 @@
 //!   runs the deployed CNN workloads several times faster. The decoded
 //!   blocks are shared `Arc` snapshots, so `Cpu` is `Send` and a warmed
 //!   CPU clones across threads for parallel frame evaluation;
+//! * a pluggable memory-hierarchy cost seam ([`MemoryModel`]): the
+//!   default [`MemoryModel::Flat`] reproduces the ideal-memory cycle
+//!   counts bit-identically, while [`MemoryModel::Maupiti`] models a
+//!   prefetch buffer refilling after taken control transfers plus a
+//!   single-port data SRAM contending with the refill path, with
+//!   per-cause stall counters in [`MemStats`] (see [`MemoryModel`] and
+//!   [`Cpu::set_memory_model`]);
 //! * register ABI-name constants in [`reg`] used by the kernel code
 //!   generator in `pcount-kernels`.
 //!
@@ -45,14 +52,19 @@ mod block;
 mod cpu;
 mod engine;
 mod instr;
+mod mem_model;
 mod memory;
 mod pipeline;
 
 pub use cpu::{Cpu, HotBlock, RunSummary, SimError, Trace};
 pub use engine::ExecMode;
 pub use instr::{decode, BranchOp, Decoded, Instr, LoadOp, StoreOp};
+pub use mem_model::{MaupitiMemConfig, MemStats, MemoryModel};
 pub use memory::{Memory, DMEM_BASE, IMEM_BASE};
-pub use pipeline::{PipelineStats, LOAD_USE_STALL};
+pub use pipeline::{
+    stage_cycles, PipelineStats, CYCLES_ALU, CYCLES_BRANCH_TAKEN, CYCLES_DIV, CYCLES_JUMP,
+    CYCLES_MEM, LOAD_USE_STALL,
+};
 
 /// Register indices by RISC-V ABI name.
 pub mod reg {

@@ -27,12 +27,56 @@
 //!   state is cleared.
 //!
 //! The hazard logic itself is inlined in the engine's dispatch loop
-//! (`crate::engine::exec_block`); this module owns the state that persists
-//! across basic blocks and the observable counters.
+//! (`crate::engine`); this module owns the per-op cost table shared by
+//! both engines ([`stage_cycles`] and the `CYCLES_*` constants — the
+//! reference interpreter and the pre-decoder both read it from here
+//! instead of keeping private copies), plus the state that persists
+//! across basic blocks and the observable counters. Memory-hierarchy
+//! stalls on top of these stage costs are charged separately through
+//! [`crate::MemoryModel`].
+
+use crate::instr::Instr;
 
 /// Extra cycle charged when an instruction consumes the result of the
 /// immediately preceding load.
 pub const LOAD_USE_STALL: u64 = 1;
+
+/// Stage-occupancy cycles of ALU, multiply and SDOTP instructions (the
+/// MAUPITI SDOTP unit is single-cycle by construction).
+pub const CYCLES_ALU: u64 = 1;
+/// Stage-occupancy cycles of a load or store (IBEX data interface).
+pub const CYCLES_MEM: u64 = 2;
+/// Total cycles of a taken branch (target resolved in execute:
+/// [`CYCLES_ALU`] plus a 2-cycle fetch flush).
+pub const CYCLES_BRANCH_TAKEN: u64 = 3;
+/// Total cycles of a jump (target known in decode: [`CYCLES_ALU`] plus a
+/// 1-cycle fetch flush).
+pub const CYCLES_JUMP: u64 = 2;
+/// Stage-occupancy cycles of a division / remainder (iterative divider).
+pub const CYCLES_DIV: u64 = 37;
+
+// `Decoded` stores per-op costs in a `u8`; a recalibration past 255 must
+// fail to compile instead of silently truncating every cycle count.
+const _: () = assert!(CYCLES_ALU <= u8::MAX as u64);
+const _: () = assert!(CYCLES_MEM <= u8::MAX as u64);
+const _: () = assert!(CYCLES_JUMP <= u8::MAX as u64);
+const _: () = assert!(CYCLES_DIV <= u8::MAX as u64);
+
+/// Flat stage-occupancy cycles of one instruction — the single source of
+/// the per-op cost table used by both execution engines. Jumps include
+/// their always-paid fetch flush; the extra redirect cycles of a *taken*
+/// branch ([`CYCLES_BRANCH_TAKEN`]) are charged at run time because an
+/// untaken branch retires in one cycle.
+pub fn stage_cycles(instr: &Instr) -> u8 {
+    match instr {
+        Instr::Load { .. } | Instr::Store { .. } => CYCLES_MEM as u8,
+        Instr::Div { .. } | Instr::Divu { .. } | Instr::Rem { .. } | Instr::Remu { .. } => {
+            CYCLES_DIV as u8
+        }
+        Instr::Jal { .. } | Instr::Jalr { .. } => CYCLES_JUMP as u8,
+        _ => CYCLES_ALU as u8,
+    }
+}
 
 /// Cycles lost to stalls and flushes, broken out by cause.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

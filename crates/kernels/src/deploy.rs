@@ -4,7 +4,7 @@ use crate::asm::Assembler;
 use crate::kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 use crate::layout::MemoryPlan;
 use crate::pool::{resolve_threads, CpuPool};
-use pcount_isa::{reg, Cpu, ExecMode, HotBlock, SimError};
+use pcount_isa::{reg, Cpu, ExecMode, HotBlock, MemStats, MemoryModel, PipelineStats, SimError};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::collections::HashMap;
@@ -94,6 +94,12 @@ pub struct InferenceRun {
     pub instructions: u64,
     /// SDOTP instructions executed (0 on the vanilla IBEX target).
     pub sdotp: u64,
+    /// Pipeline stall/flush counters of this inference (all zero under
+    /// [`ExecMode::Simple`]).
+    pub pipeline: PipelineStats,
+    /// Memory-hierarchy stall breakdown of this inference (all zero under
+    /// [`MemoryModel::Flat`]).
+    pub mem: MemStats,
 }
 
 /// Static footprint and per-inference cost of a deployed model.
@@ -111,6 +117,9 @@ pub struct DeploymentReport {
     pub instructions: u64,
     /// SDOTP instructions per inference.
     pub sdotp: u64,
+    /// Memory-hierarchy stall breakdown per inference (all zero under
+    /// the default [`MemoryModel::Flat`]).
+    pub mem: MemStats,
 }
 
 /// A quantised model compiled for a target and loaded into a simulated
@@ -194,6 +203,20 @@ impl Deployment {
         self.base_cpu.set_exec_mode(mode);
     }
 
+    /// The memory-hierarchy model inferences are charged through (the
+    /// flat ideal-memory model by default, which reproduces the
+    /// historical cycle counts bit-identically).
+    pub fn memory_model(&self) -> MemoryModel {
+        self.base_cpu.memory_model()
+    }
+
+    /// Selects the memory-hierarchy model used by subsequent inferences.
+    /// Logits, predictions and instruction counts are identical under
+    /// every model — only cycles and the stall breakdown change.
+    pub fn set_memory_model(&mut self, model: MemoryModel) {
+        self.base_cpu.set_memory_model(model);
+    }
+
     /// The memory plan (addresses and sizes in data memory).
     pub fn plan(&self) -> &MemoryPlan {
         &self.plan
@@ -253,6 +276,8 @@ impl Deployment {
             cycles: summary.cycles,
             instructions: summary.instructions,
             sdotp: cpu.trace.sdotp_count(),
+            pipeline: cpu.pipeline_stats(),
+            mem: cpu.mem_stats(),
         })
     }
 
@@ -390,6 +415,7 @@ impl Deployment {
             cycles: run.cycles,
             instructions: run.instructions,
             sdotp: run.sdotp,
+            mem: run.mem,
         })
     }
 }

@@ -19,7 +19,7 @@
 //!
 //! Energy per inference is always `cycles / f_clk * P_active`.
 
-use pcount_kernels::{Deployment, DeploymentReport, Target};
+use pcount_kernels::{Deployment, DeploymentReport, MemStats, Target};
 use pcount_quant::{Precision, QuantizedCnn};
 
 /// Static description of an execution platform.
@@ -62,9 +62,48 @@ impl PlatformSpec {
         cycles as f64 / self.clock_hz * self.active_power_w * 1e6
     }
 
+    /// Splits the per-inference energy into the cycles the core spent
+    /// doing useful work versus the cycles it burned stalled on the
+    /// instruction-fetch path (prefetch-buffer refills) and on the data
+    /// SRAM port (structural contention), using the memory-hierarchy
+    /// stall breakdown measured by the simulator. Under the flat memory
+    /// model everything lands in the core component.
+    pub fn energy_breakdown(&self, cycles: u64, mem: &MemStats) -> EnergyBreakdown {
+        // Clamp the stall components into the cycle budget so the three
+        // components always sum to `energy_uj(cycles)`, even if a caller
+        // pairs one run's cycles with counters accumulated over more.
+        let imem = mem.imem_stall_cycles.min(cycles);
+        let dmem = mem.dmem_stall_cycles.min(cycles - imem);
+        EnergyBreakdown {
+            core_uj: self.energy_uj(cycles - imem - dmem),
+            imem_uj: self.energy_uj(imem),
+            dmem_uj: self.energy_uj(dmem),
+        }
+    }
+
     /// Latency in milliseconds for a number of cycles on this platform.
     pub fn latency_ms(&self, cycles: u64) -> f64 {
         cycles as f64 / self.clock_hz * 1e3
+    }
+}
+
+/// Per-inference energy split by the component the cycles were spent on
+/// (all in microjoules; the sum equals the total `energy_uj`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy of cycles the core spent executing instructions.
+    pub core_uj: f64,
+    /// Energy of cycles stalled refilling the instruction prefetch
+    /// buffer.
+    pub imem_uj: f64,
+    /// Energy of cycles stalled on data-SRAM port contention.
+    pub dmem_uj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across the three components.
+    pub fn total_uj(&self) -> f64 {
+        self.core_uj + self.imem_uj + self.dmem_uj
     }
 }
 
@@ -83,6 +122,10 @@ pub struct PlatformResult {
     pub latency_ms: f64,
     /// Energy per inference in microjoules.
     pub energy_uj: f64,
+    /// The same energy split into core / imem / dmem components (the
+    /// memory components are zero when the cycles were measured under the
+    /// flat memory model or estimated analytically).
+    pub energy: EnergyBreakdown,
 }
 
 /// Analytical model of the STM32L4R5 + X-CUBE-AI deployment.
@@ -142,11 +185,13 @@ impl Stm32Model {
             cycles,
             latency_ms: spec.latency_ms(cycles),
             energy_uj: spec.energy_uj(cycles),
+            energy: spec.energy_breakdown(cycles, &MemStats::default()),
         }
     }
 }
 
-/// Converts a simulator deployment report into a [`PlatformResult`].
+/// Converts a simulator deployment report into a [`PlatformResult`],
+/// splitting the energy along the report's memory-stall breakdown.
 pub fn result_from_report(spec: PlatformSpec, report: &DeploymentReport) -> PlatformResult {
     PlatformResult {
         platform: spec.name,
@@ -155,6 +200,7 @@ pub fn result_from_report(spec: PlatformSpec, report: &DeploymentReport) -> Plat
         cycles: report.cycles,
         latency_ms: spec.latency_ms(report.cycles),
         energy_uj: spec.energy_uj(report.cycles),
+        energy: spec.energy_breakdown(report.cycles, &report.mem),
     }
 }
 
@@ -248,6 +294,38 @@ mod tests {
         assert!((e2 - 2.0 * e1).abs() < 1e-9);
         // 20k cycles at 20 MHz = 1 ms at ~0.92 mW -> ~0.92 uJ.
         assert!((e2 - 0.9198).abs() < 0.01, "e2 = {e2}");
+    }
+
+    #[test]
+    fn energy_breakdown_follows_the_memory_model() {
+        use pcount_kernels::MemoryModel;
+        let mut rng = StdRng::seed_from_u64(11);
+        let (model, frame) = small_model(&mut rng);
+        // Flat (default) model: ideal memories, all energy is core energy.
+        let flat = Deployment::new(&model, Target::Maupiti).expect("deploy");
+        assert!(flat.memory_model().is_flat());
+        let flat_report = flat.report(&frame).expect("report");
+        let flat_result = result_from_report(PlatformSpec::MAUPITI, &flat_report);
+        assert_eq!(flat_result.energy.imem_uj, 0.0);
+        assert_eq!(flat_result.energy.dmem_uj, 0.0);
+        assert!((flat_result.energy.total_uj() - flat_result.energy_uj).abs() < 1e-9);
+        // Maupiti model: same logits/instret, more cycles, and the stall
+        // breakdown shows up as imem/dmem energy components.
+        let mut hier = Deployment::new(&model, Target::Maupiti).expect("deploy");
+        hier.set_memory_model(MemoryModel::maupiti());
+        let hier_report = hier.report(&frame).expect("report");
+        assert_eq!(hier_report.instructions, flat_report.instructions);
+        assert!(hier_report.cycles > flat_report.cycles);
+        assert_eq!(
+            hier_report.cycles - flat_report.cycles,
+            hier_report.mem.stall_cycles(),
+            "extra cycles are exactly the memory stalls"
+        );
+        let hier_result = result_from_report(PlatformSpec::MAUPITI, &hier_report);
+        assert!(hier_result.energy.imem_uj > 0.0);
+        assert!(hier_result.energy.dmem_uj > 0.0);
+        assert!((hier_result.energy.total_uj() - hier_result.energy_uj).abs() < 1e-9);
+        assert!(hier_result.energy.core_uj > hier_result.energy.imem_uj);
     }
 
     #[test]

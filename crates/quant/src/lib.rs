@@ -3,7 +3,8 @@
 //! This crate implements the precision-optimisation step of the paper's
 //! flow:
 //!
-//! 1. **Batch-norm folding** into the preceding convolution ([`fold`]).
+//! 1. **Batch-norm folding** into the preceding convolution
+//!    ([`fold_sequential`]).
 //! 2. **Quantisation-aware training** with range-based symmetric weight
 //!    quantisation and learnable-clipping (PACT-style) activation
 //!    quantisation ([`QatCnn`]).
