@@ -1,31 +1,38 @@
 //! Training-engine throughput: GEMM-backed vs naive nested-loop
 //! convolution in images/second (forward + backward, the QAT/NAS hot
-//! path), and serial vs parallel per-fold NAS training wall-clock through
-//! `pcount_core::FoldTrainJob`.
+//! path), serial vs pool-parallel GEMM wall-clock on the
+//! `pcount-runtime` worker pool, and serial vs parallel per-fold NAS
+//! training wall-clock through `pcount_core::FoldTrainJob`.
 //!
 //! Besides the criterion timings, the bench prints an explicit summary
-//! (conv speedup vs the 3x acceptance target, fold-scaling efficiency vs
-//! the 0.7 target on >= 4-core hosts) and writes the numbers to
-//! `BENCH_train.json` at the workspace root so the perf trajectory stays
-//! machine-readable across PRs.
+//! (conv speedup vs the 3x acceptance target, GEMM parallel scaling vs
+//! the 1.7x 4-thread floor, fold-scaling efficiency vs the 0.7 target
+//! on 4-core-or-wider hosts) and writes the numbers to `BENCH_train.json` at the
+//! workspace root so the perf trajectory stays machine-readable across
+//! PRs.
 //!
 //! `BENCH_SMOKE=1` (used by CI) skips the wall-clock assertions and
-//! shrinks every measurement window — the GEMM-vs-naive equivalence checks
-//! and the thread-count determinism check still run in full, so training
-//! engine regressions fail fast without timing noise.
+//! shrinks every measurement window — the GEMM-vs-naive equivalence
+//! checks, the parallel-GEMM bit-identity tripwire and the thread-count
+//! determinism check still run in full, so training engine regressions
+//! fail fast without timing noise.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcount_core::FoldTrainJob;
 use pcount_dataset::{DatasetConfig, IrDataset};
 use pcount_nn::{CnnConfig, Conv2d, Layer, TrainConfig};
 use pcount_quant::{Precision, PrecisionAssignment, QatConfig};
-use pcount_tensor::Tensor;
+use pcount_runtime::{install, Pool};
+use pcount_tensor::{gemm, gemm_splits_columns, GemmScratch, SplitMix64, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 /// Worker threads used for the parallel-fold measurement.
 const PARALLEL_THREADS: usize = 4;
+
+/// Pool width used for the parallel-GEMM scaling measurement.
+const GEMM_THREADS: usize = 4;
 
 fn smoke_mode() -> bool {
     std::env::var("BENCH_SMOKE")
@@ -122,6 +129,96 @@ fn check_conv_equivalence() {
             );
         }
     }
+}
+
+/// The GEMM workload for the pool-scaling measurement: a paper-scale-ish
+/// product (wider than any single conv in the flow so the column split
+/// has room to scale) that comfortably crosses the parallel threshold.
+struct GemmWorkload {
+    m: usize,
+    n: usize,
+    k: usize,
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+impl GemmWorkload {
+    fn new(seed: u64) -> Self {
+        let (m, n, k) = (256, 768, 256);
+        assert!(
+            gemm_splits_columns(m, n, k),
+            "bench workload must take the parallel path on multi-core pools"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let rand = |len: usize, rng: &mut SplitMix64| -> Vec<f32> {
+            (0..len).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+        };
+        let a = rand(m * k, &mut rng);
+        let b = rand(k * n, &mut rng);
+        Self { m, n, k, a, b }
+    }
+
+    /// One product under the installed pool, into `c`.
+    fn run(&self, c: &mut [f32]) {
+        gemm(
+            &mut GemmScratch::default(),
+            false,
+            false,
+            self.m,
+            self.n,
+            self.k,
+            &self.a,
+            &self.b,
+            c,
+            false,
+        );
+    }
+}
+
+/// Asserts the pool-parallel GEMM is bit-identical to the serial sweep
+/// for 1 / 2 / 4 workers on the bench workload. This is the
+/// timing-independent engine-regression tripwire; it always runs, smoke
+/// mode included.
+fn check_gemm_parallel_bit_identity(w: &GemmWorkload) -> bool {
+    let run_with = |width: usize| {
+        let pool = Pool::new(width);
+        let mut c = vec![0.0f32; w.m * w.n];
+        install(&pool, || w.run(&mut c));
+        c
+    };
+    let serial = run_with(1);
+    for width in [2, 4] {
+        let parallel = run_with(width);
+        for (i, (&s, &p)) in serial.iter().zip(parallel.iter()).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "parallel GEMM (width {width}) diverged from serial at element {i}: {p} vs {s}"
+            );
+        }
+    }
+    true
+}
+
+/// Sustained wall-clock of the bench GEMM under a pool of `width`
+/// workers, in products/second.
+fn measure_gemm_products_per_s(w: &GemmWorkload, width: usize) -> f64 {
+    let pool = Pool::new(width);
+    let mut c = vec![0.0f32; w.m * w.n];
+    install(&pool, || {
+        w.run(&mut c); // warmup (spins the workers up)
+        let budget = measure_secs();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            w.run(black_box(&mut c));
+            iters += 1;
+            if start.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        iters as f64 / start.elapsed().as_secs_f64()
+    })
 }
 
 /// The per-fold training workload measured for scaling: the quick-flow
@@ -232,6 +329,8 @@ fn bench_train_throughput(c: &mut Criterion) {
 
     check_conv_equivalence();
     check_fold_determinism();
+    let gemm_workload = GemmWorkload::new(13);
+    let gemm_bit_identical = check_gemm_parallel_bit_identity(&gemm_workload);
 
     if !smoke {
         let mut group = c.benchmark_group("train_throughput");
@@ -257,6 +356,11 @@ fn bench_train_throughput(c: &mut Criterion) {
     let ips_naive = measure_images_per_s(|| w.step_naive(), batch);
     let ips_gemm = measure_images_per_s(|| w.step_gemm(), batch);
     let conv_speedup = ips_gemm / ips_naive;
+
+    // --- Serial vs pool-parallel GEMM -----------------------------------
+    let gemm_serial_pps = measure_gemm_products_per_s(&gemm_workload, 1);
+    let gemm_parallel_pps = measure_gemm_products_per_s(&gemm_workload, GEMM_THREADS);
+    let gemm_parallel_speedup = gemm_parallel_pps / gemm_serial_pps;
 
     // --- Serial vs parallel fold wall-clock -----------------------------
     let workload = FoldWorkload::new(if smoke { 1 } else { 8 });
@@ -285,6 +389,15 @@ fn bench_train_throughput(c: &mut Criterion) {
     println!("  conv GEMM:             {ips_gemm:>10.2e} images/s");
     println!("  conv speedup:          {conv_speedup:.2}x (acceptance target: >= 3x)");
     println!(
+        "  GEMM {}x{}x{}:      serial {gemm_serial_pps:.1}/s vs pool x{GEMM_THREADS} \
+         {gemm_parallel_pps:.1}/s",
+        gemm_workload.m, gemm_workload.k, gemm_workload.n
+    );
+    println!(
+        "  GEMM parallel scaling: {gemm_parallel_speedup:.2}x at {GEMM_THREADS} workers \
+         (floor >= 1.7x on >= 4-core hosts; bit-identical: {gemm_bit_identical})"
+    );
+    println!(
         "  fold training:         serial {fold_serial_s:.2}s vs parallel x{fold_workers} {fold_parallel_s:.2}s ({} folds)",
         folds.len()
     );
@@ -304,6 +417,15 @@ fn bench_train_throughput(c: &mut Criterion) {
         ("images_per_s_naive", format!("{ips_naive:.3e}")),
         ("images_per_s_gemm", format!("{ips_gemm:.3e}")),
         ("conv_speedup", format!("{conv_speedup:.3}")),
+        ("gemm_threads", GEMM_THREADS.to_string()),
+        (
+            "gemm_parallel_speedup",
+            format!("{gemm_parallel_speedup:.3}"),
+        ),
+        (
+            "gemm_parallel_bit_identical",
+            gemm_bit_identical.to_string(),
+        ),
         ("fold_count", folds.len().to_string()),
         ("fold_workers", fold_workers.to_string()),
         ("fold_serial_s", format!("{fold_serial_s:.3}")),
@@ -324,6 +446,17 @@ fn bench_train_throughput(c: &mut Criterion) {
         conv_speedup >= 2.0,
         "GEMM conv regressed to {conv_speedup:.2}x the naive reference"
     );
+    // Parallel GEMM needs real cores: on a >= 4-core host the NR-aligned
+    // column split across 4 pool workers must deliver at least 1.7x over
+    // the serial sweep (acceptance target; measured well above on idle
+    // multi-core hosts, floor leaves room for wall-clock noise).
+    if host_threads >= GEMM_THREADS {
+        assert!(
+            gemm_parallel_speedup >= 1.7,
+            "pool-parallel GEMM scaled only {gemm_parallel_speedup:.2}x \
+             at {GEMM_THREADS} workers"
+        );
+    }
     // Fold scaling needs real cores: on a >= 4-core host the parallel fold
     // loop must deliver most of the linear speedup (0.7 efficiency
     // acceptance target, floor below for wall-clock noise).

@@ -2,7 +2,7 @@
 
 use crate::pareto::ParetoPoint;
 use pcount_dataset::{CvFold, DatasetConfig, IrDataset};
-use pcount_kernels::{resolve_threads, DeployError, Deployment, MemStats, MemoryModel, Target};
+use pcount_kernels::{DeployError, Deployment, MemStats, MemoryModel, Target};
 use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
@@ -42,18 +42,23 @@ pub struct FlowConfig {
     pub majority_window: usize,
     /// How many cross-validation folds to evaluate (1..=4).
     pub max_folds: usize,
-    /// Worker threads for the post-sweep deployment evaluation (`0` =
-    /// auto: the host's available parallelism). Results are identical for
-    /// any value — candidates are independent and collected in order.
+    /// Concurrency cap for the post-sweep deployment evaluation (`0` =
+    /// the runtime pool's width). Results are identical for any value —
+    /// candidates are independent and collected in order.
     pub deploy_threads: usize,
-    /// Worker threads for the training workloads (`0` = auto): the λ
-    /// sweep points fan out across workers, and the budget left over per
-    /// sweep point drives its per-fold training and QAT loops. Every
-    /// (phase, λ, fold) work item draws from its own RNG stream derived
-    /// via SplitMix64 from [`FlowConfig::rng_seed`], so results are
-    /// identical for any value — work items are independent and collected
-    /// in order. (The switch from one shared RNG stream to per-item
-    /// derived streams was a one-time results change; see the README's
+    /// Concurrency cap for the λ-sweep and fold-loop fan-outs (`0` = the
+    /// runtime pool's width). Both levels draw from the single
+    /// persistent `pcount-runtime` pool (sized by `POOL_THREADS`), so
+    /// the budget is shared across levels rather than multiplied. Note
+    /// this caps only those two scheduling groups — the GEMM column
+    /// strips underneath use whatever pool workers are free — so the
+    /// hard bound on total CPU use is always the pool width
+    /// (`POOL_THREADS`), not this knob. Every (phase, λ, fold) work item
+    /// draws from its own RNG stream derived via SplitMix64 from
+    /// [`FlowConfig::rng_seed`], so results are identical for any cap
+    /// and any pool size — work items are independent and collected in
+    /// order. (The switch from one shared RNG stream to per-item derived
+    /// streams was a one-time results change; see the README's
     /// training-engine notes.)
     pub train_threads: usize,
     /// The memory-hierarchy model the deployment sweep charges cycles
@@ -345,37 +350,20 @@ fn derive_seed(root: u64, phase: u64, lambda_index: u64, fold: u64) -> u64 {
     sm.next_u64()
 }
 
-/// Runs `f(0..n)` across `threads` scoped workers (`0` = auto), returning
-/// the results in index order. Each worker owns a contiguous index range,
-/// so the output is deterministic for any worker count as long as `f` is
-/// independent per index.
+/// Runs `f(0..n)` across the persistent `pcount-runtime` worker pool
+/// with at most `threads` concurrent workers (`0` = the pool's width),
+/// returning the results in index order. Jobs are independent per index
+/// and collected in order, so the output is identical for any thread
+/// count and any `POOL_THREADS` pool size. Nested fan-outs (the fold
+/// loops under a λ sweep point, the GEMMs under a fold) draw from the
+/// same pool, so the worker budget is shared across levels instead of
+/// multiplying.
 fn parallel_map_folds<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = resolve_threads(threads).clamp(1, n);
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|s| {
-        for (w, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(w * chunk + i));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|slot| slot.expect("worker filled its slot"))
-        .collect()
+    pcount_runtime::current().map_limited(n, threads, f)
 }
 
 /// One quantised candidate's metrics on a single cross-validation fold.
@@ -511,14 +499,15 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
 
     // --- λ sweep: DNAS + fine-tuning + mixed-precision QAT ---------------
     // Sweep points are independent (each owns derived RNG streams for its
-    // search and folds), so they fan out over scoped workers like the
-    // fold loops; the thread budget left over per in-flight sweep point
-    // drives its per-fold training underneath. Results are identical for
-    // any `train_threads` value and land in λ order.
-    let workers = resolve_threads(cfg.train_threads);
-    let lambda_workers = workers.clamp(1, cfg.lambdas.len().max(1));
-    let fold_threads = (workers / lambda_workers).max(1);
-    let sweeps = parallel_map_folds(cfg.lambdas.len(), lambda_workers, |li| {
+    // search and folds), so they fan out over the shared runtime pool
+    // like the fold loops underneath. Both levels submit to the *same*
+    // pool, so the worker budget can never multiply: a fold job queued by
+    // one sweep point simply runs on whichever worker frees up first
+    // (formerly the budget was split `train_threads / λ-workers` per
+    // level, which oversubscribed whenever both levels fanned out).
+    // Results are identical for any `train_threads` value and land in λ
+    // order.
+    let sweeps = parallel_map_folds(cfg.lambdas.len(), cfg.train_threads, |li| {
         let lambda = cfg.lambdas[li];
         let nas_cfg = NasConfig { lambda, ..cfg.nas };
         let mut rng = StdRng::seed_from_u64(derive_seed(cfg.rng_seed, STREAM_SEARCH, li as u64, 0));
@@ -537,7 +526,7 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
             rng_seed: cfg.rng_seed,
             lambda_index: li,
         };
-        let mut outcomes = job.run(fold_threads);
+        let mut outcomes = job.run(cfg.train_threads);
 
         let nf = folds.len() as f64;
         let fp32_point = ParetoPoint::new(
@@ -840,6 +829,30 @@ mod tests {
         let serial = run_flow(&cfg);
         cfg.train_threads = 4;
         let parallel = run_flow(&cfg);
+        assert_flow_results_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn run_flow_is_deterministic_across_pool_sizes() {
+        // The `POOL_THREADS` knob sizes the persistent runtime pool every
+        // fan-out in the flow draws from (λ sweep, fold loops, GEMM
+        // column strips, deployment sweep). Running the same flow under
+        // explicitly installed pools of different widths must produce
+        // identical results in every observable metric — the pool size is
+        // a pure performance knob.
+        let mut cfg = FlowConfig::quick();
+        cfg.max_folds = 2;
+        cfg.lambdas = vec![0.5, 2.0];
+        cfg.assignments.truncate(2);
+        cfg.nas.epochs = 2;
+        cfg.nas.warmup_epochs = 1;
+        cfg.train.epochs = 2;
+        cfg.qat.epochs = 1;
+
+        let serial_pool = pcount_runtime::Pool::new(1);
+        let serial = pcount_runtime::install(&serial_pool, || run_flow(&cfg));
+        let wide_pool = pcount_runtime::Pool::new(3);
+        let parallel = pcount_runtime::install(&wide_pool, || run_flow(&cfg));
         assert_flow_results_identical(&serial, &parallel);
     }
 

@@ -116,6 +116,24 @@ impl BlockCache {
             .count()
     }
 
+    /// Probes this CPU's local snapshot for the block entered at `pc`
+    /// without building or touching the publish lock: a bounds-checked
+    /// direct index, the cheapest possible dispatch. `None` means the
+    /// local snapshot does not know the block (unmapped pc, or published
+    /// only by a sibling since the last refresh).
+    #[inline]
+    fn get_local(&self, pc: u32) -> Option<(usize, Arc<Block>)> {
+        let off = pc.checked_sub(IMEM_BASE)? as usize;
+        if !off.is_multiple_of(4) {
+            return None;
+        }
+        let index = off / 4;
+        self.local
+            .get(index)?
+            .as_ref()
+            .map(|block| (index, Arc::clone(block)))
+    }
+
     /// Returns the slot index and block entered at `pc`, building and
     /// publishing the block on miss. `None` means `pc` cannot index
     /// instruction memory at all.
@@ -254,21 +272,33 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
         }};
     }
 
-    // Superblock chaining: resolve the (static) exit target once, cache
-    // the link on the exit's `Block::chain` slot, and pre-fill the
-    // dispatch memo so the next iteration skips the cache probe. A dead
-    // link (cache generation gone) falls back to the ordinary dispatch
-    // probe. Shared by side exits and chainable end exits (fall-through
-    // and static-JAL ends).
+    // Superblock chaining: resolve the (static) exit target, cache the
+    // link on the exit's `Block::chain` slot, and pre-fill the dispatch
+    // memo so the next iteration skips the cache probe. The hot path
+    // probes the local snapshot first — a bounds-checked direct index,
+    // the same cost as the unchained dispatch probe; `Weak::upgrade`
+    // (a CAS loop on the refcounts) used to run on *every* chained
+    // transition and measurably cost single-thread throughput
+    // (`chaining_delta` 0.970 in BENCH_isa.json before this reorder).
+    // The cached link now only pays its upgrade when the local snapshot
+    // is stale, i.e. the target was published by a sibling CPU on
+    // another thread — the case chaining exists for. A dead link (cache
+    // generation gone) falls back to the ordinary build path. Shared by
+    // side exits and chainable end exits (fall-through and static-JAL
+    // ends).
     macro_rules! chain_to {
         ($block:expr, $ordinal:expr, $target:expr) => {{
-            let link = &$block.chain[$ordinal];
-            if let Some(next) = link.get().and_then(Weak::upgrade) {
-                let next_slot = (next.entry_pc - IMEM_BASE) as usize / 4;
+            if let Some((next_slot, next)) = cpu.cache.get_local($target) {
                 memo = Some(($target, next_slot, next));
-            } else if let Some((next_slot, next)) = cpu.cache.get_or_build(&cpu.mem, $target) {
-                let _ = link.set(Arc::downgrade(&next));
-                memo = Some(($target, next_slot, next));
+            } else {
+                let link = &$block.chain[$ordinal];
+                if let Some(next) = link.get().and_then(Weak::upgrade) {
+                    let next_slot = (next.entry_pc - IMEM_BASE) as usize / 4;
+                    memo = Some(($target, next_slot, next));
+                } else if let Some((next_slot, next)) = cpu.cache.get_or_build(&cpu.mem, $target) {
+                    let _ = link.set(Arc::downgrade(&next));
+                    memo = Some(($target, next_slot, next));
+                }
             }
         }};
     }

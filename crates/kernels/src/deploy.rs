@@ -3,13 +3,12 @@
 use crate::asm::Assembler;
 use crate::kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 use crate::layout::MemoryPlan;
-use crate::pool::{resolve_threads, CpuPool};
+use crate::pool::CpuPool;
 use pcount_isa::{reg, Cpu, ExecMode, HotBlock, MemStats, MemoryModel, PipelineStats, SimError};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
 
 /// The execution target of a deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -308,7 +307,7 @@ impl Deployment {
     /// # Errors
     ///
     /// Propagates the simulator fault of the lowest faulting frame index.
-    pub fn run_batch(&self, x: &Tensor, pool: &mut CpuPool) -> Result<Vec<InferenceRun>, SimError> {
+    pub fn run_batch(&self, x: &Tensor, pool: &CpuPool) -> Result<Vec<InferenceRun>, SimError> {
         let n = x.shape()[0];
         let pixels: usize = x.shape()[1..].iter().product();
         let data = x.data();
@@ -316,38 +315,24 @@ impl Deployment {
         if pool.threads() <= 1 || n <= 1 {
             return (0..n).map(|i| self.run_frame(frame(i))).collect();
         }
+        // One contiguous frame range per pooled CPU, run as jobs on the
+        // persistent runtime pool (no threads are spawned per batch). A
+        // range stops at its first fault; scanning the ranges in order
+        // afterwards reports the globally lowest faulting frame, exactly
+        // like the serial loop.
         let chunk = n.div_ceil(pool.threads());
-        let mut out: Vec<Option<InferenceRun>> = vec![None; n];
-        // The error of the lowest faulting frame, so parallel and serial
-        // runs report the same fault.
-        let first_error: Mutex<Option<(usize, SimError)>> = Mutex::new(None);
-        std::thread::scope(|s| {
-            for (w, (cpu, slots)) in pool.cpus.iter_mut().zip(out.chunks_mut(chunk)).enumerate() {
-                let first_error = &first_error;
-                s.spawn(move || {
-                    for (j, slot) in slots.iter_mut().enumerate() {
-                        let i = w * chunk + j;
-                        match self.run_frame_on(&mut cpu.clone(), frame(i)) {
-                            Ok(run) => *slot = Some(run),
-                            Err(e) => {
-                                let mut fe = first_error.lock().expect("batch error lock");
-                                if fe.as_ref().is_none_or(|(fi, _)| i < *fi) {
-                                    *fe = Some((i, e));
-                                }
-                                return;
-                            }
-                        }
-                    }
-                });
-            }
+        let ranges = n.div_ceil(chunk);
+        let results = pcount_runtime::current().map_limited(ranges, pool.threads(), |w| {
+            let cpu = &pool.cpus[w];
+            (w * chunk..((w + 1) * chunk).min(n))
+                .map(|i| self.run_frame_on(&mut cpu.clone(), frame(i)))
+                .collect::<Result<Vec<InferenceRun>, SimError>>()
         });
-        if let Some((_, e)) = first_error.into_inner().expect("batch error lock") {
-            return Err(e);
+        let mut out = Vec::with_capacity(n);
+        for range in results {
+            out.extend(range?);
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every frame before the first error ran"))
-            .collect())
+        Ok(out)
     }
 
     /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames,
@@ -363,12 +348,12 @@ impl Deployment {
         x: &Tensor,
         threads: usize,
     ) -> Result<Vec<usize>, SimError> {
-        let mut pool = CpuPool::from_base(
+        let pool = CpuPool::from_base(
             &self.base_cpu,
-            resolve_threads(threads).min(x.shape()[0].max(1)),
+            crate::pool::resolve_cpu_pool_threads(threads).min(x.shape()[0].max(1)),
         );
         Ok(self
-            .run_batch(x, &mut pool)?
+            .run_batch(x, &pool)?
             .into_iter()
             .map(|r| r.prediction)
             .collect())
@@ -700,9 +685,9 @@ mod tests {
                 })
                 .collect();
             for threads in [1usize, 3, 4] {
-                let mut pool = deployment.make_pool(threads).expect("pool");
+                let pool = deployment.make_pool(threads).expect("pool");
                 assert_eq!(pool.threads(), threads);
-                let parallel = deployment.run_batch(&batch, &mut pool).expect("batch");
+                let parallel = deployment.run_batch(&batch, &pool).expect("batch");
                 // Bit-identical: logits, prediction, cycles, instret and
                 // sdotp all compare equal, in frame order.
                 assert_eq!(parallel, serial, "{mode:?} with {threads} threads");

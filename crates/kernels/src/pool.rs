@@ -6,21 +6,22 @@
 //! pooled CPU — on any thread — dispatches fully pre-decoded, chained
 //! superblocks from the first frame.
 //!
-//! [`Deployment::run_batch`][crate::Deployment::run_batch] drives the pool
-//! with `std::thread::scope`: each worker owns one pooled CPU, processes a
-//! contiguous range of frame indices and writes results into its own slice
-//! of the output, so the collected batch is deterministic and
-//! order-preserving — bit-identical to the serial
-//! [`run_frame`][crate::Deployment::run_frame] loop regardless of the
-//! thread count.
+//! [`Deployment::run_batch`][crate::Deployment::run_batch] drives the
+//! pool through the persistent `pcount-runtime` worker pool: the batch is
+//! split into one contiguous frame range per pooled CPU and each range
+//! runs as one runtime job, so no threads are spawned per batch and the
+//! collected results are deterministic and order-preserving —
+//! bit-identical to the serial [`run_frame`][crate::Deployment::run_frame]
+//! loop regardless of the worker count.
 
 use pcount_isa::Cpu;
 
-/// Default upper bound on auto-selected worker threads; batch sizes in the
-/// flow are modest and clone/join overhead dominates beyond this.
-const MAX_AUTO_THREADS: usize = 8;
+/// Upper bound on auto-sized CPU pools: every pooled CPU clones the full
+/// deployed memory image, and flow batch sizes are modest, so cloning
+/// one per hardware thread on a many-core host would only waste memory.
+const MAX_AUTO_CPUS: usize = 8;
 
-/// A fixed set of warmed, pristine CPUs, one per worker thread.
+/// A fixed set of warmed, pristine CPUs, one per concurrent frame range.
 ///
 /// Created by [`Deployment::make_pool`][crate::Deployment::make_pool];
 /// every CPU is a clone of the deployment's base CPU taken *after* a
@@ -31,33 +32,34 @@ pub struct CpuPool {
 }
 
 impl CpuPool {
-    /// Builds a pool of `threads` clones of `base` (`0` = auto: the host's
-    /// available parallelism, capped at 8).
+    /// Builds a pool of `threads` clones of `base` (`0` = auto: the
+    /// runtime pool's width, capped at [`MAX_AUTO_CPUS`] — each pooled
+    /// CPU carries a full memory image, and the flow's batch sizes never
+    /// keep more ranges busy).
     pub(crate) fn from_base(base: &Cpu, threads: usize) -> Self {
-        let threads = resolve_threads(threads);
+        let threads = resolve_cpu_pool_threads(threads);
         Self {
             cpus: (0..threads).map(|_| base.clone()).collect(),
         }
     }
 
-    /// Number of worker threads this pool drives.
+    /// Number of concurrent frame ranges this pool supports.
     pub fn threads(&self) -> usize {
         self.cpus.len()
     }
 }
 
-/// Maps the `0 = auto` thread-count knob to a concrete worker count:
-/// explicit values pass through, `0` becomes the host's available
-/// parallelism capped at 8. Shared by every parallel evaluation surface
-/// (`predict_batch`, the flow's deployment sweep) so the knob means the
-/// same thing everywhere.
-pub fn resolve_threads(threads: usize) -> usize {
+pub use pcount_runtime::resolve_threads;
+
+/// The `0 = auto` knob for CPU-pool sizing specifically: explicit values
+/// pass through, `0` becomes the runtime pool's width capped at
+/// [`MAX_AUTO_CPUS`]. Every `make_pool`-style surface resolves through
+/// this so the memory cap cannot be bypassed by resolving the generic
+/// knob first.
+pub(crate) fn resolve_cpu_pool_threads(threads: usize) -> usize {
     if threads > 0 {
         threads
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(MAX_AUTO_THREADS)
+        resolve_threads(0).min(MAX_AUTO_CPUS)
     }
 }

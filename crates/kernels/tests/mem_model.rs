@@ -173,8 +173,8 @@ fn parallel_batches_are_bit_identical_under_the_maupiti_model() {
         })
         .collect();
     for threads in [1usize, 3] {
-        let mut pool = d.make_pool(threads).expect("pool");
-        let parallel = d.run_batch(&batch, &mut pool).expect("batch");
+        let pool = d.make_pool(threads).expect("pool");
+        let parallel = d.run_batch(&batch, &pool).expect("batch");
         assert_eq!(parallel, serial, "{threads} threads");
     }
     assert!(serial[0].mem.stall_cycles() > 0);

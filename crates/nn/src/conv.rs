@@ -1,24 +1,149 @@
 //! 2-D convolution over NCHW tensors.
 
 use crate::layer::{Layer, Mode};
+use pcount_runtime::SendPtr;
 use pcount_tensor::{col2im, gemm, im2col, GemmScratch, Tensor};
 use rand::Rng;
+use std::cell::RefCell;
 
-/// Reusable per-layer buffers for the GEMM-lowered convolution: the
-/// im2col column matrix, the column-gradient matrix and the GEMM packing
-/// arena. Cloning a layer yields fresh (empty) buffers — they are
-/// transient per-call state, not parameters.
-#[derive(Debug, Default)]
-pub(crate) struct ConvScratch {
-    col: Vec<f32>,
-    dcol: Vec<f32>,
-    gemm: GemmScratch,
+thread_local! {
+    /// Per-worker arena for the parallel per-image batches: the
+    /// `pcount-runtime` pool threads are persistent, so each worker's
+    /// packing buffers and im2col staging warm up once and are reused
+    /// for the rest of the process.
+    static WORKER_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::default());
 }
 
-impl Clone for ConvScratch {
-    fn clone(&self) -> Self {
-        Self::default()
+/// Resizes an arena buffer to exactly `len` zeroed elements (capacity is
+/// kept, so steady-state reuse performs no allocation).
+fn sized(buf: &mut Vec<f32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
+/// Geometry of one convolution call, shared by the per-image jobs.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    co: usize,
+    ho: usize,
+    wo: usize,
+}
+
+impl ConvGeom {
+    fn plane(&self) -> usize {
+        self.ho * self.wo
     }
+    fn ckk(&self) -> usize {
+        self.c * self.k * self.k
+    }
+    fn chw(&self) -> usize {
+        self.c * self.h * self.w
+    }
+}
+
+/// One image of the GEMM-lowered forward pass:
+/// `dst[Co, Ho*Wo] = W · col(img) + b`.
+fn forward_image(
+    scratch: &mut GemmScratch,
+    geom: ConvGeom,
+    img: &[f32],
+    wd: &[f32],
+    bd: &[f32],
+    dst: &mut [f32],
+) {
+    let mut col = scratch.take_aux();
+    let (ho, wo) = im2col(
+        img,
+        geom.c,
+        geom.h,
+        geom.w,
+        geom.k,
+        geom.stride,
+        geom.padding,
+        &mut col,
+    );
+    debug_assert_eq!((ho, wo), (geom.ho, geom.wo));
+    gemm(
+        scratch,
+        false,
+        false,
+        geom.co,
+        geom.plane(),
+        geom.ckk(),
+        wd,
+        &col,
+        dst,
+        false,
+    );
+    scratch.give_aux(col);
+    for (co, row) in dst.chunks_exact_mut(geom.plane()).enumerate() {
+        let b = bd[co];
+        for v in row {
+            *v += b;
+        }
+    }
+}
+
+/// One image of the GEMM-lowered backward pass: weight-gradient partial
+/// `dw_n = dY_n · col_nᵀ`, bias-gradient partial `db_n[co] = Σ dY_n[co, :]`
+/// and input gradient `grad_img += col2im(Wᵀ · dY_n)`.
+#[allow(clippy::too_many_arguments)]
+fn backward_image(
+    scratch: &mut GemmScratch,
+    geom: ConvGeom,
+    img: &[f32],
+    wd: &[f32],
+    gy: &[f32],
+    grad_img: &mut [f32],
+    dw_n: &mut [f32],
+    db_n: &mut [f32],
+) {
+    let plane = geom.plane();
+    let ckk = geom.ckk();
+    let gy = &gy[..geom.co * plane];
+    let mut col = scratch.take_aux();
+    let _ = im2col(
+        img,
+        geom.c,
+        geom.h,
+        geom.w,
+        geom.k,
+        geom.stride,
+        geom.padding,
+        &mut col,
+    );
+    // dW_n[Co, Ci*k*k] = dY_n[Co, Ho*Wo] · col_nᵀ[Ho*Wo, Ci*k*k].
+    gemm(
+        scratch, false, true, geom.co, ckk, plane, gy, &col, dw_n, false,
+    );
+    // db_n[co] = Σ dY_n[co, :].
+    for (b, row) in db_n.iter_mut().zip(gy.chunks_exact(plane)) {
+        *b = row.iter().sum::<f32>();
+    }
+    // dcol[Ci*k*k, Ho*Wo] = Wᵀ[Ci*k*k, Co] · dY_n[Co, Ho*Wo].
+    let mut dcol = scratch.take_aux();
+    sized(&mut dcol, ckk * plane);
+    gemm(
+        scratch, true, false, ckk, plane, geom.co, wd, gy, &mut dcol, false,
+    );
+    col2im(
+        &dcol,
+        geom.c,
+        geom.h,
+        geom.w,
+        geom.k,
+        geom.stride,
+        geom.padding,
+        grad_img,
+    );
+    scratch.give_aux(dcol);
+    scratch.give_aux(col);
 }
 
 /// A 2-D convolution layer with square kernels, zero padding and bias.
@@ -64,7 +189,7 @@ pub struct Conv2d {
     /// Accumulated bias gradient.
     pub bias_grad: Tensor,
     cached_input: Option<Tensor>,
-    scratch: ConvScratch,
+    scratch: GemmScratch,
 }
 
 impl Conv2d {
@@ -95,7 +220,7 @@ impl Conv2d {
             weight_grad: Tensor::zeros(&[out_channels, in_channels, kernel, kernel]),
             bias_grad: Tensor::zeros(&[out_channels]),
             cached_input: None,
-            scratch: ConvScratch::default(),
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -122,7 +247,7 @@ impl Conv2d {
             weight,
             bias,
             cached_input: None,
-            scratch: ConvScratch::default(),
+            scratch: GemmScratch::default(),
         }
     }
 
@@ -136,55 +261,53 @@ impl Conv2d {
     /// path); caches the input for backward.
     ///
     /// Lowered to one GEMM per image over an im2col-packed column matrix:
-    /// `out_n[Co, Ho*Wo] = W[Co, Ci*k*k] · col_n[Ci*k*k, Ho*Wo] + b`. The
+    /// `out_n[Co, Ho*Wo] = W[Co, Ci*k*k] · col_n[Ci*k*k, Ho*Wo] + b`.
+    /// Images are independent, so batches with more than one image fan
+    /// out over the persistent `pcount-runtime` pool (each worker stages
+    /// its column matrix in a warm thread-local arena); single images and
+    /// width-1 pools run inline on the layer's own arena. Either way the
     /// packing buffers are reused across calls, so steady-state training
-    /// allocates only the output tensor.
+    /// allocates only the output tensor, and results are bit-identical
+    /// for any pool size.
     pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
         let shape = x.shape();
         assert_eq!(shape.len(), 4, "conv expects NCHW input");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         assert_eq!(c, self.in_channels, "conv input channel mismatch");
-        let ho = self.output_size(h);
-        let wo = self.output_size(w);
-        let mut out = Tensor::zeros(&[n, self.out_channels, ho, wo]);
+        let geom = ConvGeom {
+            c,
+            h,
+            w,
+            k: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            co: self.out_channels,
+            ho: self.output_size(h),
+            wo: self.output_size(w),
+        };
+        let mut out = Tensor::zeros(&[n, geom.co, geom.ho, geom.wo]);
         let xd = x.data();
         let wd = weight.data();
         let bd = self.bias.data();
         let od = out.data_mut();
-        let k = self.kernel;
-        let ckk = c * k * k;
-        let plane = ho * wo;
-        for ni in 0..n {
-            let img = &xd[ni * c * h * w..(ni + 1) * c * h * w];
-            let (ho2, wo2) = im2col(
-                img,
-                c,
-                h,
-                w,
-                k,
-                self.stride,
-                self.padding,
-                &mut self.scratch.col,
-            );
-            debug_assert_eq!((ho2, wo2), (ho, wo));
-            let dst = &mut od[ni * self.out_channels * plane..(ni + 1) * self.out_channels * plane];
-            gemm(
-                &mut self.scratch.gemm,
-                false,
-                false,
-                self.out_channels,
-                plane,
-                ckk,
-                wd,
-                &self.scratch.col,
-                dst,
-                false,
-            );
-            for (co, row) in dst.chunks_exact_mut(plane).enumerate() {
-                let b = bd[co];
-                for v in row {
-                    *v += b;
-                }
+        let image_len = geom.co * geom.plane();
+        let pool = pcount_runtime::current();
+        if pool.width() > 1 && n > 1 {
+            pool.par_chunks_mut(od, image_len, 0, |ni, dst| {
+                WORKER_SCRATCH.with(|s| {
+                    forward_image(
+                        &mut s.borrow_mut(),
+                        geom,
+                        &xd[ni * geom.chw()..],
+                        wd,
+                        bd,
+                        dst,
+                    );
+                });
+            });
+        } else {
+            for (ni, dst) in od.chunks_mut(image_len).enumerate() {
+                forward_image(&mut self.scratch, geom, &xd[ni * geom.chw()..], wd, bd, dst);
             }
         }
         self.cached_input = Some(x.clone());
@@ -248,8 +371,15 @@ impl Conv2d {
     /// gradient.
     ///
     /// Both gradients are GEMMs over the packed column matrix of the
-    /// cached input: `dW += dY_n · col_nᵀ` and
-    /// `dcol = Wᵀ · dY_n` followed by a [`col2im`] scatter-add.
+    /// cached input: `dW_n = dY_n · col_nᵀ` and `dcol = Wᵀ · dY_n`
+    /// followed by a [`col2im`] scatter-add. Every image's partial
+    /// gradients are computed independently (fanned out over the
+    /// persistent `pcount-runtime` pool, staging buffers hoisted into the
+    /// caller-owned [`GemmScratch`] arena so the grad path performs no
+    /// steady-state allocation) and reduced into
+    /// `weight_grad`/`bias_grad` in image order on the calling thread —
+    /// the reduction order is a function of the batch alone, so results
+    /// are bit-identical for any pool size.
     pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
         let x = self
             .cached_input
@@ -258,73 +388,94 @@ impl Conv2d {
         let xs = x.shape();
         let (n, c, h, w) = (xs[0], xs[1], xs[2], xs[3]);
         let gs = grad_out.shape();
-        let (ho, wo) = (gs[2], gs[3]);
         assert_eq!(gs[1], self.out_channels, "grad channel mismatch");
+        let geom = ConvGeom {
+            c,
+            h,
+            w,
+            k: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            co: self.out_channels,
+            ho: gs[2],
+            wo: gs[3],
+        };
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-        let k = self.kernel;
-        let ckk = c * k * k;
-        let plane = ho * wo;
         let xd = x.data();
         let wd = weight.data();
         let gd = grad_out.data();
-        let wg = self.weight_grad.data_mut();
-        let bg = self.bias_grad.data_mut();
         let gi = grad_in.data_mut();
-        for ni in 0..n {
-            let img = &xd[ni * c * h * w..(ni + 1) * c * h * w];
-            let _ = im2col(
-                img,
-                c,
-                h,
-                w,
-                k,
-                self.stride,
-                self.padding,
-                &mut self.scratch.col,
-            );
-            let gy = &gd[ni * self.out_channels * plane..(ni + 1) * self.out_channels * plane];
-            // dW[Co, Ci*k*k] += dY_n[Co, Ho*Wo] · col_nᵀ[Ho*Wo, Ci*k*k].
-            gemm(
-                &mut self.scratch.gemm,
-                false,
-                true,
-                self.out_channels,
-                ckk,
-                plane,
-                gy,
-                &self.scratch.col,
-                wg,
-                true,
-            );
-            // db[co] += Σ dY_n[co, :].
-            for (co, row) in gy.chunks_exact(plane).enumerate() {
-                bg[co] += row.iter().sum::<f32>();
+        let wsize = geom.co * geom.ckk();
+        // Per-image gradient partials live in the caller-owned arena;
+        // they grow to the workload's high-water mark once and are
+        // reused for every subsequent step.
+        let mut dw = self.scratch.take_aux();
+        sized(&mut dw, n * wsize);
+        let mut db = self.scratch.take_aux();
+        sized(&mut db, n * geom.co);
+        let pool = pcount_runtime::current();
+        if pool.width() > 1 && n > 1 {
+            let dw_ptr = SendPtr::new(dw.as_mut_ptr());
+            let db_ptr = SendPtr::new(db.as_mut_ptr());
+            pool.par_chunks_mut(gi, geom.chw(), 0, |ni, grad_img| {
+                // SAFETY: each image index is claimed exactly once, so
+                // the `[ni * len, (ni + 1) * len)` partial regions have a
+                // single writer.
+                let (dw_n, db_n) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(dw_ptr.ptr().add(ni * wsize), wsize),
+                        std::slice::from_raw_parts_mut(db_ptr.ptr().add(ni * geom.co), geom.co),
+                    )
+                };
+                WORKER_SCRATCH.with(|s| {
+                    backward_image(
+                        &mut s.borrow_mut(),
+                        geom,
+                        &xd[ni * geom.chw()..],
+                        wd,
+                        &gd[ni * geom.co * geom.plane()..],
+                        grad_img,
+                        dw_n,
+                        db_n,
+                    );
+                });
+            });
+        } else {
+            for (ni, grad_img) in gi.chunks_mut(geom.chw()).enumerate() {
+                let (dw_n, db_n) = (
+                    &mut dw[ni * wsize..(ni + 1) * wsize],
+                    &mut db[ni * geom.co..(ni + 1) * geom.co],
+                );
+                backward_image(
+                    &mut self.scratch,
+                    geom,
+                    &xd[ni * geom.chw()..],
+                    wd,
+                    &gd[ni * geom.co * geom.plane()..],
+                    grad_img,
+                    dw_n,
+                    db_n,
+                );
             }
-            // dcol[Ci*k*k, Ho*Wo] = Wᵀ[Ci*k*k, Co] · dY_n[Co, Ho*Wo].
-            self.scratch.dcol.resize(ckk * plane, 0.0);
-            gemm(
-                &mut self.scratch.gemm,
-                true,
-                false,
-                ckk,
-                plane,
-                self.out_channels,
-                wd,
-                gy,
-                &mut self.scratch.dcol,
-                false,
-            );
-            col2im(
-                &self.scratch.dcol,
-                c,
-                h,
-                w,
-                k,
-                self.stride,
-                self.padding,
-                &mut gi[ni * c * h * w..(ni + 1) * c * h * w],
-            );
         }
+        // Canonical-order reduction: image partials land in batch order
+        // regardless of which worker computed them, matching the
+        // historical serial accumulation exactly for the k-blocking in
+        // use (`Ho*Wo <= KC`, one k block per image).
+        let wg = self.weight_grad.data_mut();
+        for dw_n in dw.chunks_exact(wsize) {
+            for (acc, &v) in wg.iter_mut().zip(dw_n.iter()) {
+                *acc += v;
+            }
+        }
+        let bg = self.bias_grad.data_mut();
+        for db_n in db.chunks_exact(geom.co) {
+            for (acc, &v) in bg.iter_mut().zip(db_n.iter()) {
+                *acc += v;
+            }
+        }
+        self.scratch.give_aux(db);
+        self.scratch.give_aux(dw);
         grad_in
     }
 

@@ -1,0 +1,632 @@
+//! Persistent worker-pool runtime for the MAUPITI stack.
+//!
+//! Before this crate existed, every parallel surface of the workspace —
+//! the blocked GEMM's callers, the per-fold and per-λ training loops in
+//! `pcount-core`, the batch inference pool in `pcount-kernels` and the
+//! benches — spawned short-lived `std::thread::scope` workers per call.
+//! That cost a thread create/join round-trip on every hot-path invocation
+//! and made nested fan-outs multiply their worker budgets. This crate
+//! replaces all of them with one **persistent, lazily-initialized pool**:
+//!
+//! * workers are spawned once (on first use) and **park** on a condvar
+//!   whenever the queue is empty — the steady state performs no thread
+//!   creation at all;
+//! * work is submitted as *groups* of independent index jobs `f(0..n)`
+//!   and scheduled as **chunked index ranges** claimed from an atomic
+//!   counter, so any number of workers can drain one group without
+//!   pre-partitioning;
+//! * the submitting thread always participates in its own group and then
+//!   blocks until stragglers finish, which makes [`PoolRef::run`]
+//!   **scoped**: the closure may borrow stack data even though the
+//!   workers are `'static` threads;
+//! * nested submissions (a GEMM inside a fold job inside a λ sweep) go
+//!   to the **same** pool — the single worker budget is shared across
+//!   every level instead of multiplying, and a nested submitter simply
+//!   drains its own group inline when every worker is busy, so nesting
+//!   can never deadlock or oversubscribe.
+//!
+//! The pool size comes from the `POOL_THREADS` environment variable
+//! (`0` or unset = auto: the host's available parallelism). **Results
+//! never depend on it**: every caller in the workspace submits jobs that
+//! are independent per index and reduces their outputs in canonical index
+//! order, so any pool size — and any per-call [`limit`] — produces
+//! bit-identical results. `POOL_THREADS` is a pure performance knob.
+//!
+//! [`limit`]: PoolRef::run_limited
+//!
+//! # Example
+//!
+//! ```
+//! let squares = pcount_runtime::current().map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Type-erased view of one submitted job closure.
+///
+/// The pointee lives on the submitter's stack; [`PoolRef::run_limited`]
+/// guarantees it outlives every use by blocking until the group's last
+/// index completes (even when a job panics).
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and the submitter keeps it alive for the group's whole lifetime.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// One submitted batch of index jobs, drained cooperatively by the
+/// submitter and any parked workers.
+struct Group {
+    job: Job,
+    /// Total number of index jobs.
+    n: usize,
+    /// Indices claimed per queue pop.
+    chunk: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Worker slots still available (concurrency limit minus active
+    /// participants). The submitter holds one slot for the group's whole
+    /// lifetime.
+    slots: AtomicUsize,
+    /// Completed index count + first panic payload.
+    state: Mutex<GroupState>,
+    /// Signalled when `state.done` reaches `n`.
+    done_cv: Condvar,
+}
+
+#[derive(Default)]
+struct GroupState {
+    done: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Group {
+    /// Claims and runs chunks until the index counter is exhausted.
+    /// Panics inside jobs are caught, recorded and re-thrown by the
+    /// submitter after the group completes.
+    fn work(&self) {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            // SAFETY: the submitter keeps the closure alive until
+            // `state.done == n`, and `done` only counts claimed chunks
+            // after they ran.
+            let job = unsafe { &*self.job.0 };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    job(i);
+                }
+            }));
+            let mut state = self.state.lock().expect("group state lock");
+            state.done += end - start;
+            if let Err(payload) = result {
+                state.panic.get_or_insert(payload);
+            }
+            if state.done == self.n {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// True while unclaimed indices remain.
+    fn has_remaining(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n
+    }
+
+    /// Tries to reserve one concurrency slot.
+    fn try_take_slot(&self) -> bool {
+        self.slots
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| s.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release_slot(&self) {
+        self.slots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until every index job has completed, then returns the first
+    /// panic payload, if any.
+    fn wait_done(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut state = self.state.lock().expect("group state lock");
+        while state.done < self.n {
+            state = self.done_cv.wait(state).expect("group state lock");
+        }
+        state.panic.take()
+    }
+}
+
+/// State shared between the pool owner, its workers and every
+/// [`PoolRef`].
+struct Shared {
+    /// Pending groups in submission order. Groups stay queued while they
+    /// have unclaimed indices; both workers and submitters prune
+    /// exhausted entries.
+    queue: Mutex<VecDeque<Arc<Group>>>,
+    /// Parked workers wait here; signalled on submission, slot release
+    /// and shutdown.
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Total usable parallelism: spawned workers + the submitting thread.
+    width: usize,
+}
+
+impl Shared {
+    /// The main loop of one pool worker: pick a group with remaining
+    /// work and a free slot, drain chunks, park when idle.
+    fn worker_loop(self: &Arc<Self>) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = Some(PoolRef {
+                shared: Arc::clone(self),
+            });
+        });
+        let mut queue = self.queue.lock().expect("pool queue lock");
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            queue.retain(|g| g.has_remaining());
+            let picked = queue.iter().find(|g| g.try_take_slot()).map(Arc::clone);
+            match picked {
+                Some(group) => {
+                    drop(queue);
+                    group.work();
+                    group.release_slot();
+                    // A freed slot may unblock a sibling waiting on a
+                    // limit-saturated group.
+                    self.work_cv.notify_all();
+                    queue = self.queue.lock().expect("pool queue lock");
+                }
+                None => {
+                    queue = self.work_cv.wait(queue).expect("pool queue lock");
+                }
+            }
+        }
+    }
+}
+
+/// An owned worker pool. Dropping it parks no one: workers are woken,
+/// told to shut down and joined.
+///
+/// The process-wide pool behind [`current`]/[`global`] is created once
+/// from `POOL_THREADS` and lives for the program; explicitly constructed
+/// pools exist so tests and benches can pin an exact worker count (see
+/// [`install`]).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("width", &self.shared.width)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with `width` total parallelism: `width - 1` worker
+    /// threads are spawned (the submitting thread is the remaining
+    /// participant). `width == 0` means auto (available parallelism);
+    /// `width == 1` spawns nothing and every submission runs inline.
+    pub fn new(width: usize) -> Self {
+        let width = if width == 0 {
+            host_parallelism()
+        } else {
+            width
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            width,
+        });
+        let workers = (1..width)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pcount-pool-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A cloneable, submittable handle to this pool.
+    pub fn handle(&self) -> PoolRef {
+        PoolRef {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            // The store must happen under the queue mutex: a worker
+            // checks `shutdown` while holding the lock and then waits on
+            // the condvar, so a store + notify landing inside that
+            // check-to-wait window (without the lock) would be a lost
+            // wakeup and the join below would hang forever.
+            let _queue = self.shared.queue.lock().expect("pool queue lock");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A handle for submitting work to a [`Pool`]. Obtained from
+/// [`current`], [`global`] or [`Pool::handle`].
+#[derive(Clone)]
+pub struct PoolRef {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for PoolRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolRef")
+            .field("width", &self.shared.width)
+            .finish()
+    }
+}
+
+impl PoolRef {
+    /// Total usable parallelism of the pool (spawned workers plus the
+    /// submitting thread).
+    pub fn width(&self) -> usize {
+        self.shared.width
+    }
+
+    /// Runs `f(0..jobs)` across the pool and blocks until every index has
+    /// completed. Panics in jobs are re-thrown here after the group
+    /// drains, so the borrowed closure never outlives its captures.
+    pub fn run<F: Fn(usize) + Sync>(&self, jobs: usize, f: F) {
+        self.run_chunked(jobs, 1, 0, f);
+    }
+
+    /// [`PoolRef::run`] with at most `limit` threads working the group
+    /// concurrently (`0` = no extra limit; the submitter always counts as
+    /// one participant). Results must not depend on `limit`: jobs are
+    /// independent per index, so this is a pure scheduling knob.
+    pub fn run_limited<F: Fn(usize) + Sync>(&self, jobs: usize, limit: usize, f: F) {
+        self.run_chunked(jobs, 1, limit, f);
+    }
+
+    /// Fully general submission: `f(0..jobs)` with indices claimed
+    /// `chunk` at a time by at most `limit` concurrent threads.
+    pub fn run_chunked<F: Fn(usize) + Sync>(&self, jobs: usize, chunk: usize, limit: usize, f: F) {
+        if jobs == 0 {
+            return;
+        }
+        let chunk = chunk.max(1);
+        let limit = if limit == 0 { self.width() } else { limit };
+        if jobs == 1 || limit <= 1 || self.width() <= 1 {
+            for i in 0..jobs {
+                f(i);
+            }
+            return;
+        }
+        let erased: *const (dyn Fn(usize) + Sync) = &f;
+        // SAFETY (lifetime erasure): the raw pointer is only dereferenced
+        // by `Group::work`, and this function does not return before
+        // `wait_done` observed every claimed index as completed, so the
+        // `'static` pointee lifetime is never actually relied upon.
+        let job = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(erased)
+        });
+        let group = Arc::new(Group {
+            job,
+            n: jobs,
+            chunk,
+            next: AtomicUsize::new(0),
+            // The submitter participates unconditionally below, so it
+            // takes its slot up front.
+            slots: AtomicUsize::new(limit - 1),
+            state: Mutex::new(GroupState::default()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            queue.push_back(Arc::clone(&group));
+        }
+        self.shared.work_cv.notify_all();
+        group.work();
+        let panic = group.wait_done();
+        {
+            // Prune the exhausted group so parked workers never rescan it.
+            let mut queue = self.shared.queue.lock().expect("pool queue lock");
+            queue.retain(|g| !Arc::ptr_eq(g, &group));
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f(0..jobs)` and collects the results **in index order**,
+    /// regardless of which thread computed which index.
+    pub fn map<T: Send, F: Fn(usize) -> T + Sync>(&self, jobs: usize, f: F) -> Vec<T> {
+        self.map_limited(jobs, 0, f)
+    }
+
+    /// [`PoolRef::map`] with a concurrency `limit` (`0` = none). The
+    /// output is identical for every limit and pool size.
+    pub fn map_limited<T: Send, F: Fn(usize) -> T + Sync>(
+        &self,
+        jobs: usize,
+        limit: usize,
+        f: F,
+    ) -> Vec<T> {
+        let mut out: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+        let slots = SendPtr(out.as_mut_ptr());
+        self.run_limited(jobs, limit, |i| {
+            // SAFETY: every index is claimed exactly once, so each slot
+            // gets exactly one writer, and the Vec itself is not touched
+            // until the group completes.
+            unsafe { *slots.ptr().add(i) = Some(f(i)) };
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every claimed index ran"))
+            .collect()
+    }
+
+    /// Splits `data` into `chunk_len`-sized pieces and runs
+    /// `f(chunk_index, chunk)` for each across the pool. The split is a
+    /// function of `chunk_len` alone — never of the pool size — so
+    /// callers stay deterministic for any worker count.
+    pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        limit: usize,
+        f: F,
+    ) {
+        let chunk_len = chunk_len.max(1);
+        let len = data.len();
+        let jobs = len.div_ceil(chunk_len);
+        let base = SendPtr(data.as_mut_ptr());
+        self.run_limited(jobs, limit, |i| {
+            let start = i * chunk_len;
+            let end = (start + chunk_len).min(len);
+            // SAFETY: chunks are disjoint (one per index, claimed once),
+            // so at most one `&mut` to each region exists at a time.
+            let chunk =
+                unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+            f(i, chunk);
+        });
+    }
+}
+
+/// Raw-pointer wrapper that lets disjoint-region writers cross a job
+/// closure's `Sync` bound (used by [`PoolRef::map`] internally and by
+/// the GEMM / conv fan-outs in `pcount-tensor` / `pcount-nn`).
+///
+/// # Safety contract (on the user, not the type)
+///
+/// The wrapper itself is just a pointer; whoever dereferences it must
+/// guarantee that concurrent jobs write disjoint regions and that the
+/// pointee outlives the submission (which [`PoolRef::run`] guarantees by
+/// blocking until the group drains).
+pub struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Wraps a raw pointer for capture by `Sync` job closures.
+    pub fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    /// The wrapped pointer. An accessor (rather than direct field use)
+    /// so closures capture the `Sync` wrapper, not a raw pointer field
+    /// (edition-2021 disjoint capture would otherwise unravel the
+    /// wrapper).
+    pub fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// The host's available parallelism (fallback 1).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pool width requested by the `POOL_THREADS` environment variable
+/// (`0` or unset/unparsable = auto).
+fn env_width() -> usize {
+    std::env::var("POOL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// The pool this thread belongs to: set for pool workers at spawn and
+    /// for scoped [`install`] overrides; empty threads fall back to the
+    /// global pool.
+    static CURRENT: std::cell::RefCell<Option<PoolRef>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The process-wide pool, created on first use with `POOL_THREADS`
+/// workers (`0`/unset = auto).
+pub fn global() -> PoolRef {
+    GLOBAL.get_or_init(|| Pool::new(env_width())).handle()
+}
+
+/// The pool the calling thread should submit to: the pool it is a worker
+/// of (so nested fan-outs share one worker budget), the [`install`]ed
+/// override, or the global pool.
+pub fn current() -> PoolRef {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(global)
+}
+
+/// Runs `f` with `pool` installed as the calling thread's
+/// [`current`] pool. Used by tests and benches to pin exact worker
+/// counts; nested submissions from inside `f` (on this thread) and from
+/// the pool's own workers all resolve to `pool`.
+pub fn install<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(pool.handle()));
+    struct Restore(Option<PoolRef>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Maps the workspace-wide `0 = auto` thread-count knob to a concrete
+/// worker count: explicit values pass through, `0` becomes the
+/// [`current`] pool's width. Shared by every parallel evaluation surface
+/// so the knob means the same thing everywhere.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        current().width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = Pool::new(4);
+        let out = install(&pool, || current().map(100, |i| i * 3));
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_executes_every_index_exactly_once() {
+        let pool = Pool::new(3);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.handle().run_chunked(hits.len(), 7, 0, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn width_one_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let main_thread = std::thread::current().id();
+        pool.handle().run(8, |_| {
+            assert_eq!(std::thread::current().id(), main_thread);
+        });
+    }
+
+    #[test]
+    fn limit_one_runs_serially_in_index_order() {
+        let pool = Pool::new(4);
+        let order = Mutex::new(Vec::new());
+        pool.handle().run_limited(10, 1, |i| {
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_submissions_share_the_pool_without_deadlock() {
+        let pool = Pool::new(4);
+        let total = AtomicU64::new(0);
+        install(&pool, || {
+            current().run(6, |_| {
+                // Workers resolve `current()` to their own pool; nesting
+                // two levels deep must drain without deadlock even when
+                // every worker is busy with outer jobs.
+                let inner = current().map(8, |j| j as u64);
+                total.fetch_add(inner.iter().sum::<u64>(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 28);
+    }
+
+    #[test]
+    fn results_are_identical_for_any_pool_width_and_limit() {
+        let reference: Vec<u64> = (0..100).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        for width in [1, 2, 3, 8] {
+            let pool = Pool::new(width);
+            for limit in [0, 1, 2, 5] {
+                let got = pool
+                    .handle()
+                    .map_limited(100, limit, |i| (i as u64).wrapping_mul(0x9E37));
+                assert_eq!(got, reference, "width {width} limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_the_slice_with_ragged_tail() {
+        let pool = Pool::new(3);
+        let mut data = vec![0u32; 103];
+        pool.handle().par_chunks_mut(&mut data, 10, 0, |ci, chunk| {
+            assert!(chunk.len() == 10 || (ci == 10 && chunk.len() == 3));
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 10 + j) as u32;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn job_panics_propagate_to_the_submitter() {
+        let pool = Pool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.handle().run(16, |i| {
+                if i == 9 {
+                    panic!("job 9 exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool survives the panic and keeps serving work.
+        assert_eq!(pool.handle().map(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn install_overrides_and_restores_current() {
+        let outer_width = current().width();
+        let pool = Pool::new(7);
+        install(&pool, || {
+            assert_eq!(current().width(), 7);
+        });
+        assert_eq!(current().width(), outer_width);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_its_workers() {
+        let pool = Pool::new(4);
+        pool.handle().run(8, |_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn resolve_threads_passes_explicit_values_through() {
+        assert_eq!(resolve_threads(3), 3);
+        let pool = Pool::new(5);
+        install(&pool, || assert_eq!(resolve_threads(0), 5));
+    }
+}

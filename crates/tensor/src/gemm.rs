@@ -21,6 +21,18 @@
 //! Accumulation order is fixed by the blocking (k is swept in `KC` chunks,
 //! innermost), so results are deterministic across runs and threads —
 //! parallel fold training in `pcount-core` relies on this.
+//!
+//! Large products additionally fan out over the persistent
+//! [`pcount_runtime`] worker pool: the N dimension is split into
+//! [`NR`]-aligned column strips, one strip per task, each packed and
+//! multiplied with a per-worker thread-local arena. Because `c[i][j]`
+//! only ever involves row `i` of A and column `j` of B, and the k sweep
+//! inside a strip is the exact serial schedule, **every output element
+//! sees the same accumulation order for any pool size** — parallel GEMM
+//! is bit-identical to serial GEMM (asserted by proptests and the
+//! `train_throughput` bench tripwire).
+
+use pcount_runtime::SendPtr;
 
 /// Rows of the register tile (accumulator height).
 const MR: usize = 4;
@@ -33,6 +45,12 @@ const KC: usize = 256;
 const MC: usize = 128;
 /// n-dimension cache block (multiple of [`NR`]).
 const NC: usize = 1024;
+/// Minimum `m * n * k` MAC count before a GEMM fans out over the worker
+/// pool; below this the submit/park round-trip outweighs the win.
+const PAR_MIN_MACS: usize = 1 << 20;
+/// Column-strip tasks created per pool worker (slack for load balance;
+/// the split never affects results, only scheduling).
+const PAR_TASKS_PER_WORKER: usize = 2;
 
 /// Reusable packing arena for [`gemm`].
 ///
@@ -56,6 +74,27 @@ const NC: usize = 1024;
 pub struct GemmScratch {
     packed_a: Vec<f32>,
     packed_b: Vec<f32>,
+    /// Reusable auxiliary buffers (see [`GemmScratch::take_aux`]).
+    aux: Vec<Vec<f32>>,
+}
+
+impl GemmScratch {
+    /// Borrows a reusable auxiliary buffer out of the arena (empty, but
+    /// with whatever capacity earlier uses grew it to). `pcount-nn`
+    /// stages its im2col column matrices, column gradients and per-image
+    /// gradient partials in these so the training grad path performs no
+    /// steady-state allocation; return the buffer with
+    /// [`GemmScratch::give_aux`] when done.
+    pub fn take_aux(&mut self) -> Vec<f32> {
+        self.aux.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer obtained from [`GemmScratch::take_aux`] to the
+    /// arena for reuse.
+    pub fn give_aux(&mut self, mut buf: Vec<f32>) {
+        buf.clear();
+        self.aux.push(buf);
+    }
 }
 
 impl Clone for GemmScratch {
@@ -106,11 +145,96 @@ pub fn gemm(
     let (rs_a, cs_a) = if trans_a { (1, m) } else { (k, 1) };
     let (rs_b, cs_b) = if trans_b { (1, k) } else { (n, 1) };
 
+    let pool = pcount_runtime::current();
+    if pool.width() > 1 && gemm_splits_columns(m, n, k) {
+        // Fan the NR-aligned column strips out over the persistent pool.
+        // Each task runs the full serial k/m blocking restricted to its
+        // strip with a per-worker thread-local arena, so results are
+        // bit-identical to the serial sweep for any pool size (c[i][j]
+        // never depends on which strip j landed in).
+        thread_local! {
+            static PAR_SCRATCH: std::cell::RefCell<GemmScratch> =
+                RefCell::new(GemmScratch::default());
+        }
+        use std::cell::RefCell;
+        let panels = n.div_ceil(NR);
+        let max_tasks = pool.width() * PAR_TASKS_PER_WORKER;
+        let strip_cols = panels.div_ceil(max_tasks).max(1) * NR;
+        let tasks = n.div_ceil(strip_cols);
+        let cp = SendPtr::new(c.as_mut_ptr());
+        pool.run(tasks, |t| {
+            let j_lo = t * strip_cols;
+            let j_hi = (j_lo + strip_cols).min(n);
+            PAR_SCRATCH.with(|s| {
+                gemm_cols(
+                    &mut s.borrow_mut(),
+                    m,
+                    n,
+                    k,
+                    a,
+                    b,
+                    &cp,
+                    (rs_a, cs_a),
+                    (rs_b, cs_b),
+                    j_lo,
+                    j_hi,
+                    accumulate,
+                );
+            });
+        });
+        return;
+    }
+    let cp = SendPtr::new(c.as_mut_ptr());
+    gemm_cols(
+        scratch,
+        m,
+        n,
+        k,
+        a,
+        b,
+        &cp,
+        (rs_a, cs_a),
+        (rs_b, cs_b),
+        0,
+        n,
+        accumulate,
+    );
+}
+
+/// True when a `[m x k] · [k x n]` product is large enough for [`gemm`]
+/// to fan its column strips out over the worker pool (it still runs
+/// serially when the current pool has width 1). Results never depend on
+/// the answer — the split is bit-identical — so this exists only for
+/// tests and benches to confirm they exercise the parallel path.
+pub fn gemm_splits_columns(m: usize, n: usize, k: usize) -> bool {
+    n >= 2 * NR && m.saturating_mul(n).saturating_mul(k) >= PAR_MIN_MACS
+}
+
+/// The serial Goto blocking restricted to the output columns
+/// `[j_lo, j_hi)`: exactly the historical `gemm` loop nest with the `jc`
+/// sweep clipped to the strip. Every task of a parallel GEMM runs this
+/// over its own strip; the serial path runs it once over `[0, n)`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_cols(
+    scratch: &mut GemmScratch,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &SendPtr<f32>,
+    (rs_a, cs_a): (usize, usize),
+    (rs_b, cs_b): (usize, usize),
+    j_lo: usize,
+    j_hi: usize,
+    accumulate: bool,
+) {
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
         let first_k_block = pc == 0;
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
+        let mut jc = j_lo;
+        while jc < j_hi {
+            let nc = NC.min(j_hi - jc);
             pack_b(scratch, b, pc, jc, kc, nc, rs_b, cs_b);
             for ic in (0..m).step_by(MC) {
                 let mc = MC.min(m - ic);
@@ -127,6 +251,7 @@ pub fn gemm(
                     accumulate || !first_k_block,
                 );
             }
+            jc += nc;
         }
     }
 }
@@ -201,11 +326,13 @@ fn pack_b(
 }
 
 /// Multiplies the packed A block by the packed B block into the `C` tile
-/// at `(ic, jc)`.
+/// at `(ic, jc)`, storing through the shared raw-pointer writer (column
+/// strips of one GEMM may be running on other workers; this tile's
+/// columns are exclusively ours).
 #[allow(clippy::too_many_arguments)]
 fn multiply_block(
     scratch: &GemmScratch,
-    c: &mut [f32],
+    c: &SendPtr<f32>,
     ldc: usize,
     ic: usize,
     jc: usize,
@@ -227,13 +354,18 @@ fn multiply_block(
             let c_row0 = ic + pi * MR;
             let c_col0 = jc + pj * NR;
             for (i, acc_row) in acc.iter().enumerate().take(rows) {
-                let dst = &mut c[(c_row0 + i) * ldc + c_col0..(c_row0 + i) * ldc + c_col0 + cols];
-                if accumulate {
-                    for (d, &v) in dst.iter_mut().zip(acc_row.iter()) {
-                        *d += v;
+                // SAFETY: the tile's rows stay inside the caller-checked
+                // `m x ldc` bounds of C, and no other strip writes the
+                // columns [c_col0, c_col0 + cols).
+                unsafe {
+                    let dst = c.ptr().add((c_row0 + i) * ldc + c_col0);
+                    if accumulate {
+                        for (j, &v) in acc_row.iter().enumerate().take(cols) {
+                            *dst.add(j) += v;
+                        }
+                    } else {
+                        std::ptr::copy_nonoverlapping(acc_row.as_ptr(), dst, cols);
                     }
-                } else {
-                    dst.copy_from_slice(&acc_row[..cols]);
                 }
             }
         }

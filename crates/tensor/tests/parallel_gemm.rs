@@ -1,0 +1,116 @@
+//! Bit-identity of the pool-parallel GEMM against the serial engine.
+//!
+//! The blocked GEMM fans NR-aligned column strips out over the
+//! `pcount-runtime` pool once products cross the size threshold. Because
+//! every output element keeps the exact serial accumulation order inside
+//! its strip, parallel results must be **bit-identical** — not merely
+//! close — to the single-threaded sweep for any pool width, any
+//! transpose combination and any N (including odd N not divisible by the
+//! register panel width). These tests pin that contract.
+
+use pcount_runtime::{install, Pool};
+use pcount_tensor::{gemm, gemm_splits_columns, GemmScratch, SplitMix64};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared pool per tested width; building threads once keeps the
+/// proptest cases fast.
+fn pool(width: usize) -> &'static Pool {
+    static POOLS: OnceLock<Vec<Pool>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| [1, 2, 4].into_iter().map(Pool::new).collect());
+    match width {
+        1 => &pools[0],
+        2 => &pools[1],
+        4 => &pools[2],
+        _ => unreachable!("untested width"),
+    }
+}
+
+fn random_vec(n: usize, rng: &mut SplitMix64) -> Vec<f32> {
+    (0..n).map(|_| rng.next_f32() * 2.0 - 1.0).collect()
+}
+
+/// Runs the same GEMM under pools of width 1 / 2 / 4 and asserts the
+/// three outputs are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn check_bit_identity(
+    seed: u64,
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    accumulate: bool,
+) {
+    assert!(
+        gemm_splits_columns(m, n, k),
+        "test shape {m}x{n}x{k} must be large enough to take the parallel path"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let a = random_vec(m * k, &mut rng);
+    let b = random_vec(k * n, &mut rng);
+    let init = random_vec(m * n, &mut rng);
+    let run = |width: usize| {
+        let mut c = init.clone();
+        install(pool(width), || {
+            gemm(
+                &mut GemmScratch::default(),
+                trans_a,
+                trans_b,
+                m,
+                n,
+                k,
+                &a,
+                &b,
+                &mut c,
+                accumulate,
+            );
+        });
+        c
+    };
+    let serial = run(1);
+    for width in [2, 4] {
+        let parallel = run(width);
+        for (i, (&s, &p)) in serial.iter().zip(parallel.iter()).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "width {width}: element {i} diverged from serial ({s} vs {p})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn parallel_gemm_is_bit_identical_across_worker_counts(
+        seed in 0u64..1_000_000,
+        trans_a in any::<bool>(),
+        trans_b in any::<bool>(),
+        m in 17usize..64,
+        // Odd offsets guarantee plenty of N values not divisible by the
+        // NR = 16 register panel (ragged last strip and ragged panel).
+        n_extra in 0usize..48,
+        accumulate in any::<bool>(),
+    ) {
+        let n = 257 + n_extra;
+        // k chosen so m*n*k crosses the parallel threshold for every m.
+        let k = 256;
+        check_bit_identity(seed, trans_a, trans_b, m, n, k, accumulate);
+    }
+}
+
+#[test]
+fn odd_n_exactly_one_panel_past_alignment() {
+    // n = 2*NR + 1 = 33 is the smallest column count the splitter
+    // accepts; k scaled up so the MAC threshold is still crossed.
+    check_bit_identity(7, false, false, 64, 33, 512, false);
+    check_bit_identity(8, true, true, 64, 33, 512, true);
+}
+
+#[test]
+fn k_dimension_spanning_multiple_cache_blocks() {
+    // k > KC = 256 exercises multi-block accumulation (`c += acc` per k
+    // block), the part of the schedule most sensitive to ordering.
+    check_bit_identity(9, false, true, 32, 272, 600, false);
+}

@@ -4,6 +4,7 @@
 //! This umbrella crate re-exports the whole reproduction stack of the
 //! DATE 2024 paper so applications can depend on a single crate:
 //!
+//! * [`runtime`] — the persistent worker-pool runtime (`POOL_THREADS`).
 //! * [`tensor`] — dense `f32` tensors.
 //! * [`dataset`] — synthetic LINAIGE-like IR dataset, sessions, CV splits.
 //! * [`nn`] — CPU training stack and the seed CNN.
@@ -36,4 +37,5 @@ pub use pcount_nn as nn;
 pub use pcount_platform as platform;
 pub use pcount_postproc as postproc;
 pub use pcount_quant as quant;
+pub use pcount_runtime as runtime;
 pub use pcount_tensor as tensor;
