@@ -19,7 +19,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcount_bench::demo_int8_model;
-use pcount_kernels::{Deployment, ExecMode, MemoryModel, Target};
+use pcount_kernels::{hot_blocks_json, Deployment, ExecMode, MemoryModel, Target};
 use pcount_quant::QuantizedCnn;
 use pcount_tensor::Tensor;
 use std::time::Instant;
@@ -236,7 +236,8 @@ fn bench_engine_throughput(c: &mut Criterion) {
     );
 
     println!("hottest superblock traces (one inference, maupiti mem model):");
-    for h in maupiti_chained.hottest_blocks(&frame, 8).expect("profile") {
+    let hot_blocks = maupiti_chained.hottest_blocks(&frame, 8).expect("profile");
+    for h in &hot_blocks {
         println!(
             "  pc {:#07x}: {:>9} executions, {:>10} instructions, {:>8} mem-stall cycles",
             h.entry_pc, h.executions, h.instructions, h.mem_stall_cycles
@@ -249,6 +250,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
             "mode",
             format!("\"{}\"", if smoke { "smoke" } else { "full" }),
         ),
+        ("host", pcount_bench::host_metadata_json(smoke)),
         ("host_threads", host_threads.to_string()),
         ("parallel_threads", PARALLEL_THREADS.to_string()),
         ("ips_simple", format!("{ips_simple:.3e}")),
@@ -284,6 +286,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
             "maupiti_dmem_stall_cycles",
             run_maupiti.mem.dmem_stall_cycles.to_string(),
         ),
+        ("hot_blocks", hot_blocks_json(&hot_blocks)),
     ]);
 
     if smoke {

@@ -406,12 +406,27 @@ fn bench_train_throughput(c: &mut Criterion) {
          (target >= 0.7 on >= 4-core hosts; {host_threads} host threads)"
     );
 
+    // --- Instrumented pool-utilization capture --------------------------
+    // Runs after every timed window so enabling telemetry cannot perturb
+    // the measurements above; one pooled GEMM with recording on yields the
+    // per-worker task/busy breakdown for the report.
+    let pool_utilization = {
+        pcount_telemetry::set_enabled(true);
+        let pool = Pool::new(GEMM_THREADS);
+        let mut c = vec![0.0f32; gemm_workload.m * gemm_workload.n];
+        install(&pool, || gemm_workload.run(&mut c));
+        let util = pool.handle().utilization();
+        pcount_telemetry::set_enabled(false);
+        util
+    };
+
     write_bench_json(&[
         ("bench", "\"train_throughput\"".into()),
         (
             "mode",
             format!("\"{}\"", if smoke { "smoke" } else { "full" }),
         ),
+        ("host", pcount_bench::host_metadata_json(smoke)),
         ("host_threads", host_threads.to_string()),
         ("conv_batch", batch.to_string()),
         ("images_per_s_naive", format!("{ips_naive:.3e}")),
@@ -432,6 +447,7 @@ fn bench_train_throughput(c: &mut Criterion) {
         ("fold_parallel_s", format!("{fold_parallel_s:.3}")),
         ("fold_scaling", format!("{fold_scaling:.3}")),
         ("fold_efficiency", format!("{fold_efficiency:.3}")),
+        ("pool_utilization", pool_utilization.to_json()),
     ]);
 
     if smoke {

@@ -74,6 +74,28 @@ pub fn demo_int8_model(seed: u64) -> (QuantizedCnn, pcount_tensor::Tensor) {
     )
 }
 
+/// The host metadata block embedded in every `BENCH_*.json`: hardware
+/// thread count, configured worker-pool width, whether the run was a
+/// `BENCH_SMOKE=1` smoke pass, and the git revision when the driver
+/// exports it via the `GIT_REV` environment variable.
+pub fn host_metadata_json(smoke: bool) -> String {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool_width = pcount_runtime::current().width();
+    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+    // GIT_REV is driver-controlled but untrusted for embedding raw.
+    let git_rev: String = git_rev
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .take(64)
+        .collect();
+    format!(
+        "{{\"threads\": {threads}, \"pool_width\": {pool_width}, \
+         \"smoke\": {smoke}, \"git_rev\": \"{git_rev}\"}}"
+    )
+}
+
 /// Formats a series of Pareto points as an aligned text table.
 pub fn format_points(title: &str, points: &[pcount_core::ParetoPoint]) -> String {
     let mut out = format!(
@@ -98,6 +120,26 @@ mod tests {
         let (model, x) = demo_int8_model(1);
         assert!(model.weight_bytes() < 16 * 1024);
         assert_eq!(x.shape()[2], 8);
+    }
+
+    #[test]
+    fn host_metadata_is_valid_json() {
+        let meta = host_metadata_json(true);
+        let parsed = pcount_telemetry::parse_json(&meta).expect("host metadata parses");
+        assert!(parsed
+            .get("threads")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|t| t >= 1.0));
+        assert!(parsed
+            .get("pool_width")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|w| w >= 1.0));
+        assert_eq!(
+            parsed.get("smoke").and_then(|v| v.as_f64()),
+            None,
+            "smoke is a boolean, not a number"
+        );
+        assert!(parsed.get("git_rev").and_then(|v| v.as_str()).is_some());
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use crate::pareto::ParetoPoint;
 use pcount_dataset::{CvFold, DatasetConfig, IrDataset};
-use pcount_kernels::{DeployError, Deployment, MemStats, MemoryModel, Target};
+use pcount_kernels::{
+    hot_blocks_json, DeployError, Deployment, HotBlock, MemStats, MemoryModel, PipelineStats,
+    Target,
+};
 use pcount_nas::{search, CostTarget, NasConfig};
 use pcount_nn::{
     balanced_accuracy, evaluate, train_classifier, CnnConfig, Sequential, TrainConfig,
@@ -12,9 +15,11 @@ use pcount_postproc::apply_majority;
 use pcount_quant::{
     fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
 };
+use pcount_telemetry::{HistogramSummary, PoolUtilization};
 use pcount_tensor::{SplitMix64, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Configuration of a full flow run.
 #[derive(Debug, Clone)]
@@ -242,6 +247,8 @@ pub struct DeployedCost {
     /// The per-inference energy split into core / imem / dmem components
     /// along the stall breakdown.
     pub energy: EnergyBreakdown,
+    /// Pipeline stall/flush counters of the measured inference.
+    pub pipeline: PipelineStats,
 }
 
 impl CandidateModel {
@@ -275,6 +282,96 @@ impl CandidateModel {
     }
 }
 
+/// Unified observability report of one [`run_flow`] invocation, folding
+/// the phase wall times, the per-frame inference latency distribution,
+/// the worker-pool utilisation and the deployment-sweep cost breakdowns
+/// ([`MemStats`], [`PipelineStats`], [`EnergyBreakdown`], [`HotBlock`])
+/// into one exportable structure.
+///
+/// Phase wall times are always measured (two `Instant` reads per phase).
+/// The telemetry-backed sections — the latency histogram, the frame
+/// counters and the pool report — are only populated while
+/// `pcount-telemetry` recording is on (`PCOUNT_TRACE` or
+/// [`pcount_telemetry::set_enabled`]); with telemetry off they are zero
+/// and [`TelemetryReport::enabled`] is `false`. None of this ever
+/// changes the flow's computed results.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Whether telemetry recording was on when the flow finished.
+    pub enabled: bool,
+    /// `(phase name, wall seconds)` for the flow's three phases, in
+    /// execution order: `flow/seed_eval`, `flow/lambda_sweep`,
+    /// `flow/deploy_sweep`.
+    pub phases: Vec<(&'static str, f64)>,
+    /// Host-side per-frame inference latency over this flow run (the
+    /// window of `deploy/frame_latency_ns` recorded between flow start
+    /// and end), with p50/p90/p99 in nanoseconds.
+    pub inference_latency_ns: HistogramSummary,
+    /// Simulator frames run during this flow (windowed
+    /// `deploy/frames`).
+    pub frames: u64,
+    /// Simulator faults hit during this flow (windowed
+    /// `deploy/frame_faults`; 0 on a healthy run).
+    pub frame_faults: u64,
+    /// Worker-pool utilisation of the pool the flow ran on.
+    pub pool: PoolUtilization,
+    /// Memory-hierarchy stall breakdown summed over the deployed rows.
+    pub mem: MemStats,
+    /// Pipeline stall/flush counters summed over the deployed rows.
+    pub pipeline: PipelineStats,
+    /// Energy breakdown summed over the deployed rows (µJ).
+    pub energy: EnergyBreakdown,
+    /// Trace-cache profile of the first deployed candidate: its five
+    /// hottest superblocks by retired instructions. Empty when no
+    /// candidate fits on-chip.
+    pub hot_blocks: Vec<HotBlock>,
+}
+
+impl TelemetryReport {
+    /// The report as a JSON object string, for the bench emitters
+    /// (`BENCH_train.json`) and any external dashboard.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut phases = String::from("{");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            let _ = write!(phases, "\"{name}\":{secs:.6}");
+        }
+        phases.push('}');
+        format!(
+            concat!(
+                "{{\"enabled\":{},\"phases\":{},\"inference_latency_ns\":{},",
+                "\"frames\":{},\"frame_faults\":{},\"pool\":{},",
+                "\"mem\":{{\"fetch_misses\":{},\"imem_stall_cycles\":{},",
+                "\"contended_accesses\":{},\"dmem_stall_cycles\":{}}},",
+                "\"pipeline\":{{\"instructions\":{},\"load_use_stalls\":{},",
+                "\"flush_cycles\":{}}},",
+                "\"energy_uj\":{{\"core\":{:.4},\"imem\":{:.4},\"dmem\":{:.4}}},",
+                "\"hot_blocks\":{}}}"
+            ),
+            self.enabled,
+            phases,
+            self.inference_latency_ns.to_json(),
+            self.frames,
+            self.frame_faults,
+            self.pool.to_json(),
+            self.mem.fetch_misses,
+            self.mem.imem_stall_cycles,
+            self.mem.contended_accesses,
+            self.mem.dmem_stall_cycles,
+            self.pipeline.instructions,
+            self.pipeline.load_use_stalls,
+            self.pipeline.flush_cycles,
+            self.energy.core_uj,
+            self.energy.imem_uj,
+            self.energy.dmem_uj,
+            hot_blocks_json(&self.hot_blocks),
+        )
+    }
+}
+
 /// The output of [`run_flow`].
 #[derive(Debug, Clone)]
 pub struct FlowResult {
@@ -286,6 +383,10 @@ pub struct FlowResult {
     pub quantized: Vec<CandidateModel>,
     /// Majority-voting window used for the post-processed metrics.
     pub majority_window: usize,
+    /// Observability report of this run (phase wall times, inference
+    /// latency percentiles, pool utilisation, cost breakdowns). Purely
+    /// observational — never feeds back into any computed result.
+    pub telemetry: TelemetryReport,
 }
 
 impl FlowResult {
@@ -427,6 +528,7 @@ impl FoldTrainJob<'_> {
     pub fn run(&self, threads: usize) -> Vec<FoldOutcome> {
         let num_classes = self.dataset.num_classes();
         parallel_map_folds(self.folds.len(), threads, |fi| {
+            let _span = pcount_telemetry::span("flow/lambda_sweep/fold_train");
             let fold = &self.folds[fi];
             let mut rng = StdRng::seed_from_u64(derive_seed(
                 self.rng_seed,
@@ -467,7 +569,22 @@ impl FoldTrainJob<'_> {
 }
 
 /// Runs the complete optimisation flow.
+///
+/// When the `PCOUNT_TRACE` environment variable names a file, telemetry
+/// recording is enabled for the run and the accumulated trace is flushed
+/// there on completion (chrome://tracing JSON, or JSONL for a `.jsonl`
+/// suffix). The returned [`FlowResult::telemetry`] report carries phase
+/// wall times, inference-latency percentiles and pool utilisation either
+/// way; all computed results are bit-identical with telemetry on or off.
 pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
+    pcount_telemetry::init_from_env();
+    // Windowed baselines: the flow report subtracts these so a process
+    // running several flows attributes frames/latency to the right run.
+    let latency_baseline = pcount_telemetry::histogram("deploy/frame_latency_ns").counts();
+    let frames_baseline = pcount_telemetry::counter("deploy/frames").value();
+    let faults_baseline = pcount_telemetry::counter("deploy/frame_faults").value();
+    let mut phases: Vec<(&'static str, f64)> = Vec::with_capacity(3);
+
     let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
     let num_classes = dataset.num_classes();
     let folds: Vec<_> = dataset
@@ -480,6 +597,8 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     let (x_s1, y_s1) = dataset.gather_normalized(&s1);
 
     // --- Seed evaluation (parallel across folds) -------------------------
+    let phase_start = Instant::now();
+    let seed_span = pcount_telemetry::span("flow/seed_eval");
     let seed_scores = parallel_map_folds(folds.len(), cfg.train_threads, |fi| {
         let fold = &folds[fi];
         let mut rng =
@@ -490,6 +609,8 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
         let _ = train_classifier(&mut seed_net, &x_train, &y_train, &cfg.train, &mut rng);
         evaluate(&mut seed_net, &x_test, &y_test, num_classes)
     });
+    drop(seed_span);
+    phases.push(("flow/seed_eval", phase_start.elapsed().as_secs_f64()));
     let seed_point = ParetoPoint::new(
         "seed FP32",
         seed_scores.iter().sum::<f64>() / folds.len() as f64,
@@ -507,6 +628,8 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     // level, which oversubscribed whenever both levels fanned out).
     // Results are identical for any `train_threads` value and land in λ
     // order.
+    let phase_start = Instant::now();
+    let sweep_span = pcount_telemetry::span("flow/lambda_sweep");
     let sweeps = parallel_map_folds(cfg.lambdas.len(), cfg.train_threads, |li| {
         let lambda = cfg.lambdas[li];
         let nas_cfg = NasConfig { lambda, ..cfg.nas };
@@ -569,6 +692,8 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
             .collect();
         (fp32_point, candidates)
     });
+    drop(sweep_span);
+    phases.push(("flow/lambda_sweep", phase_start.elapsed().as_secs_f64()));
     let mut fp32_points = Vec::with_capacity(cfg.lambdas.len());
     let mut quantized = Vec::new();
     for (point, candidates) in sweeps {
@@ -581,18 +706,97 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     // across threads (the simulator CPU is `Send`); results land in
     // candidate order either way.
     let sample_frame = &x_s1.data()[..x_s1.shape()[1..].iter().product()];
+    let phase_start = Instant::now();
+    let deploy_span = pcount_telemetry::span("flow/deploy_sweep");
     evaluate_deployments(
         &mut quantized,
         sample_frame,
         cfg.mem_model,
         cfg.deploy_threads,
     );
+    drop(deploy_span);
+    phases.push(("flow/deploy_sweep", phase_start.elapsed().as_secs_f64()));
+
+    let telemetry = assemble_telemetry(
+        phases,
+        &quantized,
+        sample_frame,
+        &TelemetryBaselines {
+            latency: latency_baseline,
+            frames: frames_baseline,
+            faults: faults_baseline,
+        },
+    );
+    if let Err(err) = pcount_telemetry::flush_env_trace() {
+        eprintln!("warning: failed to write PCOUNT_TRACE file: {err}");
+    }
 
     FlowResult {
         seed_point,
         fp32_points,
         quantized,
         majority_window: cfg.majority_window,
+        telemetry,
+    }
+}
+
+/// Telemetry registry values sampled at flow start, so the flow report
+/// covers only this run's window.
+struct TelemetryBaselines {
+    latency: pcount_telemetry::HistogramCounts,
+    frames: u64,
+    faults: u64,
+}
+
+/// Folds the run's telemetry window, the pool report and the deployment
+/// cost breakdowns into the [`TelemetryReport`] attached to the flow
+/// result.
+fn assemble_telemetry(
+    phases: Vec<(&'static str, f64)>,
+    quantized: &[CandidateModel],
+    sample_frame: &[f32],
+    baselines: &TelemetryBaselines,
+) -> TelemetryReport {
+    let mut mem = MemStats::default();
+    let mut pipeline = PipelineStats::default();
+    let mut energy = EnergyBreakdown::default();
+    for cost in quantized.iter().filter_map(|c| c.deployed.as_ref()) {
+        mem.fetch_misses += cost.mem.fetch_misses;
+        mem.imem_stall_cycles += cost.mem.imem_stall_cycles;
+        mem.contended_accesses += cost.mem.contended_accesses;
+        mem.dmem_stall_cycles += cost.mem.dmem_stall_cycles;
+        pipeline.instructions += cost.pipeline.instructions;
+        pipeline.load_use_stalls += cost.pipeline.load_use_stalls;
+        pipeline.flush_cycles += cost.pipeline.flush_cycles;
+        energy.core_uj += cost.energy.core_uj;
+        energy.imem_uj += cost.energy.imem_uj;
+        energy.dmem_uj += cost.energy.dmem_uj;
+    }
+    // Trace-cache profile of the first candidate that fits on-chip (one
+    // extra profiling inference; deterministic, so it never perturbs the
+    // flow's reported results).
+    let hot_blocks = quantized
+        .iter()
+        .find(|c| c.deployed.is_some())
+        .and_then(|c| c.deploy(Target::Maupiti).ok())
+        .and_then(|d| d.hottest_blocks(sample_frame, 5).ok())
+        .unwrap_or_default();
+    TelemetryReport {
+        enabled: pcount_telemetry::enabled(),
+        phases,
+        inference_latency_ns: pcount_telemetry::histogram("deploy/frame_latency_ns")
+            .summary_since(&baselines.latency),
+        frames: pcount_telemetry::counter("deploy/frames")
+            .value()
+            .saturating_sub(baselines.frames),
+        frame_faults: pcount_telemetry::counter("deploy/frame_faults")
+            .value()
+            .saturating_sub(baselines.faults),
+        pool: pcount_runtime::current().utilization(),
+        mem,
+        pipeline,
+        energy,
+        hot_blocks,
     }
 }
 
@@ -637,6 +841,7 @@ fn measure_deployment(
         energy_uj: platform.energy_uj,
         mem: report.mem,
         energy: platform.energy,
+        pipeline: report.pipeline,
     })
 }
 
@@ -854,6 +1059,71 @@ mod tests {
         let wide_pool = pcount_runtime::Pool::new(3);
         let parallel = pcount_runtime::install(&wide_pool, || run_flow(&cfg));
         assert_flow_results_identical(&serial, &parallel);
+    }
+
+    #[test]
+    fn telemetry_is_observational_and_exports_a_valid_trace() {
+        // The tentpole tripwire: enabling telemetry must never change any
+        // computed result — logits, cycles, accuracies — only observe
+        // them. Run the same flow with recording off and on, on the same
+        // installed pool, and require bit-identical outputs.
+        let mut cfg = FlowConfig::quick();
+        cfg.assignments.truncate(1);
+        cfg.nas.epochs = 2;
+        cfg.nas.warmup_epochs = 1;
+        cfg.train.epochs = 2;
+        cfg.qat.epochs = 1;
+
+        let pool = pcount_runtime::Pool::new(2);
+        let baseline = pcount_runtime::install(&pool, || run_flow(&cfg));
+        pcount_telemetry::set_enabled(true);
+        let traced = pcount_runtime::install(&pool, || run_flow(&cfg));
+        pcount_telemetry::set_enabled(false);
+        assert_flow_results_identical(&baseline, &traced);
+
+        // The traced run's report is fully populated.
+        let t = &traced.telemetry;
+        assert!(t.enabled);
+        assert_eq!(
+            t.phases.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            ["flow/seed_eval", "flow/lambda_sweep", "flow/deploy_sweep"],
+        );
+        assert!(t.phases.iter().all(|&(_, secs)| secs >= 0.0));
+        assert!(t.inference_latency_ns.count > 0, "frames were timed");
+        assert!(t.frames > 0);
+        assert_eq!(t.frame_faults, 0, "healthy run has no simulator faults");
+        assert!(t.pool.width >= 1);
+        assert!(t.pool.total_tasks() > 0);
+        assert!(!t.hot_blocks.is_empty(), "a candidate fits on-chip");
+        assert!(t.pipeline.instructions > 0);
+        pcount_telemetry::parse_json(&t.to_json()).expect("flow telemetry report is valid JSON");
+
+        // The accumulated chrome trace parses and covers every flow
+        // phase plus the pool and kernel spans underneath.
+        let trace = pcount_telemetry::chrome_trace_json();
+        let parsed = pcount_telemetry::parse_json(&trace).expect("chrome trace is valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let names: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        for required in [
+            "flow/seed_eval",
+            "flow/lambda_sweep",
+            "flow/lambda_sweep/fold_train",
+            "flow/deploy_sweep",
+            "pool/task",
+            "gemm",
+            "conv_fwd",
+        ] {
+            assert!(names.contains(required), "trace missing span {required}");
+        }
+        assert!(parsed.get("counters").is_some());
+        assert!(parsed.get("histograms").is_some());
     }
 
     #[test]

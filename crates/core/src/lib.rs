@@ -30,6 +30,6 @@ mod pareto;
 pub use baseline::{manual_grid_baseline, BaselineConfig};
 pub use flow::{
     run_flow, select_table1_models, CandidateEval, CandidateModel, DeployedCost, FlowConfig,
-    FlowResult, FoldOutcome, FoldTrainJob,
+    FlowResult, FoldOutcome, FoldTrainJob, TelemetryReport,
 };
 pub use pareto::{pareto_front_by, ParetoPoint};

@@ -186,6 +186,24 @@ pub struct HotBlock {
     pub mem_stall_cycles: u64,
 }
 
+/// Serialises a [`Cpu::hottest_blocks`] profile as a JSON array (one
+/// object per block, hex `entry_pc`), for machine-readable export from
+/// the examples and the bench emitters.
+pub fn hot_blocks_json(blocks: &[HotBlock]) -> String {
+    let mut out = String::from("[");
+    for (i, b) in blocks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"entry_pc\":\"{:#010x}\",\"executions\":{},\"instructions\":{},\"mem_stall_cycles\":{}}}",
+            b.entry_pc, b.executions, b.instructions, b.mem_stall_cycles
+        ));
+    }
+    out.push(']');
+    out
+}
+
 /// Result of executing one instruction in the reference interpreter.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ExecOutcome {

@@ -119,6 +119,9 @@ pub struct DeploymentReport {
     /// Memory-hierarchy stall breakdown per inference (all zero under
     /// the default [`MemoryModel::Flat`]).
     pub mem: MemStats,
+    /// Pipeline stall/flush counters per inference (all zero under
+    /// [`ExecMode::Simple`]).
+    pub pipeline: PipelineStats,
 }
 
 /// A quantised model compiled for a target and loaded into a simulated
@@ -254,7 +257,28 @@ impl Deployment {
 
     /// Runs one inference on the given pristine CPU clone, leaving the
     /// post-inference state (trace, profile counters) on `cpu`.
+    ///
+    /// When telemetry is enabled, every attempt bumps the
+    /// `deploy/frames` counter and records its host wall time into the
+    /// `deploy/frame_latency_ns` histogram; faults additionally bump
+    /// `deploy/frame_faults`. The simulated results themselves are
+    /// unaffected.
     fn run_frame_on(&self, cpu: &mut Cpu, frame: &[f32]) -> Result<InferenceRun, SimError> {
+        if !pcount_telemetry::enabled() {
+            return self.run_frame_inner(cpu, frame);
+        }
+        let start = pcount_telemetry::now_ns();
+        let result = self.run_frame_inner(cpu, frame);
+        frame_latency_histogram().record(pcount_telemetry::now_ns() - start);
+        pcount_telemetry::counter("deploy/frames").add(1);
+        if result.is_err() {
+            pcount_telemetry::counter("deploy/frame_faults").add(1);
+        }
+        result
+    }
+
+    /// The uninstrumented inference body of [`Deployment::run_frame_on`].
+    fn run_frame_inner(&self, cpu: &mut Cpu, frame: &[f32]) -> Result<InferenceRun, SimError> {
         let input = self.plan.pack_input(&self.model, frame);
         cpu.mem.write_dmem(self.plan.input_addr, &input);
         let summary = cpu.run(50_000_000)?;
@@ -306,33 +330,39 @@ impl Deployment {
     ///
     /// # Errors
     ///
-    /// Propagates the simulator fault of the lowest faulting frame index.
+    /// Every frame is evaluated (faults no longer make a worker's range
+    /// short-circuit), each fault bumps the `deploy/frame_faults`
+    /// telemetry counter, and the error returned is the fault of the
+    /// **lowest** faulting frame index — identical to what a serial
+    /// [`Deployment::run_frame`] loop would hit first.
     pub fn run_batch(&self, x: &Tensor, pool: &CpuPool) -> Result<Vec<InferenceRun>, SimError> {
+        let _span = pcount_telemetry::span("deploy/run_batch");
         let n = x.shape()[0];
         let pixels: usize = x.shape()[1..].iter().product();
         let data = x.data();
         let frame = |i: usize| &data[i * pixels..(i + 1) * pixels];
+        let collect = |runs: Vec<Result<InferenceRun, SimError>>| {
+            // First (lowest-index) fault wins, after every frame ran and
+            // was counted — exactly the serial loop's error, without its
+            // short-circuit hiding later faults from the fault counter.
+            runs.into_iter().collect::<Result<Vec<_>, _>>()
+        };
         if pool.threads() <= 1 || n <= 1 {
-            return (0..n).map(|i| self.run_frame(frame(i))).collect();
+            return collect((0..n).map(|i| self.run_frame(frame(i))).collect());
         }
         // One contiguous frame range per pooled CPU, run as jobs on the
-        // persistent runtime pool (no threads are spawned per batch). A
-        // range stops at its first fault; scanning the ranges in order
-        // afterwards reports the globally lowest faulting frame, exactly
-        // like the serial loop.
+        // persistent runtime pool (no threads are spawned per batch).
+        // Ranges are concatenated in order, so the flattened run list is
+        // frame-ordered.
         let chunk = n.div_ceil(pool.threads());
         let ranges = n.div_ceil(chunk);
         let results = pcount_runtime::current().map_limited(ranges, pool.threads(), |w| {
             let cpu = &pool.cpus[w];
             (w * chunk..((w + 1) * chunk).min(n))
                 .map(|i| self.run_frame_on(&mut cpu.clone(), frame(i)))
-                .collect::<Result<Vec<InferenceRun>, SimError>>()
+                .collect::<Vec<Result<InferenceRun, SimError>>>()
         });
-        let mut out = Vec::with_capacity(n);
-        for range in results {
-            out.extend(range?);
-        }
-        Ok(out)
+        collect(results.into_iter().flatten().collect())
     }
 
     /// Predicts classes for a `[N, 1, 8, 8]` batch of raw frames,
@@ -401,8 +431,17 @@ impl Deployment {
             instructions: run.instructions,
             sdotp: run.sdotp,
             mem: run.mem,
+            pipeline: run.pipeline,
         })
     }
+}
+
+/// Cached handle of the per-frame inference latency histogram (avoids
+/// taking the registry lock on every frame).
+fn frame_latency_histogram() -> &'static pcount_telemetry::Histogram {
+    static HANDLE: std::sync::OnceLock<&'static pcount_telemetry::Histogram> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| pcount_telemetry::histogram("deploy/frame_latency_ns"))
 }
 
 /// Builds the complete program: per-layer call sequence followed by the

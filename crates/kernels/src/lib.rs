@@ -30,5 +30,7 @@ pub use asm::Assembler;
 pub use deploy::{DeployError, Deployment, DeploymentReport, InferenceRun, Target};
 pub use kernels::{emit_conv3x3, emit_fc, emit_maxpool2x2, KernelVariant, OutputFormat};
 pub use layout::{lane_count, pack_values, pad_channels, MemoryPlan};
-pub use pcount_isa::{ExecMode, HotBlock, MaupitiMemConfig, MemStats, MemoryModel};
+pub use pcount_isa::{
+    hot_blocks_json, ExecMode, HotBlock, MaupitiMemConfig, MemStats, MemoryModel, PipelineStats,
+};
 pub use pool::{resolve_threads, CpuPool};

@@ -270,6 +270,7 @@ impl Conv2d {
     /// allocates only the output tensor, and results are bit-identical
     /// for any pool size.
     pub fn forward_with_weight(&mut self, x: &Tensor, weight: &Tensor) -> Tensor {
+        let _span = pcount_telemetry::span("conv_fwd");
         let shape = x.shape();
         assert_eq!(shape.len(), 4, "conv expects NCHW input");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -381,6 +382,7 @@ impl Conv2d {
     /// the reduction order is a function of the batch alone, so results
     /// are bit-identical for any pool size.
     pub fn backward_with_weight(&mut self, grad_out: &Tensor, weight: &Tensor) -> Tensor {
+        let _span = pcount_telemetry::span("conv_bwd");
         let x = self
             .cached_input
             .take()

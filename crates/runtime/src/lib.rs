@@ -32,6 +32,17 @@
 //! order, so any pool size — and any per-call [`limit`] — produces
 //! bit-identical results. `POOL_THREADS` is a pure performance knob.
 //!
+//! # Telemetry
+//!
+//! When `pcount-telemetry` is enabled the pool records, per drained
+//! group: a `pool/task` span on every participating worker, the group's
+//! queue wait (submission → first claim) and drain latency (submission →
+//! completion) into the `pool/queue_wait_ns` / `pool/group_drain_ns`
+//! histograms, and per-slot task/busy totals readable through
+//! [`PoolRef::utilization`]. While telemetry is disabled all of this
+//! costs one relaxed atomic load per group — results are bit-identical
+//! either way.
+//!
 //! [`limit`]: PoolRef::run_limited
 //!
 //! # Example
@@ -43,9 +54,11 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+pub use pcount_telemetry::PoolUtilization;
 
 /// Type-erased view of one submitted job closure.
 ///
@@ -77,6 +90,13 @@ struct Group {
     state: Mutex<GroupState>,
     /// Signalled when `state.done` reaches `n`.
     done_cv: Condvar,
+    /// Telemetry submission timestamp (`now_ns` at enqueue), or `0` when
+    /// telemetry was disabled at submission — the sentinel that turns all
+    /// per-group recording off.
+    submitted_ns: u64,
+    /// Set by whichever thread claims the group's first chunk; gates the
+    /// one-shot queue-wait measurement.
+    first_claim: AtomicBool,
 }
 
 #[derive(Default)]
@@ -86,16 +106,23 @@ struct GroupState {
 }
 
 impl Group {
-    /// Claims and runs chunks until the index counter is exhausted.
+    /// Claims and runs chunks until the index counter is exhausted,
+    /// returning how many index jobs this thread executed.
     /// Panics inside jobs are caught, recorded and re-thrown by the
     /// submitter after the group completes.
-    fn work(&self) {
+    fn work(&self) -> usize {
+        let mut executed = 0;
         loop {
             let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
-                return;
+                return executed;
+            }
+            if self.submitted_ns != 0 && !self.first_claim.swap(true, Ordering::Relaxed) {
+                pcount_telemetry::histogram("pool/queue_wait_ns")
+                    .record(pcount_telemetry::now_ns().saturating_sub(self.submitted_ns));
             }
             let end = (start + self.chunk).min(self.n);
+            executed += end - start;
             // SAFETY: the submitter keeps the closure alive until
             // `state.done == n`, and `done` only counts claimed chunks
             // after they ran.
@@ -143,6 +170,17 @@ impl Group {
     }
 }
 
+/// Per-slot execution totals. 64-byte aligned so two slots never share a
+/// cache line when workers update their own entries concurrently.
+#[repr(align(64))]
+#[derive(Default)]
+struct SlotStats {
+    /// Index jobs executed by this slot.
+    tasks: AtomicU64,
+    /// Nanoseconds this slot spent inside `Group::work`.
+    busy_ns: AtomicU64,
+}
+
 /// State shared between the pool owner, its workers and every
 /// [`PoolRef`].
 struct Shared {
@@ -156,12 +194,19 @@ struct Shared {
     shutdown: AtomicBool,
     /// Total usable parallelism: spawned workers + the submitting thread.
     width: usize,
+    /// Per-slot telemetry totals: slot 0 aggregates submitting threads,
+    /// slots `1..width` are the spawned workers. Only written while
+    /// telemetry is enabled.
+    stats: Vec<SlotStats>,
+    /// Groups drained through this pool (telemetry-gated, like `stats`).
+    groups: AtomicU64,
 }
 
 impl Shared {
     /// The main loop of one pool worker: pick a group with remaining
-    /// work and a free slot, drain chunks, park when idle.
-    fn worker_loop(self: &Arc<Self>) {
+    /// work and a free slot, drain chunks, park when idle. `slot` is the
+    /// worker's index into `stats` (`1..width`).
+    fn worker_loop(self: &Arc<Self>, slot: usize) {
         CURRENT.with(|c| {
             *c.borrow_mut() = Some(PoolRef {
                 shared: Arc::clone(self),
@@ -177,7 +222,7 @@ impl Shared {
             match picked {
                 Some(group) => {
                     drop(queue);
-                    group.work();
+                    self.work_instrumented(&group, slot);
                     group.release_slot();
                     // A freed slot may unblock a sibling waiting on a
                     // limit-saturated group.
@@ -189,6 +234,24 @@ impl Shared {
                 }
             }
         }
+    }
+
+    /// Drains `group` chunks on behalf of `slot`, recording a
+    /// `pool/task` span and the slot's task/busy totals when telemetry
+    /// is enabled (one relaxed atomic load otherwise).
+    fn work_instrumented(self: &Arc<Self>, group: &Group, slot: usize) {
+        if !pcount_telemetry::enabled() {
+            group.work();
+            return;
+        }
+        let _span = pcount_telemetry::span("pool/task");
+        let start = pcount_telemetry::now_ns();
+        let executed = group.work();
+        let stats = &self.stats[slot];
+        stats
+            .busy_ns
+            .fetch_add(pcount_telemetry::now_ns() - start, Ordering::Relaxed);
+        stats.tasks.fetch_add(executed as u64, Ordering::Relaxed);
     }
 }
 
@@ -228,13 +291,15 @@ impl Pool {
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             width,
+            stats: (0..width).map(|_| SlotStats::default()).collect(),
+            groups: AtomicU64::new(0),
         });
         let workers = (1..width)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("pcount-pool-{i}"))
-                    .spawn(move || shared.worker_loop())
+                    .spawn(move || shared.worker_loop(i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -313,11 +378,29 @@ impl PoolRef {
         let chunk = chunk.max(1);
         let limit = if limit == 0 { self.width() } else { limit };
         if jobs == 1 || limit <= 1 || self.width() <= 1 {
-            for i in 0..jobs {
-                f(i);
+            if pcount_telemetry::enabled() {
+                let start = pcount_telemetry::now_ns();
+                for i in 0..jobs {
+                    f(i);
+                }
+                let elapsed = pcount_telemetry::now_ns() - start;
+                let stats = &self.shared.stats[0];
+                stats.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
+                stats.tasks.fetch_add(jobs as u64, Ordering::Relaxed);
+                self.shared.groups.fetch_add(1, Ordering::Relaxed);
+                pcount_telemetry::histogram("pool/group_drain_ns").record(elapsed);
+            } else {
+                for i in 0..jobs {
+                    f(i);
+                }
             }
             return;
         }
+        let submitted_ns = if pcount_telemetry::enabled() {
+            pcount_telemetry::now_ns().max(1)
+        } else {
+            0
+        };
         let erased: *const (dyn Fn(usize) + Sync) = &f;
         // SAFETY (lifetime erasure): the raw pointer is only dereferenced
         // by `Group::work`, and this function does not return before
@@ -339,14 +422,22 @@ impl PoolRef {
             slots: AtomicUsize::new(limit - 1),
             state: Mutex::new(GroupState::default()),
             done_cv: Condvar::new(),
+            submitted_ns,
+            first_claim: AtomicBool::new(false),
         });
         {
             let mut queue = self.shared.queue.lock().expect("pool queue lock");
             queue.push_back(Arc::clone(&group));
         }
         self.shared.work_cv.notify_all();
-        group.work();
+        // The submitter participates as slot 0 of the stats table.
+        self.shared.work_instrumented(&group, 0);
         let panic = group.wait_done();
+        if submitted_ns != 0 {
+            self.shared.groups.fetch_add(1, Ordering::Relaxed);
+            pcount_telemetry::histogram("pool/group_drain_ns")
+                .record(pcount_telemetry::now_ns().saturating_sub(submitted_ns));
+        }
         {
             // Prune the exhausted group so parked workers never rescan it.
             let mut queue = self.shared.queue.lock().expect("pool queue lock");
@@ -354,6 +445,34 @@ impl PoolRef {
         }
         if let Some(payload) = panic {
             resume_unwind(payload);
+        }
+    }
+
+    /// The pool's accumulated telemetry: per-slot task/busy totals
+    /// (slot 0 = submitting threads, `1..width` = workers), total groups
+    /// drained, and the process-wide queue-wait / drain-latency
+    /// histograms. All of it is recorded only while `pcount-telemetry`
+    /// is enabled; with telemetry off the report is all zeros. The two
+    /// histograms are global (shared with every other pool in the
+    /// process), while the slot totals are this pool's own.
+    pub fn utilization(&self) -> PoolUtilization {
+        PoolUtilization {
+            width: self.shared.width,
+            worker_tasks: self
+                .shared
+                .stats
+                .iter()
+                .map(|s| s.tasks.load(Ordering::Relaxed))
+                .collect(),
+            worker_busy_ns: self
+                .shared
+                .stats
+                .iter()
+                .map(|s| s.busy_ns.load(Ordering::Relaxed))
+                .collect(),
+            groups: self.shared.groups.load(Ordering::Relaxed),
+            queue_wait_ns: pcount_telemetry::histogram("pool/queue_wait_ns").summary(),
+            drain_ns: pcount_telemetry::histogram("pool/group_drain_ns").summary(),
         }
     }
 
@@ -621,6 +740,22 @@ mod tests {
         let pool = Pool::new(4);
         pool.handle().run(8, |_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn utilization_accounts_every_executed_index() {
+        let pool = Pool::new(3);
+        // Results and totals must be unaffected by whether telemetry is
+        // recording; only the stats themselves appear.
+        pcount_telemetry::set_enabled(true);
+        pool.handle().run_chunked(64, 4, 0, |_| {});
+        pcount_telemetry::set_enabled(false);
+        let report = pool.handle().utilization();
+        assert_eq!(report.width, 3);
+        assert_eq!(report.worker_tasks.len(), 3);
+        assert_eq!(report.total_tasks(), 64, "every index attributed once");
+        assert!(report.groups >= 1);
+        assert!(report.drain_ns.count >= 1);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Scoped span timers recording into per-thread ring buffers.
+//!
+//! A span is opened with [`span`] and closed by dropping the returned
+//! guard; the completed `(name, start, duration)` triple lands in the
+//! calling thread's ring buffer. Rings are bounded ([`RING_CAPACITY`]
+//! events per thread) and overwrite their oldest events when full, so a
+//! long telemetry-enabled run keeps the most recent window instead of
+//! growing without bound; the exporter reports how many events each
+//! thread overwrote.
+//!
+//! Span names are `&'static str` phase paths with `/` hierarchy
+//! (`flow/lambda_sweep/fold_train`, `pool/task`, `gemm`, …). Nesting in
+//! the chrome trace comes from the timestamps: two spans on the same
+//! thread whose intervals contain each other render as a stack.
+//!
+//! Structural `flow/*` phase spans are rare but long, and a run emits
+//! tens of thousands of leaf spans (`gemm`, `conv_*`) per phase — enough
+//! to cycle the bulk ring several times over. So each thread keeps a
+//! second, small ring ([`COARSE_CAPACITY`]) reserved for `flow/*` names:
+//! leaf churn can never evict the phase skeleton of the trace.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Maximum retained span events per thread (a ring; oldest events are
+/// overwritten once a thread exceeds this).
+pub(crate) const RING_CAPACITY: usize = 1 << 15;
+
+/// Maximum retained structural `flow/*` events per thread (their own
+/// ring, so high-frequency leaf spans cannot evict the phase skeleton).
+pub(crate) const COARSE_CAPACITY: usize = 1 << 10;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static phase path, e.g. `"flow/seed_eval"`.
+    pub name: &'static str,
+    /// Start time in nanoseconds since the process telemetry epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One thread's span ring.
+pub(crate) struct ThreadRing {
+    /// Stable export identifier of the owning thread (assigned in
+    /// registration order).
+    pub(crate) tid: usize,
+    /// The bulk ring storage (append until full, then overwrite oldest).
+    pub(crate) events: Vec<SpanEvent>,
+    /// Total bulk events ever recorded; `total - events.len()` were
+    /// overwritten.
+    pub(crate) total: u64,
+    /// The structural ring reserved for `flow/*` phase spans.
+    pub(crate) coarse: Vec<SpanEvent>,
+    /// Total structural events ever recorded.
+    pub(crate) coarse_total: u64,
+}
+
+impl ThreadRing {
+    fn record(&mut self, ev: SpanEvent) {
+        let (ring, total, capacity) = if ev.name.starts_with("flow/") {
+            (&mut self.coarse, &mut self.coarse_total, COARSE_CAPACITY)
+        } else {
+            (&mut self.events, &mut self.total, RING_CAPACITY)
+        };
+        if ring.len() < capacity {
+            ring.push(ev);
+        } else {
+            let slot = (*total % capacity as u64) as usize;
+            ring[slot] = ev;
+        }
+        *total += 1;
+    }
+
+    /// How many events this thread has overwritten across both rings.
+    fn overwritten(&self) -> u64 {
+        (self.total - self.events.len() as u64) + (self.coarse_total - self.coarse.len() as u64)
+    }
+}
+
+/// Registry of every thread's ring. Rings are `Arc`-shared between the
+/// owning thread (via its thread-local) and the exporter, so spans from
+/// exited threads stay exportable.
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<ThreadRing>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<ThreadRing>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_RING: Arc<Mutex<ThreadRing>> = {
+        let ring = Arc::new(Mutex::new(ThreadRing {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            events: Vec::new(),
+            total: 0,
+            coarse: Vec::new(),
+            coarse_total: 0,
+        }));
+        rings().lock().expect("span ring registry lock").push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// The process-wide telemetry time origin: all span timestamps are
+/// nanoseconds since the first call into the clock.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the telemetry epoch (the first clock use in this
+/// process). Monotonic; shared by spans and the pool instrumentation so
+/// every exported timestamp lives on one axis.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// An open span; records one [`SpanEvent`] into the calling thread's
+/// ring when dropped.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        let ev = SpanEvent {
+            name: self.name,
+            start_ns: self.start_ns,
+            dur_ns,
+        };
+        LOCAL_RING.with(|ring| ring.lock().expect("span ring lock").record(ev));
+    }
+}
+
+/// Opens a scoped span timer named `name` (a static phase path like
+/// `"flow/seed_eval"`). Returns `None` while telemetry is disabled — the
+/// disabled-mode cost is the single relaxed atomic load inside
+/// [`crate::enabled`]. Bind the result (`let _span = span("gemm");`) so
+/// the guard drops at scope exit.
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard> {
+    if !crate::enabled() {
+        return None;
+    }
+    Some(SpanGuard {
+        name,
+        start_ns: now_ns(),
+    })
+}
+
+/// A span event tagged with the id of the thread that recorded it.
+pub(crate) type TaggedEvent = (usize, SpanEvent);
+
+/// Copies every thread's events out of the rings, sorted by start time,
+/// together with per-thread overwrite counts `(tid, overwritten)`.
+pub(crate) fn collect_events() -> (Vec<TaggedEvent>, Vec<(usize, u64)>) {
+    let rings = rings().lock().expect("span ring registry lock");
+    let mut events = Vec::new();
+    let mut dropped = Vec::new();
+    for ring in rings.iter() {
+        let ring = ring.lock().expect("span ring lock");
+        events.extend(ring.events.iter().map(|&ev| (ring.tid, ev)));
+        events.extend(ring.coarse.iter().map(|&ev| (ring.tid, ev)));
+        let overwritten = ring.overwritten();
+        if overwritten > 0 {
+            dropped.push((ring.tid, overwritten));
+        }
+    }
+    events.sort_by_key(|&(tid, ev)| (ev.start_ns, tid, ev.dur_ns));
+    (events, dropped)
+}
+
+/// Clears every ring (threads keep their tids).
+pub(crate) fn reset_rings() {
+    let rings = rings().lock().expect("span ring registry lock");
+    for ring in rings.iter() {
+        let mut ring = ring.lock().expect("span ring lock");
+        ring.events.clear();
+        ring.total = 0;
+        ring.coarse.clear();
+        ring.coarse_total = 0;
+    }
+}

@@ -141,6 +141,9 @@ pub fn gemm(
         }
         return;
     }
+    // Observability only: one relaxed atomic load while telemetry is
+    // disabled, a scoped "gemm" span otherwise. Results are unaffected.
+    let _span = pcount_telemetry::span("gemm");
     // Element (r, c) of an effective operand lives at `r*rs + c*cs`.
     let (rs_a, cs_a) = if trans_a { (1, m) } else { (k, 1) };
     let (rs_b, cs_b) = if trans_b { (1, k) } else { (n, 1) };

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example edge_deployment`
 
 use maupiti::dataset::{DatasetConfig, IrDataset};
-use maupiti::kernels::{Deployment, Target};
+use maupiti::kernels::{hot_blocks_json, Deployment, MemoryModel, Target};
 use maupiti::nn::{train_classifier, CnnConfig, TrainConfig};
 use maupiti::platform::{evaluate_on_platforms, PlatformSpec};
 use maupiti::quant::{
@@ -80,6 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spec.energy_uj(run.cycles)
         );
     }
+
+    // Hot-spot profile: the superblocks where the MAUPITI inference spends
+    // its instructions and memory stalls, as machine-readable JSON.
+    let mut profiled = Deployment::new(&model, Target::Maupiti)?;
+    profiled.set_memory_model(MemoryModel::maupiti());
+    let hot = profiled.hottest_blocks(frame, 5)?;
+    println!("\nhottest superblocks (MAUPITI, maupiti memory model):");
+    println!("{}", hot_blocks_json(&hot));
 
     // Full three-platform comparison (Table-I style row).
     println!("\nThree-platform comparison:");

@@ -3,6 +3,10 @@
 //! sensor.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `PCOUNT_TRACE=<path>` to record a chrome://tracing profile of the
+//! run (`.jsonl` suffix selects the JSONL exporter instead); open the
+//! file at `chrome://tracing` or <https://ui.perfetto.dev>.
 
 use maupiti::dataset::{DatasetConfig, IrDataset};
 use maupiti::kernels::{Deployment, Target};
@@ -15,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    maupiti::telemetry::init_from_env();
     let mut rng = StdRng::seed_from_u64(42);
 
     // 1. Generate a small synthetic LINAIGE-like dataset and a CV fold.
@@ -78,5 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "predicted people count for the first test frame: {}",
         run.prediction
     );
+    if let Some(path) = maupiti::telemetry::flush_env_trace()? {
+        println!("wrote telemetry trace to {path}");
+    }
     Ok(())
 }

@@ -15,6 +15,7 @@
 //! * [`kernels`] — RISC-V kernel code generation and deployment.
 //! * [`platform`] — MAUPITI / IBEX / STM32 cost models (Table I).
 //! * [`flow`] — the end-to-end optimisation flow (Figs. 5–7).
+//! * [`telemetry`] — tracing, metrics and profiling (`PCOUNT_TRACE`).
 //!
 //! # Quickstart
 //!
@@ -38,4 +39,5 @@ pub use pcount_platform as platform;
 pub use pcount_postproc as postproc;
 pub use pcount_quant as quant;
 pub use pcount_runtime as runtime;
+pub use pcount_telemetry as telemetry;
 pub use pcount_tensor as tensor;
