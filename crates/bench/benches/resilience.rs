@@ -1,0 +1,209 @@
+//! Chaos bench: accuracy-vs-fault-rate curves of the supervised
+//! streaming deployment, written to `BENCH_robust.json` at the workspace
+//! root so the robustness trajectory stays machine-readable across PRs.
+//!
+//! Besides the criterion timing of the supervised stream against the
+//! plain pooled batch, the bench runs the timing-independent chaos
+//! tripwires in every mode (including `BENCH_SMOKE=1`):
+//!
+//! * zero-intensity supervision is bit-identical to the plain
+//!   [`Deployment`] (logits, cycles, instret);
+//! * a seeded fault sweep is bit-reproducible run-to-run and across pool
+//!   widths 1 and 4 (the CI chaos-smoke gate);
+//! * every swept stream completes with fallbacks/holds instead of
+//!   aborting, and the end-to-end accuracy degrades boundedly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_kernels::{Deployment, Target};
+use pcount_resilience::{
+    evaluate_robustness, FaultConfig, FaultPlan, ResilienceConfig, ResilientDeployment, TickStatus,
+};
+use pcount_tensor::Tensor;
+
+/// Seed of the demo model, the streamed session and the fault plans.
+const SEED: u64 = 7;
+/// Fault-plan seed of the swept curves (reported in the JSON).
+const FAULT_SEED: u64 = 123;
+/// Worker threads of the reported sweep.
+const POOL_THREADS: usize = 4;
+/// Intensity axis of the reported robustness curve.
+const INTENSITIES: [f64; 5] = [0.0, 0.05, 0.1, 0.2, 0.4];
+
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// The deployed demo model plus a labelled IR frame stream (the first
+/// `n` frames of a held-out session, in temporal order).
+fn deployed_stream(n: usize) -> (Deployment, Tensor, Vec<usize>) {
+    let (model, _) = pcount_bench::demo_int8_model(SEED);
+    let deployment = Deployment::new(&model, Target::Maupiti).expect("deploy");
+    let data = IrDataset::generate(&DatasetConfig::tiny(), SEED);
+    let (x, y) = data.session_stream(data.num_sessions() - 1);
+    let n = n.min(y.len());
+    let frames = Tensor::from_vec(x.data()[..n * 64].to_vec(), &[n, 1, 8, 8]);
+    (deployment, frames, y[..n].to_vec())
+}
+
+/// Zero-intensity supervision must add nothing: every tick is `Ok` and
+/// bit-identical to the plain pooled batch.
+fn check_transparent_when_healthy(d: &Deployment, frames: &Tensor) {
+    let stream = FaultPlan::new(FAULT_SEED, FaultConfig::off()).inject(frames);
+    let supervised = ResilientDeployment::new(d.clone(), ResilienceConfig::default());
+    let plain = d
+        .run_batch(frames, &d.make_pool(POOL_THREADS).expect("pool"))
+        .expect("plain batch");
+    let mut pool = d.make_pool(POOL_THREADS).expect("pool");
+    let report = supervised.run_stream(&stream, &mut pool);
+    assert_eq!(report.stats.degraded_ticks(), 0, "healthy stream degraded");
+    for (i, (outcome, clean)) in report.outcomes.iter().zip(&plain).enumerate() {
+        assert_eq!(outcome.status, TickStatus::Ok, "tick {i}");
+        assert_eq!(
+            outcome.run.as_ref(),
+            Some(clean),
+            "supervision perturbed tick {i}"
+        );
+    }
+}
+
+fn write_bench_json(lines: &[(&str, String)]) {
+    let body: Vec<String> = lines
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    let json = format!("{{\n{}\n}}\n", body.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robust.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let n = if smoke { 16 } else { 48 };
+    let (deployment, frames, labels) = deployed_stream(n);
+
+    check_transparent_when_healthy(&deployment, &frames);
+
+    // The reported sweep runs with telemetry on so the SLO counter block
+    // of `BENCH_robust.json` is populated; recording never changes any
+    // computed result.
+    pcount_telemetry::set_enabled(true);
+    let report = evaluate_robustness(
+        &deployment,
+        &frames,
+        &labels,
+        &ResilienceConfig::default(),
+        FAULT_SEED,
+        &INTENSITIES,
+        POOL_THREADS,
+    )
+    .expect("sweep");
+    let json = report.to_json();
+
+    // Chaos-smoke gate (a): every stream completed — one outcome per
+    // tick, faults absorbed as retries/fallbacks/holds, never an abort.
+    for p in &report.points {
+        assert!(p.ticks > 0, "intensity {} produced no ticks", p.intensity);
+        assert!(
+            (0.0..=1.0).contains(&p.accuracy),
+            "accuracy out of range at intensity {}",
+            p.intensity
+        );
+    }
+    let max_point = report.points.last().expect("points");
+    assert!(
+        max_point.fault_rate > 0.0,
+        "top intensity injected no faults"
+    );
+    assert!(
+        report.baseline_accuracy - max_point.accuracy <= 0.5,
+        "degradation unbounded: {:.3} -> {:.3}",
+        report.baseline_accuracy,
+        max_point.accuracy
+    );
+    // Chaos-smoke gate (b): the seeded sweep is bit-reproducible, and
+    // pool width does not leak into any reported number.
+    let again = evaluate_robustness(
+        &deployment,
+        &frames,
+        &labels,
+        &ResilienceConfig::default(),
+        FAULT_SEED,
+        &INTENSITIES,
+        1,
+    )
+    .expect("re-sweep");
+    pcount_telemetry::set_enabled(false);
+    assert_eq!(
+        json,
+        again.to_json(),
+        "sweep not reproducible across runs/pool widths"
+    );
+    // The SLO counter block is present and accounted (gate (c) parses
+    // the written JSON again from CI).
+    assert!(json.contains("\"resilience/retries\""));
+    assert!(report.slo.total_faults() > 0, "sweep recorded no faults");
+
+    println!("resilience summary (demo INT8 model, seeded faults):");
+    println!("  baseline accuracy: {:.3}", report.baseline_accuracy);
+    for p in &report.points {
+        println!(
+            "  intensity {:.2}: fault_rate {:.3}, accuracy {:.3}, \
+             {} recovered / {} fallback / {} gap / {} shed, burn {} milli",
+            p.intensity,
+            p.fault_rate,
+            p.accuracy,
+            p.recovered,
+            p.fallbacks,
+            p.gaps,
+            p.breaker_skips,
+            p.error_budget_burn_milli
+        );
+    }
+
+    write_bench_json(&[
+        ("bench", "\"resilience\"".into()),
+        (
+            "mode",
+            format!("\"{}\"", if smoke { "smoke" } else { "full" }),
+        ),
+        ("host", pcount_bench::host_metadata_json(smoke)),
+        ("frames", n.to_string()),
+        ("pool_threads", POOL_THREADS.to_string()),
+        ("fault_seed", FAULT_SEED.to_string()),
+        ("robustness", json),
+    ]);
+
+    if smoke {
+        println!("BENCH_SMOKE=1: criterion timing skipped");
+        return;
+    }
+    let supervised = ResilientDeployment::new(deployment.clone(), ResilienceConfig::default());
+    let faulted = FaultPlan::new(FAULT_SEED, FaultConfig::uniform(0.1)).inject(&frames);
+    let pool = deployment.make_pool(POOL_THREADS).expect("pool");
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    group.bench_function("plain_batch", |b| {
+        b.iter(|| {
+            deployment
+                .run_batch(black_box(&frames), &pool)
+                .expect("batch")
+        })
+    });
+    group.bench_function("supervised_stream_intensity_0.1", |b| {
+        b.iter(|| {
+            let mut pool = deployment.make_pool(POOL_THREADS).expect("pool");
+            black_box(supervised.run_stream(black_box(&faulted), &mut pool))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

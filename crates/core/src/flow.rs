@@ -15,7 +15,7 @@ use pcount_postproc::apply_majority;
 use pcount_quant::{
     fold_sequential, qat_finetune, Precision, PrecisionAssignment, QatCnn, QatConfig, QuantizedCnn,
 };
-use pcount_telemetry::{HistogramSummary, PoolUtilization};
+use pcount_telemetry::{HistogramSummary, PoolUtilization, SloBaseline, SloSnapshot};
 use pcount_tensor::{SplitMix64, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -325,6 +325,11 @@ pub struct TelemetryReport {
     /// hottest superblocks by retired instructions. Empty when no
     /// candidate fits on-chip.
     pub hot_blocks: Vec<HotBlock>,
+    /// Windowed `resilience/*` SLO metrics (fault-class counters,
+    /// retries, fallbacks, error-budget burn, recovery latency). All
+    /// zero unless a `pcount-resilience` stream ran during this flow
+    /// with telemetry on.
+    pub slo: SloSnapshot,
 }
 
 impl TelemetryReport {
@@ -349,7 +354,7 @@ impl TelemetryReport {
                 "\"pipeline\":{{\"instructions\":{},\"load_use_stalls\":{},",
                 "\"flush_cycles\":{}}},",
                 "\"energy_uj\":{{\"core\":{:.4},\"imem\":{:.4},\"dmem\":{:.4}}},",
-                "\"hot_blocks\":{}}}"
+                "\"hot_blocks\":{},\"slo\":{}}}"
             ),
             self.enabled,
             phases,
@@ -368,6 +373,7 @@ impl TelemetryReport {
             self.energy.imem_uj,
             self.energy.dmem_uj,
             hot_blocks_json(&self.hot_blocks),
+            self.slo.to_json(),
         )
     }
 }
@@ -583,6 +589,7 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
     let latency_baseline = pcount_telemetry::histogram("deploy/frame_latency_ns").counts();
     let frames_baseline = pcount_telemetry::counter("deploy/frames").value();
     let faults_baseline = pcount_telemetry::counter("deploy/frame_faults").value();
+    let slo_baseline = SloBaseline::capture();
     let mut phases: Vec<(&'static str, f64)> = Vec::with_capacity(3);
 
     let dataset = IrDataset::generate(&cfg.dataset, cfg.dataset_seed);
@@ -725,6 +732,7 @@ pub fn run_flow(cfg: &FlowConfig) -> FlowResult {
             latency: latency_baseline,
             frames: frames_baseline,
             faults: faults_baseline,
+            slo: slo_baseline,
         },
     );
     if let Err(err) = pcount_telemetry::flush_env_trace() {
@@ -746,6 +754,7 @@ struct TelemetryBaselines {
     latency: pcount_telemetry::HistogramCounts,
     frames: u64,
     faults: u64,
+    slo: SloBaseline,
 }
 
 /// Folds the run's telemetry window, the pool report and the deployment
@@ -797,6 +806,7 @@ fn assemble_telemetry(
         pipeline,
         energy,
         hot_blocks,
+        slo: SloSnapshot::capture_since(&baselines.slo),
     }
 }
 

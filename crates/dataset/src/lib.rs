@@ -147,6 +147,15 @@ impl IrDataset {
         )
     }
 
+    /// One session as a temporally ordered stream: the normalised frames
+    /// (`[M, 1, 8, 8]`, per-frame mean subtracted exactly like
+    /// [`IrDataset::gather_normalized`]) and their labels, in recording
+    /// order. This is the input shape of the streaming/resilience layer,
+    /// which consumes one session as one continuous sensor feed.
+    pub fn session_stream(&self, session: usize) -> (Tensor, Vec<usize>) {
+        self.gather_normalized(&self.session_indices(session))
+    }
+
     /// Leave-one-session-out cross-validation folds as used by the paper:
     /// session 0 (the largest, "Session 1" in the paper) is always part of
     /// the training set; every other session is rotated as the test set.
@@ -271,6 +280,17 @@ mod tests {
                 .iter()
                 .any(|&i| data.sessions()[i] == 0));
         }
+    }
+
+    #[test]
+    fn session_stream_matches_gather_normalized_in_temporal_order() {
+        let data = IrDataset::generate(&DatasetConfig::tiny(), 11);
+        let idx = data.session_indices(1);
+        let (x_ref, y_ref) = data.gather_normalized(&idx);
+        let (x, y) = data.session_stream(1);
+        assert_eq!(x.data(), x_ref.data());
+        assert_eq!(y, y_ref);
+        assert_eq!(x.shape()[0], idx.len());
     }
 
     #[test]

@@ -420,6 +420,44 @@ impl Cpu {
         Ok(())
     }
 
+    /// Restores this CPU's architectural and accounting state from a
+    /// pristine `base`: registers, PC, halt flag, cycle/instret counters,
+    /// the per-mnemonic trace, both memory images, the pipeline model and
+    /// the memory-hierarchy model state all become `base`'s, in place —
+    /// the large buffers are overwritten rather than reallocated, so this
+    /// is cheaper than `*self = base.clone()` on a hot streaming path.
+    ///
+    /// The shared block cache is re-pointed at `base`'s (an `Arc` copy),
+    /// so warmed decoded traces survive the restore. The persistent
+    /// trace-cache *profile* ([`Cpu::hottest_blocks`]) keeps accumulating
+    /// across restores — it is observational and never feeds back into
+    /// architectural results.
+    ///
+    /// This is the supported way to re-warm a pooled CPU after a fault
+    /// (timeout mid-inference, bad memory access) left it with a torn
+    /// memory image and a mid-program PC: a subsequent run is
+    /// bit-identical to one on a fresh `base.clone()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two CPUs have different memory geometries.
+    pub fn restore_from(&mut self, base: &Cpu) {
+        self.regs = base.regs;
+        self.pc = base.pc;
+        self.halted = base.halted;
+        self.cycles = base.cycles;
+        self.instret = base.instret;
+        self.trace = base.trace.clone();
+        self.mode = base.mode;
+        self.chain_enabled = base.chain_enabled;
+        self.mem_model = base.mem_model;
+        self.mem_state = base.mem_state;
+        self.mem_stats = base.mem_stats;
+        self.pipeline = base.pipeline.clone();
+        self.mem.copy_state_from(&base.mem);
+        self.cache = base.cache.clone();
+    }
+
     /// Executes a single instruction with the reference interpreter
     /// (fetch + decode + execute, flat cycle costs).
     ///

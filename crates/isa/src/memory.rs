@@ -169,6 +169,23 @@ impl Memory {
             .expect("dmem read out of bounds");
         &self.dmem[off..off + len]
     }
+
+    /// Overwrites both memory images with `other`'s, in place (no
+    /// reallocation). Used by [`crate::Cpu::restore_from`] to re-warm a
+    /// faulted CPU from a pristine base without cloning fresh buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory geometries differ.
+    pub fn copy_state_from(&mut self, other: &Memory) {
+        assert_eq!(
+            (self.imem.len(), self.dmem.len()),
+            (other.imem.len(), other.dmem.len()),
+            "cannot restore memory state across different memory geometries"
+        );
+        self.imem.copy_from_slice(&other.imem);
+        self.dmem.copy_from_slice(&other.dmem);
+    }
 }
 
 impl Default for Memory {

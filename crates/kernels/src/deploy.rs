@@ -124,6 +124,14 @@ pub struct DeploymentReport {
     pub pipeline: PipelineStats,
 }
 
+/// Default per-inference watchdog budget, in retired instructions: any
+/// frame that has not halted after this many instructions is aborted with
+/// [`SimError::Timeout`]. Far above any healthy inference (the deployed
+/// CNNs retire well under a million instructions per frame); the
+/// resilience layer passes reduced budgets through
+/// [`Deployment::run_frame_with_budget`] to model injected stalls.
+pub const INSTRUCTION_BUDGET: u64 = 50_000_000;
+
 /// A quantised model compiled for a target and loaded into a simulated
 /// MAUPITI/IBEX memory system, ready to run inferences.
 #[derive(Debug, Clone)]
@@ -264,11 +272,37 @@ impl Deployment {
     /// `deploy/frame_faults`. The simulated results themselves are
     /// unaffected.
     fn run_frame_on(&self, cpu: &mut Cpu, frame: &[f32]) -> Result<InferenceRun, SimError> {
+        self.run_frame_with_budget(cpu, frame, INSTRUCTION_BUDGET)
+    }
+
+    /// Runs one inference on `cpu` with an explicit watchdog budget of
+    /// `max_instructions` — the per-frame cycle-limit seam the resilience
+    /// layer supervises streams through. The default path
+    /// ([`Deployment::run_frame`], [`Deployment::run_batch`]) uses
+    /// [`INSTRUCTION_BUDGET`]; a reduced budget aborts a (injected or
+    /// real) runaway inference with [`SimError::Timeout`] instead of
+    /// hanging the stream.
+    ///
+    /// The caller owns `cpu` and its post-run state: after an `Ok` the
+    /// CPU is halted at the end of the program; after a fault it holds a
+    /// torn memory image and a mid-program PC and must be re-warmed (see
+    /// `Cpu::restore_from` / `CpuPool::quarantine`) before reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] when the budget is exhausted, or any
+    /// fault raised by the simulated program.
+    pub fn run_frame_with_budget(
+        &self,
+        cpu: &mut Cpu,
+        frame: &[f32],
+        max_instructions: u64,
+    ) -> Result<InferenceRun, SimError> {
         if !pcount_telemetry::enabled() {
-            return self.run_frame_inner(cpu, frame);
+            return self.run_frame_inner(cpu, frame, max_instructions);
         }
         let start = pcount_telemetry::now_ns();
-        let result = self.run_frame_inner(cpu, frame);
+        let result = self.run_frame_inner(cpu, frame, max_instructions);
         frame_latency_histogram().record(pcount_telemetry::now_ns() - start);
         pcount_telemetry::counter("deploy/frames").add(1);
         if result.is_err() {
@@ -278,10 +312,15 @@ impl Deployment {
     }
 
     /// The uninstrumented inference body of [`Deployment::run_frame_on`].
-    fn run_frame_inner(&self, cpu: &mut Cpu, frame: &[f32]) -> Result<InferenceRun, SimError> {
+    fn run_frame_inner(
+        &self,
+        cpu: &mut Cpu,
+        frame: &[f32],
+        max_instructions: u64,
+    ) -> Result<InferenceRun, SimError> {
         let input = self.plan.pack_input(&self.model, frame);
         cpu.mem.write_dmem(self.plan.input_addr, &input);
-        let summary = cpu.run(50_000_000)?;
+        let summary = cpu.run(max_instructions)?;
         let mut logits = Vec::with_capacity(self.model.config.num_classes);
         for i in 0..self.model.config.num_classes {
             let bytes = cpu.mem.read_dmem(self.plan.logits_addr + 4 * i as u32, 4);
@@ -336,6 +375,29 @@ impl Deployment {
     /// **lowest** faulting frame index — identical to what a serial
     /// [`Deployment::run_frame`] loop would hit first.
     pub fn run_batch(&self, x: &Tensor, pool: &CpuPool) -> Result<Vec<InferenceRun>, SimError> {
+        self.run_batch_with_budgets(x, pool, |_| INSTRUCTION_BUDGET)
+    }
+
+    /// [`Deployment::run_batch`] with a per-frame watchdog budget:
+    /// `budget_of(i)` is the instruction limit of frame `i`. This is the
+    /// seam the resilience layer and the fault-ordering tests use to make
+    /// *specific* frames of a pooled batch time out deterministically;
+    /// the error semantics are identical to `run_batch` (every frame is
+    /// evaluated, every fault is counted, the lowest-index fault is
+    /// returned).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault of the lowest faulting frame index, if any.
+    pub fn run_batch_with_budgets<F>(
+        &self,
+        x: &Tensor,
+        pool: &CpuPool,
+        budget_of: F,
+    ) -> Result<Vec<InferenceRun>, SimError>
+    where
+        F: Fn(usize) -> u64 + Sync,
+    {
         let _span = pcount_telemetry::span("deploy/run_batch");
         let n = x.shape()[0];
         let pixels: usize = x.shape()[1..].iter().product();
@@ -348,7 +410,17 @@ impl Deployment {
             runs.into_iter().collect::<Result<Vec<_>, _>>()
         };
         if pool.threads() <= 1 || n <= 1 {
-            return collect((0..n).map(|i| self.run_frame(frame(i))).collect());
+            return collect(
+                (0..n)
+                    .map(|i| {
+                        self.run_frame_with_budget(
+                            &mut self.base_cpu.clone(),
+                            frame(i),
+                            budget_of(i),
+                        )
+                    })
+                    .collect(),
+            );
         }
         // One contiguous frame range per pooled CPU, run as jobs on the
         // persistent runtime pool (no threads are spawned per batch).
@@ -357,9 +429,9 @@ impl Deployment {
         let chunk = n.div_ceil(pool.threads());
         let ranges = n.div_ceil(chunk);
         let results = pcount_runtime::current().map_limited(ranges, pool.threads(), |w| {
-            let cpu = &pool.cpus[w];
+            let cpu = pool.cpu(w);
             (w * chunk..((w + 1) * chunk).min(n))
-                .map(|i| self.run_frame_on(&mut cpu.clone(), frame(i)))
+                .map(|i| self.run_frame_with_budget(&mut cpu.clone(), frame(i), budget_of(i)))
                 .collect::<Vec<Result<InferenceRun, SimError>>>()
         });
         collect(results.into_iter().flatten().collect())

@@ -21,13 +21,19 @@ use pcount_isa::Cpu;
 /// one per hardware thread on a many-core host would only waste memory.
 const MAX_AUTO_CPUS: usize = 8;
 
-/// A fixed set of warmed, pristine CPUs, one per concurrent frame range.
+/// A fixed set of warmed, pristine CPUs, one per concurrent frame range,
+/// plus the pristine base they were cloned from.
 ///
 /// Created by [`Deployment::make_pool`][crate::Deployment::make_pool];
 /// every CPU is a clone of the deployment's base CPU taken *after* a
-/// warmup inference populated the shared block cache.
+/// warmup inference populated the shared block cache. The base is kept so
+/// a pooled CPU that faulted mid-inference (torn memory image,
+/// mid-program PC) can be [`quarantined`][CpuPool::quarantine] — reset to
+/// the pristine state — before it is ever reused; corrupted architectural
+/// state must never leak into a later frame's inference.
 #[derive(Debug, Clone)]
 pub struct CpuPool {
+    base: Cpu,
     pub(crate) cpus: Vec<Cpu>,
 }
 
@@ -39,6 +45,7 @@ impl CpuPool {
     pub(crate) fn from_base(base: &Cpu, threads: usize) -> Self {
         let threads = resolve_cpu_pool_threads(threads);
         Self {
+            base: base.clone(),
             cpus: (0..threads).map(|_| base.clone()).collect(),
         }
     }
@@ -46,6 +53,37 @@ impl CpuPool {
     /// Number of concurrent frame ranges this pool supports.
     pub fn threads(&self) -> usize {
         self.cpus.len()
+    }
+
+    /// The pristine warmed CPU every pool slot was cloned from.
+    pub fn base(&self) -> &Cpu {
+        &self.base
+    }
+
+    /// Shared reference to pool slot `w` (used by the batch fan-out,
+    /// which clones it per frame).
+    pub fn cpu(&self, w: usize) -> &Cpu {
+        &self.cpus[w]
+    }
+
+    /// Splits the pool into the pristine base and the mutable CPU slots,
+    /// for streaming paths that run frames *in place* on a slot
+    /// (restoring architectural state from the base between frames)
+    /// instead of cloning a fresh CPU per frame.
+    pub fn split_mut(&mut self) -> (&Cpu, &mut [Cpu]) {
+        let Self { base, cpus } = self;
+        (base, cpus)
+    }
+
+    /// Quarantines pool slot `w`: restores its architectural and memory
+    /// state from the pristine base (see `Cpu::restore_from`). Must be
+    /// called on any slot whose inference faulted before the slot is
+    /// reused — a timed-out or faulted frame leaves a torn memory image
+    /// and a mid-program PC behind, and reusing that state would perturb
+    /// the next frame's logits.
+    pub fn quarantine(&mut self, w: usize) {
+        let Self { base, cpus } = self;
+        cpus[w].restore_from(base);
     }
 }
 

@@ -27,9 +27,20 @@ use std::collections::VecDeque;
 /// Ties are broken in favour of the most recently pushed class among the
 /// tied ones, which keeps the filter responsive when the occupancy truly
 /// changes.
+///
+/// # Gap awareness
+///
+/// A dropped frame carries no prediction, but it still advances time: the
+/// window is a *temporal* history, so a gap must age old votes out rather
+/// than silently stretching the effective history over a longer wall-clock
+/// span. [`MajorityVoter::push_missing`] records such a gap — it occupies
+/// a window slot (evicting the oldest entry when full) without casting a
+/// vote. Majorities are computed over the votes actually present;
+/// [`MajorityVoter::current_opt`] returns `None` when the window holds no
+/// votes at all (every slot is a gap).
 #[derive(Debug, Clone)]
 pub struct MajorityVoter {
-    window: VecDeque<usize>,
+    window: VecDeque<Option<usize>>,
     capacity: usize,
 }
 
@@ -52,12 +63,17 @@ impl MajorityVoter {
         self.capacity
     }
 
-    /// Number of predictions currently buffered.
+    /// Number of window slots currently occupied (votes *and* gaps).
     pub fn len(&self) -> usize {
         self.window.len()
     }
 
-    /// Returns `true` if no prediction has been pushed yet.
+    /// Number of actual votes in the window (slots that are not gaps).
+    pub fn votes(&self) -> usize {
+        self.window.iter().filter(|slot| slot.is_some()).count()
+    }
+
+    /// Returns `true` if nothing (vote or gap) has been pushed yet.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()
     }
@@ -70,28 +86,54 @@ impl MajorityVoter {
     /// Pushes the newest per-frame prediction and returns the smoothed
     /// (majority) prediction over the current window.
     pub fn push(&mut self, prediction: usize) -> usize {
+        self.push_slot(Some(prediction));
+        self.current()
+    }
+
+    /// Records a dropped frame: the gap occupies a window slot (aging the
+    /// oldest entry out when the window is full) but casts no vote.
+    /// Returns the majority over the votes still present, or `None` when
+    /// the window no longer holds any vote.
+    pub fn push_missing(&mut self) -> Option<usize> {
+        self.push_slot(None);
+        self.current_opt()
+    }
+
+    fn push_slot(&mut self, slot: Option<usize>) {
         if self.window.len() == self.capacity {
             self.window.pop_front();
         }
-        self.window.push_back(prediction);
-        self.current()
+        self.window.push_back(slot);
     }
 
     /// The majority class of the current window.
     ///
     /// # Panics
     ///
-    /// Panics if the window is empty.
+    /// Panics if the window holds no vote (empty, or every slot a gap) —
+    /// use [`MajorityVoter::current_opt`] on streams that may drop frames.
     pub fn current(&self) -> usize {
-        assert!(!self.window.is_empty(), "no predictions pushed yet");
-        let max_class = *self.window.iter().max().expect("non-empty");
+        self.current_opt()
+            .expect("no predictions in the voting window")
+    }
+
+    /// The majority class over the votes present in the window, or `None`
+    /// when the window holds no vote at all.
+    ///
+    /// Ties break toward the class seen most recently; gaps count toward
+    /// ages (they advance time) but never toward any class.
+    pub fn current_opt(&self) -> Option<usize> {
+        let max_class = self.window.iter().flatten().copied().max()?;
         let mut counts = vec![0usize; max_class + 1];
         let mut last_seen = vec![0usize; max_class + 1];
-        for (age, &p) in self.window.iter().enumerate() {
+        let mut most_recent = 0usize;
+        for (age, slot) in self.window.iter().enumerate() {
+            let Some(p) = *slot else { continue };
             counts[p] += 1;
             last_seen[p] = age;
+            most_recent = p;
         }
-        let mut best = *self.window.back().expect("non-empty");
+        let mut best = most_recent;
         for class in 0..counts.len() {
             if counts[class] > counts[best]
                 || (counts[class] == counts[best] && last_seen[class] > last_seen[best])
@@ -99,7 +141,7 @@ impl MajorityVoter {
                 best = class;
             }
         }
-        best
+        Some(best)
     }
 }
 
@@ -171,6 +213,65 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = MajorityVoter::new(0);
+    }
+
+    #[test]
+    fn gaps_age_old_votes_out_of_the_window() {
+        let mut voter = MajorityVoter::new(3);
+        voter.push(1);
+        voter.push(1);
+        // Two dropped frames advance time: only one vote for class 1 left.
+        assert_eq!(voter.push_missing(), Some(1));
+        assert_eq!(voter.push_missing(), Some(1));
+        assert_eq!(voter.votes(), 1);
+        // One fresh vote now outweighs the aged-out majority.
+        assert_eq!(voter.push(2), 2);
+    }
+
+    #[test]
+    fn gap_tie_break_is_deterministic_towards_most_recent() {
+        // Window [1, gap, 2, gap]: one vote each; class 2 is more recent.
+        let mut voter = MajorityVoter::new(4);
+        voter.push(1);
+        voter.push_missing();
+        voter.push(2);
+        assert_eq!(voter.push_missing(), Some(2));
+        // Re-running the identical sequence gives the identical answer.
+        let mut again = MajorityVoter::new(4);
+        again.push(1);
+        again.push_missing();
+        again.push(2);
+        assert_eq!(again.push_missing(), Some(2));
+    }
+
+    #[test]
+    fn window_of_one_with_missing_frames() {
+        let mut voter = MajorityVoter::new(1);
+        assert_eq!(voter.push(3), 3);
+        // The single slot is now a gap: no vote survives.
+        assert_eq!(voter.push_missing(), None);
+        assert_eq!(voter.push(0), 0);
+    }
+
+    #[test]
+    fn all_missing_window_has_no_majority() {
+        let mut voter = MajorityVoter::new(3);
+        assert_eq!(voter.push_missing(), None);
+        assert_eq!(voter.push_missing(), None);
+        assert_eq!(voter.push_missing(), None);
+        assert_eq!(voter.current_opt(), None);
+        assert_eq!(voter.votes(), 0);
+        assert_eq!(voter.len(), 3, "gaps still occupy slots");
+        // Recovery: the first real vote wins immediately.
+        assert_eq!(voter.push(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no predictions")]
+    fn current_panics_on_vote_free_window() {
+        let mut voter = MajorityVoter::new(2);
+        voter.push_missing();
+        let _ = voter.current();
     }
 
     #[test]

@@ -61,6 +61,7 @@
 mod export;
 mod json;
 mod metrics;
+pub mod slo;
 mod span;
 
 pub use export::{
@@ -71,6 +72,7 @@ pub use metrics::{
     counter, counters_snapshot, gauge, gauges_snapshot, histogram, histograms_snapshot, Counter,
     Gauge, Histogram, HistogramCounts, HistogramSummary,
 };
+pub use slo::{ErrorBudget, SloBaseline, SloSnapshot};
 pub use span::{now_ns, span, SpanEvent, SpanGuard};
 
 use std::sync::atomic::{AtomicBool, Ordering};

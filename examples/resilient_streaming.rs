@@ -1,0 +1,121 @@
+//! Resilient streaming: deploy the quantised people counter and stream a
+//! session of IR frames through the supervised deployment while a
+//! deterministic fault plan corrupts the feed — dropped and duplicated
+//! frames, stuck pixels, saturation and noise bursts, clock jitter and
+//! simulator stalls.
+//!
+//! Run with: `cargo run --release --example resilient_streaming`
+//!
+//! The supervised stream retries transient stalls with exponential
+//! backoff, trips a circuit breaker on consecutive unrecoverable faults,
+//! quarantines faulted simulator CPUs and degrades gracefully by holding
+//! the last good prediction, so the output stream never aborts. The same
+//! seed always produces the same faults, recoveries and predictions.
+
+use maupiti::dataset::{DatasetConfig, IrDataset};
+use maupiti::kernels::{Deployment, Target};
+use maupiti::nn::{train_classifier, CnnConfig, TrainConfig};
+use maupiti::quant::{fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn};
+use maupiti::resilience::{
+    evaluate_robustness, FaultConfig, FaultPlan, ResilienceConfig, ResilientDeployment, TickStatus,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. Train and quantise a compact people counter (see `quickstart`).
+    let data = IrDataset::generate(&DatasetConfig::tiny(), 42);
+    let fold = &data.leave_one_session_out()[0];
+    let (x_train, y_train) = data.gather_normalized(fold.train.as_slice());
+    let arch = CnnConfig::seed().with_channels(8, 8, 16);
+    let mut net = arch.build(&mut rng);
+    let _ = train_classifier(
+        &mut net,
+        &x_train,
+        &y_train,
+        &TrainConfig::default(),
+        &mut rng,
+    );
+    let folded = fold_sequential(arch, &net)?;
+    let mut qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
+    qat.calibrate(&x_train);
+    let model = QuantizedCnn::from_qat(&qat);
+    let deployment = Deployment::new(&model, Target::Maupiti)?;
+
+    // 2. Take one held-out session as the live frame stream and corrupt
+    //    it with a seeded fault plan at 20% intensity.
+    let (frames, labels) = data.session_stream(data.num_sessions() - 1);
+    let plan = FaultPlan::new(7, FaultConfig::uniform(0.2));
+    let stream = plan.inject(&frames);
+    println!(
+        "stream: {} ticks from {} frames, {:.0}% touched by faults {:?}",
+        stream.ticks.len(),
+        frames.shape()[0],
+        stream.fault_rate() * 100.0,
+        stream.fault_counts(),
+    );
+
+    // 3. Supervise the stream: per-frame watchdog, retry with backoff,
+    //    circuit breaker, quarantine, hold-last-good.
+    let supervised = ResilientDeployment::new(deployment.clone(), ResilienceConfig::default());
+    let mut pool = deployment.make_pool(4)?;
+    let report = supervised.run_stream(&stream, &mut pool);
+    let correct = report
+        .outcomes
+        .iter()
+        .filter(|o| o.emitted == labels[o.source_index])
+        .count();
+    println!(
+        "supervised: {}/{} ticks correct, {} ok / {} recovered / {} fallback / {} gap / {} shed",
+        correct,
+        report.outcomes.len(),
+        report.stats.ok_ticks,
+        report.stats.recovered_ticks,
+        report.stats.fallback_ticks,
+        report.stats.gap_ticks,
+        report.stats.breaker_skips,
+    );
+    println!(
+        "recovery: {} retries, {} quarantines, {} trips, {} ms simulated backoff, \
+         error budget {} milli burned",
+        report.stats.retries,
+        report.stats.quarantines,
+        report.stats.breaker_trips,
+        report.stats.total_backoff_ms,
+        report.error_budget_burn_milli,
+    );
+    for o in report
+        .outcomes
+        .iter()
+        .filter(|o| o.status != TickStatus::Ok)
+    {
+        println!(
+            "  tick {:>3} (frame {:>3}): {:?} -> emitted {} (backoff {} ms)",
+            o.tick, o.source_index, o.status, o.emitted, o.backoff_ms
+        );
+    }
+
+    // 4. Sweep fault intensity into an accuracy-vs-fault-rate curve.
+    let robust = evaluate_robustness(
+        &deployment,
+        &frames,
+        &labels,
+        &ResilienceConfig::default(),
+        7,
+        &[0.0, 0.1, 0.2, 0.4],
+        4,
+    )?;
+    println!(
+        "robustness curve (baseline {:.3}):",
+        robust.baseline_accuracy
+    );
+    for p in &robust.points {
+        println!(
+            "  intensity {:.2}: fault rate {:.3} -> accuracy {:.3}",
+            p.intensity, p.fault_rate, p.accuracy
+        );
+    }
+    Ok(())
+}

@@ -14,6 +14,8 @@
 //! * [`isa`] — RV32IM + SDOTP instruction-set simulator.
 //! * [`kernels`] — RISC-V kernel code generation and deployment.
 //! * [`platform`] — MAUPITI / IBEX / STM32 cost models (Table I).
+//! * [`resilience`] — deterministic fault injection and the supervised
+//!   streaming deployment (retry/backoff, circuit breaker, hold-last-good).
 //! * [`flow`] — the end-to-end optimisation flow (Figs. 5–7).
 //! * [`telemetry`] — tracing, metrics and profiling (`PCOUNT_TRACE`).
 //!
@@ -38,6 +40,7 @@ pub use pcount_nn as nn;
 pub use pcount_platform as platform;
 pub use pcount_postproc as postproc;
 pub use pcount_quant as quant;
+pub use pcount_resilience as resilience;
 pub use pcount_runtime as runtime;
 pub use pcount_telemetry as telemetry;
 pub use pcount_tensor as tensor;
