@@ -74,16 +74,37 @@ pub fn demo_int8_model(seed: u64) -> (QuantizedCnn, pcount_tensor::Tensor) {
     )
 }
 
+/// The git revision stamped into bench reports: the `GIT_REV`
+/// environment variable when the driver exports it (CI does), otherwise
+/// `git rev-parse --short HEAD` so locally regenerated `BENCH_*.json`
+/// files stay attributable instead of reporting `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("GIT_REV") {
+        if !rev.trim().is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// The host metadata block embedded in every `BENCH_*.json`: hardware
 /// thread count, configured worker-pool width, whether the run was a
-/// `BENCH_SMOKE=1` smoke pass, and the git revision when the driver
-/// exports it via the `GIT_REV` environment variable.
+/// `BENCH_SMOKE=1` smoke pass, and the git revision (from `GIT_REV` or
+/// the local `git` checkout).
 pub fn host_metadata_json(smoke: bool) -> String {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let pool_width = pcount_runtime::current().width();
-    let git_rev = std::env::var("GIT_REV").unwrap_or_else(|_| "unknown".into());
+    let git_rev = git_rev();
     // GIT_REV is driver-controlled but untrusted for embedding raw.
     let git_rev: String = git_rev
         .chars()

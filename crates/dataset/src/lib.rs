@@ -156,6 +156,27 @@ impl IrDataset {
         self.gather_normalized(&self.session_indices(session))
     }
 
+    /// A `len`-frame window of one session's stream starting at frame
+    /// `start` *modulo the session length* — the window wraps around, so
+    /// any `(start, len)` yields exactly `len` frames. This is how the
+    /// fleet layer hands each simulated node its own slice of a recorded
+    /// session: hundreds of nodes can replay the same session at
+    /// different phases without ever running out of frames.
+    ///
+    /// Panics if the session is empty or `len` is zero.
+    pub fn session_stream_window(
+        &self,
+        session: usize,
+        start: usize,
+        len: usize,
+    ) -> (Tensor, Vec<usize>) {
+        let idx = self.session_indices(session);
+        assert!(!idx.is_empty(), "session {session} has no frames");
+        assert!(len > 0, "window length must be positive");
+        let window: Vec<usize> = (0..len).map(|k| idx[(start + k) % idx.len()]).collect();
+        self.gather_normalized(&window)
+    }
+
     /// Leave-one-session-out cross-validation folds as used by the paper:
     /// session 0 (the largest, "Session 1" in the paper) is always part of
     /// the training set; every other session is rotated as the test set.

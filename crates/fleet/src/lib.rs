@@ -1,0 +1,47 @@
+//! Deterministic multi-node serving layer (`pcount-fleet`).
+//!
+//! The paper's end goal is continuous people-flow monitoring from many
+//! deployed MAUPITI sensor nodes. This crate closes that loop as a
+//! deterministic actor/message-passing co-simulation:
+//!
+//! * **Node actors** ([`SensorNode`]): each node owns its slice of a
+//!   recorded session ([`IrDataset::session_stream_window`]), a per-node
+//!   seeded fault plan (reproducible fleet-wide chaos from one fleet
+//!   seed), and a clock with seed-derived skew on top of injected jitter.
+//! * **Sharded fusion service** ([`FleetService`]): rooms map wholly to
+//!   shards; each shard's front-end applies admission control over a
+//!   bounded queue, backpressure with watermark hysteresis (throttled
+//!   nodes downsample at the source), and load shedding that degrades to
+//!   hold-last-good per room instead of dropping the room. Admitted
+//!   frames batch onto [`CpuPool`](pcount_kernels::CpuPool) workers via
+//!   `pcount-runtime`, each frame supervised by the
+//!   [`ResilientDeployment`](pcount_resilience::ResilientDeployment)
+//!   retry loop.
+//! * **SLO governance**: every node's health is judged from windowed
+//!   [`SloSnapshot`](pcount_telemetry::SloSnapshot)s against the error
+//!   budget; sick nodes are quarantined (their frames still execute but
+//!   never reach fusion) and readmitted only after a clean streak. Shard
+//!   reports fold node snapshots with `SloSnapshot::merge` and pool
+//!   error-budget burn with `ErrorBudget::burn_milli_total`.
+//!
+//! Scheduling is virtual-time: a serial event plan decides every
+//! admission/batching outcome against a nominal service cost, execution
+//! fans out as pure per-frame functions, and a serial fold replays
+//! outcomes in arrival order — so the whole fleet run (including the
+//! [`OccupancyTrajectory`] digest) is bit-reproducible at any pool
+//! width. `crates/bench/benches/serve.rs` drives load ramps and fault
+//! storms over this crate and writes `BENCH_serve.json`.
+//!
+//! [`IrDataset::session_stream_window`]: pcount_dataset::IrDataset::session_stream_window
+
+mod msg;
+mod node;
+mod report;
+mod service;
+
+pub use msg::{Delivery, DeliveryStatus, FrameMsg};
+pub use node::SensorNode;
+pub use report::{
+    FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals, ShardReport,
+};
+pub use service::{FleetConfig, FleetService, StormConfig};

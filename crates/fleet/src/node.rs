@@ -1,0 +1,138 @@
+//! Sensor-node actors: per-node dataset slice, seeded chaos and clock
+//! skew, all derived deterministically from one fleet seed.
+
+use crate::msg::FrameMsg;
+use crate::service::FleetConfig;
+use pcount_dataset::IrDataset;
+use pcount_resilience::{FaultConfig, FaultPlan, FaultyStream};
+use pcount_tensor::{SplitMix64, Tensor};
+
+/// The multiplier of per-node stream derivation (the same golden-ratio
+/// constant the flow's `derive_seed` and the fault injector use).
+const STREAM_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Salt of the per-node fault-plan seed (distinct from the skew stream).
+const FAULT_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
+
+/// Salt of a storm segment's fault-plan seed.
+const STORM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+
+/// One simulated MAUPITI node: an actor owning its slice of a recorded
+/// session, its own reproducible chaos and its own (skewed) clock.
+///
+/// Provisioning is a pure function of `(fleet seed, node id, dataset,
+/// config)`: node `i` replays session `i % sessions` starting at a
+/// seed-derived phase, corrupts it through a [`FaultPlan`] seeded from
+/// the fleet seed and its id, and timestamps deliveries on a clock with
+/// a seed-derived constant skew. Two fleets with the same seed are
+/// therefore bit-identical node for node.
+#[derive(Debug, Clone)]
+pub struct SensorNode {
+    /// Fleet-wide node id.
+    pub id: usize,
+    /// Room this node reports into (`id % rooms`).
+    pub room: usize,
+    /// Shard serving that room (`room % shards` — rooms never split
+    /// across shards).
+    pub shard: usize,
+    /// The node's corrupted delivery stream (gaps keep their slot,
+    /// duplicates add one).
+    pub stream: FaultyStream,
+    /// Ground-truth people counts of the node's clean window frames
+    /// (indexed by a tick's `source_index`).
+    pub labels: Vec<usize>,
+    /// The node's constant clock skew relative to service time (ms).
+    pub skew_ms: i64,
+}
+
+impl SensorNode {
+    /// Provisions node `id` of a fleet described by `cfg` from `data`.
+    pub fn provision(id: usize, data: &IrDataset, cfg: &FleetConfig) -> Self {
+        let session = id % data.num_sessions().max(1);
+        let node_stream = SplitMix64::new(cfg.seed ^ (id as u64 + 1).wrapping_mul(STREAM_MUL));
+        let mut rng = node_stream;
+        let start = rng.next_u64() as usize;
+        let span = 2 * cfg.clock_skew_max_ms as u64 + 1;
+        let skew_ms = (rng.next_u64() % span) as i64 - cfg.clock_skew_max_ms as i64;
+        let (frames, labels) = data.session_stream_window(session, start, cfg.frames_per_node);
+        let fault_seed = cfg.seed ^ (id as u64 + 1).wrapping_mul(FAULT_SALT);
+        let stream = match cfg.storm.as_ref().filter(|s| s.affects(id)) {
+            Some(storm) => storm_stream(&frames, fault_seed, cfg, storm.intensity, storm.window),
+            None => FaultPlan::new(fault_seed, FaultConfig::uniform(cfg.fault_intensity))
+                .inject_with_period(&frames, cfg.frame_period_ms),
+        };
+        Self {
+            id,
+            room: id % cfg.rooms.max(1),
+            shard: (id % cfg.rooms.max(1)) % cfg.shards.max(1),
+            stream,
+            labels,
+            skew_ms,
+        }
+    }
+
+    /// The node's outgoing messages, one per delivery slot of its stream,
+    /// timestamped on its skewed clock. Arrival times are clamped to the
+    /// start of the run (a skewed-early first frame still arrives after
+    /// the service is up).
+    pub fn messages(&self) -> Vec<FrameMsg> {
+        self.stream
+            .ticks
+            .iter()
+            .enumerate()
+            .map(|(seq, tick)| FrameMsg {
+                node: self.id,
+                seq,
+                arrival_ns: (tick.timestamp_ms + self.skew_ms).max(0) * 1_000_000,
+            })
+            .collect()
+    }
+}
+
+/// Builds a storm-affected node's stream: the middle `window` fraction of
+/// its frames is injected at the storm intensity, the rest at the fleet's
+/// baseline intensity. Each segment draws from its own derived seed, and
+/// tick indices/timestamps are shifted back onto the node's global
+/// timeline, so a storm changes *when* chaos spikes without perturbing
+/// the other segments' random decisions.
+fn storm_stream(
+    frames: &Tensor,
+    fault_seed: u64,
+    cfg: &FleetConfig,
+    storm_intensity: f64,
+    window: (f64, f64),
+) -> FaultyStream {
+    let n = frames.shape()[0];
+    let pixels: usize = frames.shape()[1..].iter().product();
+    let a = ((n as f64) * window.0).floor() as usize;
+    let b = (((n as f64) * window.1).floor() as usize).clamp(a, n);
+    let mut ticks = Vec::with_capacity(n);
+    for (seg, (lo, hi, intensity)) in [
+        (0usize, a, cfg.fault_intensity),
+        (a, b, storm_intensity),
+        (b, n, cfg.fault_intensity),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if lo >= hi {
+            continue;
+        }
+        let seg_frames = Tensor::from_vec(
+            frames.data()[lo * pixels..hi * pixels].to_vec(),
+            &[hi - lo, 1, 8, 8],
+        );
+        let seed = fault_seed ^ (seg as u64 + 1).wrapping_mul(STORM_SALT);
+        let seg_stream = FaultPlan::new(seed, FaultConfig::uniform(intensity))
+            .inject_with_period(&seg_frames, cfg.frame_period_ms);
+        for mut tick in seg_stream.ticks {
+            tick.source_index += lo;
+            tick.timestamp_ms += lo as i64 * cfg.frame_period_ms as i64;
+            ticks.push(tick);
+        }
+    }
+    FaultyStream {
+        ticks,
+        frame_period_ms: cfg.frame_period_ms,
+    }
+}

@@ -1,0 +1,296 @@
+//! Folded results of a fleet run: per-node and per-shard accounting, the
+//! building-wide occupancy trajectory and the hand-rolled JSON the serve
+//! bench emits into `BENCH_serve.json`.
+
+use crate::msg::Delivery;
+use pcount_telemetry::slo;
+use pcount_telemetry::{HistogramCounts, HistogramSummary, SloSnapshot};
+
+/// Fleet-wide front-end totals, one value per `fleet/*` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeTotals {
+    /// Frames offered to the front-end (gaps never arrive, so they are
+    /// not requests).
+    pub requests: u64,
+    /// Requests admitted into a shard queue and executed.
+    pub admitted: u64,
+    /// Requests shed by admission control (queue at capacity).
+    pub shed: u64,
+    /// Requests downsampled at the source under backpressure.
+    pub downsampled: u64,
+    /// Sensor gaps (delivery slots whose frame never arrived).
+    pub gaps: u64,
+    /// Executed frames whose fresh prediction reached room fusion.
+    pub fused: u64,
+    /// Executed frames withheld from fusion (node quarantined).
+    pub quarantined_frames: u64,
+    /// Sick-node quarantine trips.
+    pub quarantine_trips: u64,
+    /// Quarantined nodes readmitted after a clean streak.
+    pub readmissions: u64,
+}
+
+impl ServeTotals {
+    /// The totals as `(canonical fleet counter name, value)` pairs, in
+    /// [`slo::fleet_counter_names`] order.
+    pub fn as_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            (slo::FLEET_REQUESTS, self.requests),
+            (slo::FLEET_ADMITTED, self.admitted),
+            (slo::FLEET_SHED, self.shed),
+            (slo::FLEET_DOWNSAMPLED, self.downsampled),
+            (slo::FLEET_GAPS, self.gaps),
+            (slo::FLEET_FUSED, self.fused),
+            (slo::FLEET_QUARANTINED_FRAMES, self.quarantined_frames),
+            (slo::FLEET_QUARANTINE_TRIPS, self.quarantine_trips),
+            (slo::FLEET_READMISSIONS, self.readmissions),
+        ]
+    }
+
+    /// The totals as a JSON object keyed by counter name.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .as_counters()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\":{value}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// One node's folded accounting.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Fleet-wide node id.
+    pub node: usize,
+    /// Room the node reports into.
+    pub room: usize,
+    /// Shard serving that room.
+    pub shard: usize,
+    /// Delivery slots replayed (arrivals plus gaps).
+    pub deliveries: u64,
+    /// Sensor gaps.
+    pub gaps: u64,
+    /// Frames shed by admission control.
+    pub shed: u64,
+    /// Frames downsampled under backpressure.
+    pub downsampled: u64,
+    /// Frames inferred on the first attempt.
+    pub ok: u64,
+    /// Frames recovered by a retry.
+    pub recovered: u64,
+    /// Frames that exhausted retries (hold-last-good emitted).
+    pub fallback: u64,
+    /// Fresh predictions that reached room fusion.
+    pub fused: u64,
+    /// Executed frames withheld from fusion while quarantined.
+    pub quarantined_frames: u64,
+    /// Times the sick-node detector quarantined this node.
+    pub quarantine_trips: u64,
+    /// Times this node was readmitted after a clean streak.
+    pub readmissions: u64,
+    /// Retry attempts beyond first tries.
+    pub retries: u64,
+    /// Pooled-CPU restores forced by faulted attempts.
+    pub cpu_resets: u64,
+    /// Whole-run error-budget burn (milli-units).
+    pub burn_milli: i64,
+    /// The node's SLO snapshot (canonical counter order, mergeable).
+    pub slo: SloSnapshot,
+}
+
+/// One shard's folded accounting: the associative merge of its nodes'
+/// SLO snapshots plus the queue/latency instruments of its front-end.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Nodes served by this shard.
+    pub nodes: usize,
+    /// Highest queue depth the shard reached.
+    pub queue_depth_peak: u64,
+    /// Queue depth distribution (sampled at every arrival).
+    pub queue_depth: HistogramSummary,
+    /// Request latency distribution of the shard's executed frames.
+    pub latency: HistogramSummary,
+    /// Raw buckets behind [`ShardReport::latency`] (mergeable).
+    pub latency_counts: HistogramCounts,
+    /// Pooled error-budget burn of the shard's nodes (milli-units):
+    /// bads and totals are summed *before* the burn is computed, so every
+    /// frame weighs the same regardless of node sizes.
+    pub burn_milli: i64,
+    /// Merged SLO snapshot of the shard's nodes.
+    pub slo: SloSnapshot,
+}
+
+impl ShardReport {
+    /// The shard as a JSON object (the `shards` array of the bench).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\":{},\"nodes\":{},\"queue_depth_peak\":{},\"queue_depth\":{},\
+             \"latency_ns\":{},\"burn_milli\":{},\"slo\":{}}}",
+            self.shard,
+            self.nodes,
+            self.queue_depth_peak,
+            self.queue_depth.to_json(),
+            self.latency.to_json(),
+            self.burn_milli,
+            self.slo.to_json(),
+        )
+    }
+}
+
+/// One change point of the building-wide occupancy trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyChange {
+    /// Global delivery sequence number at which the estimate changed.
+    pub seq: u64,
+    /// Room whose estimate changed.
+    pub room: u32,
+    /// The room's new occupancy estimate.
+    pub room_count: u32,
+    /// The building-wide total after the change.
+    pub building: u32,
+}
+
+/// The building's occupancy estimate over virtual time, stored as change
+/// points plus a collision-resistant digest — the digest is the
+/// bit-reproducibility tripwire the determinism suite and the serve
+/// bench compare across pool widths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyTrajectory {
+    /// Every change of any room estimate, in delivery order.
+    pub changes: Vec<OccupancyChange>,
+    /// Final per-room estimates.
+    pub final_rooms: Vec<u32>,
+    /// FNV-1a digest of the full change sequence and final state.
+    pub hash: u64,
+}
+
+impl OccupancyTrajectory {
+    /// Folds `changes` and the final room estimates into a trajectory
+    /// with its digest.
+    pub fn new(changes: Vec<OccupancyChange>, final_rooms: Vec<u32>) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for c in &changes {
+            mix(c.seq);
+            mix(c.room as u64);
+            mix(c.room_count as u64);
+            mix(c.building as u64);
+        }
+        for &r in &final_rooms {
+            mix(r as u64);
+        }
+        Self {
+            changes,
+            final_rooms,
+            hash,
+        }
+    }
+
+    /// Final building-wide occupancy estimate.
+    pub fn final_total(&self) -> u32 {
+        self.final_rooms.iter().sum()
+    }
+
+    /// The digest as a fixed-width hex string (JSON-friendly).
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// The trajectory as a JSON object (change points elided, digest and
+    /// final state kept).
+    pub fn to_json(&self) -> String {
+        let rooms: Vec<String> = self.final_rooms.iter().map(|r| r.to_string()).collect();
+        format!(
+            "{{\"hash\":\"{}\",\"changes\":{},\"final_total\":{},\"final_rooms\":[{}]}}",
+            self.hash_hex(),
+            self.changes.len(),
+            self.final_total(),
+            rooms.join(","),
+        )
+    }
+}
+
+/// The full folded result of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Rooms fused.
+    pub rooms: usize,
+    /// Service shards.
+    pub shards: usize,
+    /// Nominal per-frame service cost the plan scheduled with (ns).
+    pub per_frame_ns: u64,
+    /// Fleet-wide front-end totals.
+    pub totals: ServeTotals,
+    /// End-to-end request latency over all shards.
+    pub latency: HistogramSummary,
+    /// Raw buckets behind [`FleetReport::latency`].
+    pub latency_counts: HistogramCounts,
+    /// Queue depth distribution over all shards.
+    pub queue_depth: HistogramSummary,
+    /// Highest queue depth any shard reached.
+    pub queue_depth_peak: u64,
+    /// Worst per-shard pooled error-budget burn (milli-units).
+    pub worst_shard_burn_milli: i64,
+    /// Per-shard reports.
+    pub shard_reports: Vec<ShardReport>,
+    /// Per-node reports.
+    pub node_reports: Vec<NodeReport>,
+    /// Every delivery's folded record, in arrival order (the invariant
+    /// tests assert over these).
+    pub deliveries: Vec<Delivery>,
+    /// The building's occupancy trajectory and determinism digest.
+    pub occupancy: OccupancyTrajectory,
+}
+
+impl FleetReport {
+    /// Sanity identity of the front-end algebra: every delivery slot is
+    /// disposed of exactly once.
+    pub fn conservation_holds(&self) -> bool {
+        let t = &self.totals;
+        t.requests == t.admitted + t.shed + t.downsampled
+            && self.deliveries.len() as u64 == t.requests + t.gaps
+            && t.admitted == t.fused + t.quarantined_frames + self.fallbacks_outside_quarantine()
+    }
+
+    /// Executed fallback frames of non-quarantined nodes (they neither
+    /// fuse nor count as quarantined).
+    fn fallbacks_outside_quarantine(&self) -> u64 {
+        self.deliveries
+            .iter()
+            .filter(|d| d.status == crate::msg::DeliveryStatus::Fallback && !d.quarantined)
+            .count() as u64
+    }
+
+    /// The report as a JSON object (the per-run payload of
+    /// `BENCH_serve.json`).
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shard_reports.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"nodes\":{},\"rooms\":{},\"shards\":{},\"deliveries\":{},\"per_frame_ns\":{},\
+             \"counters\":{},\"latency_ns\":{},\"queue_depth\":{},\"queue_depth_peak\":{},\
+             \"worst_shard_burn_milli\":{},\"shards_detail\":[{}],\"occupancy\":{}}}",
+            self.nodes,
+            self.rooms,
+            self.shards,
+            self.deliveries.len(),
+            self.per_frame_ns,
+            self.totals.to_json(),
+            self.latency.to_json(),
+            self.queue_depth.to_json(),
+            self.queue_depth_peak,
+            self.worst_shard_burn_milli,
+            shards.join(","),
+            self.occupancy.to_json(),
+        )
+    }
+}

@@ -1,0 +1,892 @@
+//! The sharded fusion service: virtual-time message scheduling, admission
+//! control, bounded queues with backpressure, SLO-driven node quarantine
+//! and per-room occupancy fusion.
+//!
+//! # Determinism
+//!
+//! The whole fleet run follows the serial-plan → parallel-execute →
+//! serial-fold pattern of `pcount-resilience`:
+//!
+//! 1. **Plan (serial).** Every node's messages are merged into one global
+//!    virtual-time order `(arrival_ns, node, seq)`, and each shard's
+//!    bounded queue, batch server, admission control and backpressure
+//!    hysteresis are simulated against a *nominal* per-frame service cost
+//!    — so which frames are shed, downsampled or batched is a pure
+//!    function of the fleet seed and the config, never of execution.
+//! 2. **Execute (parallel).** Admitted frames' retry loops
+//!    ([`ResilientDeployment::attempt_frame`]) run across the
+//!    [`CpuPool`], each on a CPU restored from the pristine base, so
+//!    every result is a pure per-frame function.
+//! 3. **Fold (serial).** Outcomes are replayed in arrival order through
+//!    per-node health windows (quarantine/readmission with hysteresis)
+//!    and per-room hold-last-good fusion, producing the occupancy
+//!    trajectory, latency distributions and SLO accounting.
+//!
+//! Consequently a [`FleetReport`] is bit-identical for every pool width
+//! (asserted by the crate's determinism suite and the serve bench
+//! tripwire).
+
+use std::collections::VecDeque;
+
+use crate::msg::{Delivery, DeliveryStatus, FrameMsg};
+use crate::node::SensorNode;
+use crate::report::{
+    FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals, ShardReport,
+};
+use pcount_dataset::{IrDataset, GRID_SIZE};
+use pcount_kernels::{CpuPool, Deployment, SimError};
+use pcount_postproc::MajorityVoter;
+use pcount_resilience::{AttemptOutcome, ResilienceConfig, ResilientDeployment};
+use pcount_telemetry::slo;
+use pcount_telemetry::{ErrorBudget, HistogramCounts, SloSnapshot};
+
+/// A time-windowed fault storm: a subset of nodes runs at a (usually much
+/// higher) fault intensity for the middle stretch of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormConfig {
+    /// Fault intensity inside the storm window (the fleet's baseline
+    /// [`FleetConfig::fault_intensity`] applies outside it).
+    pub intensity: f64,
+    /// Every `node_stride`-th node is storm-affected (`1` = the whole
+    /// fleet).
+    pub node_stride: usize,
+    /// Storm window as fractions of each affected node's frame count:
+    /// frames in `[window.0 * n, window.1 * n)` are injected at the storm
+    /// intensity.
+    pub window: (f64, f64),
+}
+
+impl StormConfig {
+    /// Whether `node` is inside the storm's blast radius.
+    pub fn affects(&self, node: usize) -> bool {
+        node.is_multiple_of(self.node_stride.max(1))
+    }
+}
+
+impl Default for StormConfig {
+    /// A heavy storm over a third of the fleet for the middle half of the
+    /// run.
+    fn default() -> Self {
+        Self {
+            intensity: 0.6,
+            node_stride: 3,
+            window: (0.25, 0.75),
+        }
+    }
+}
+
+/// Configuration of a [`FleetService`] co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of simulated sensor nodes.
+    pub nodes: usize,
+    /// Number of rooms; node `i` reports into room `i % rooms`.
+    pub rooms: usize,
+    /// Number of service shards; room `r` is served by shard
+    /// `r % shards`, so a room never splits across shards.
+    pub shards: usize,
+    /// Frames in each node's (wrapping) session window.
+    pub frames_per_node: usize,
+    /// Nominal sensor frame period, in milliseconds (the paper's stream
+    /// is 10 FPS = 100 ms).
+    pub frame_period_ms: u32,
+    /// Baseline fault intensity of every node's [`FaultPlan`]
+    /// (`FaultConfig::uniform` knob).
+    ///
+    /// [`FaultPlan`]: pcount_resilience::FaultPlan
+    /// [`FaultConfig::uniform`]: pcount_resilience::FaultConfig::uniform
+    pub fault_intensity: f64,
+    /// Optional time-windowed fault storm on top of the baseline chaos.
+    pub storm: Option<StormConfig>,
+    /// Maximum per-node constant clock skew (± milliseconds), drawn from
+    /// the fleet seed.
+    pub clock_skew_max_ms: u32,
+    /// Bounded per-shard queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Maximum frames the shard server batches per dispatch.
+    pub batch_max: usize,
+    /// Fixed virtual cost of dispatching one batch, in nanoseconds.
+    pub batch_overhead_ns: u64,
+    /// Queue depth at or above which the shard throttles its nodes
+    /// (backpressure: throttled nodes downsample every other frame).
+    pub high_watermark: usize,
+    /// Queue depth at or below which the shard releases the throttle.
+    pub low_watermark: usize,
+    /// Clock of the shard's inference server, in Hz, converting the
+    /// deployment's per-frame cycles into virtual service time.
+    pub service_clock_hz: u64,
+    /// Sliding window (node-caused outcomes) of the sick-node detector.
+    pub health_window: usize,
+    /// Error-budget burn (milli-units over the window snapshot) at or
+    /// above which a node is quarantined.
+    pub quarantine_burn_milli: i64,
+    /// Consecutive clean outcomes a quarantined node needs before
+    /// readmission (the hysteresis that stops flapping).
+    pub readmit_after: u32,
+    /// Per-frame supervision policy (retries, backoff, budgets) and the
+    /// error budget nodes are graded against.
+    pub resilience: ResilienceConfig,
+    /// Root seed: all per-node chaos, phases and skews derive from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    /// A 240-node / 24-room / 4-shard building at 10 FPS with mild
+    /// baseline chaos.
+    fn default() -> Self {
+        Self {
+            nodes: 240,
+            rooms: 24,
+            shards: 4,
+            frames_per_node: 24,
+            frame_period_ms: 100,
+            fault_intensity: 0.08,
+            storm: None,
+            clock_skew_max_ms: 150,
+            queue_cap: 64,
+            batch_max: 8,
+            batch_overhead_ns: 200_000,
+            high_watermark: 48,
+            low_watermark: 16,
+            service_clock_hz: 400_000_000,
+            health_window: 8,
+            quarantine_burn_milli: 7_000,
+            readmit_after: 6,
+            resilience: ResilienceConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// A small fleet for CI smoke runs: still ≥ 200 nodes (the acceptance
+    /// floor) but with short per-node windows.
+    pub fn smoke() -> Self {
+        Self {
+            nodes: 200,
+            rooms: 20,
+            frames_per_node: 6,
+            ..Self::default()
+        }
+    }
+
+    /// Panics when the knobs are inconsistent (empty fleet, watermarks
+    /// inverted or above the queue cap, zero-length windows).
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "fleet needs at least one node");
+        assert!(
+            self.rooms > 0 && self.rooms <= self.nodes,
+            "rooms in 1..=nodes"
+        );
+        assert!(
+            self.shards > 0 && self.shards <= self.rooms,
+            "shards in 1..=rooms"
+        );
+        assert!(self.frames_per_node > 0, "nodes need at least one frame");
+        assert!(self.queue_cap > 0, "queue capacity must be positive");
+        assert!(
+            self.low_watermark < self.high_watermark && self.high_watermark <= self.queue_cap,
+            "watermarks must satisfy low < high <= cap"
+        );
+        assert!(self.health_window > 0, "health window must be positive");
+        assert!(
+            self.readmit_after > 0,
+            "readmission streak must be positive"
+        );
+        assert!(self.service_clock_hz > 0, "service clock must be positive");
+    }
+}
+
+/// What the serial plan decided for one delivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    /// Dropped at the sensor: nothing arrives.
+    Gap,
+    /// Shed by admission control (queue at capacity).
+    Shed,
+    /// Downsampled at the source under backpressure.
+    Downsampled,
+    /// Admitted and waiting for its batch (transient plan state; every
+    /// queued message is resolved to `Execute` by the final drain).
+    Queued,
+    /// Scheduled onto the shard server.
+    Execute {
+        /// Index into the execution list (and the parallel results).
+        exec_idx: usize,
+        /// Nominal batch completion time (the whole batch completes as a
+        /// unit), before per-frame retry overhead.
+        completion_ns: i64,
+    },
+}
+
+/// One planned delivery: the message plus the front-end's decision.
+#[derive(Debug, Clone, Copy)]
+struct PlannedDelivery {
+    msg: FrameMsg,
+    room: usize,
+    shard: usize,
+    decision: Decision,
+    depth_after: usize,
+}
+
+/// Serial simulation state of one shard's bounded queue + batch server.
+struct ShardSim {
+    /// Queued planned-delivery indices, FIFO.
+    queue: VecDeque<usize>,
+    /// When the shard's server is next free (virtual ns).
+    server_free_ns: i64,
+    /// Backpressure state (hysteresis between the watermarks).
+    throttled: bool,
+    /// Highest queue depth observed.
+    peak_depth: usize,
+    /// Queue depth sampled at every arrival.
+    depth_counts: HistogramCounts,
+}
+
+impl ShardSim {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            server_free_ns: 0,
+            throttled: false,
+            peak_depth: 0,
+            depth_counts: HistogramCounts::empty(),
+        }
+    }
+}
+
+/// Serial fold state of one node: fusion estimator, health window and
+/// accounting.
+struct NodeState {
+    voter: MajorityVoter,
+    last_good: Option<usize>,
+    /// The node's current contribution to its room's occupancy.
+    contrib: usize,
+    /// Trailing node-caused outcomes: `0` good, `1` gap, `2` fallback.
+    window: VecDeque<u8>,
+    quarantined: bool,
+    clean_streak: u32,
+    deliveries: u64,
+    gaps: u64,
+    shed: u64,
+    downsampled: u64,
+    ok: u64,
+    recovered: u64,
+    fallback: u64,
+    fused: u64,
+    quarantined_frames: u64,
+    retries: u64,
+    cpu_resets: u64,
+    trips: u64,
+    readmissions: u64,
+    recovery_counts: HistogramCounts,
+}
+
+impl NodeState {
+    fn new(voter_window: usize) -> Self {
+        Self {
+            voter: MajorityVoter::new(voter_window.max(1)),
+            last_good: None,
+            contrib: 0,
+            window: VecDeque::new(),
+            quarantined: false,
+            clean_streak: 0,
+            deliveries: 0,
+            gaps: 0,
+            shed: 0,
+            downsampled: 0,
+            ok: 0,
+            recovered: 0,
+            fallback: 0,
+            fused: 0,
+            quarantined_frames: 0,
+            retries: 0,
+            cpu_resets: 0,
+            trips: 0,
+            readmissions: 0,
+            recovery_counts: HistogramCounts::empty(),
+        }
+    }
+
+    /// Executed frames that produced any outcome (admitted work).
+    fn admitted(&self) -> u64 {
+        self.ok + self.recovered + self.fallback
+    }
+
+    /// Frames that produced no fresh fused prediction — what the node is
+    /// graded against its error budget on.
+    fn degraded(&self) -> u64 {
+        self.deliveries - self.fused
+    }
+
+    /// The windowed health snapshot the sick-node detector judges. This
+    /// is deliberately a real [`SloSnapshot`] — the quarantine decision
+    /// reads `error_budget_burn_milli` off the same SLO surface that
+    /// shard reports export, not a private heuristic.
+    fn window_snapshot(&self, budget: &ErrorBudget) -> SloSnapshot {
+        let gaps = self.window.iter().filter(|&&v| v == 1).count() as u64;
+        let fallbacks = self.window.iter().filter(|&&v| v == 2).count() as u64;
+        let total = self.window.len() as u64;
+        SloSnapshot {
+            counters: vec![(slo::FLEET_GAPS, gaps), (slo::FALLBACK_FRAMES, fallbacks)],
+            error_budget_burn_milli: budget.burn_milli(gaps + fallbacks, total),
+            ..SloSnapshot::default()
+        }
+    }
+
+    /// The node's whole-run SLO snapshot, in canonical counter order
+    /// (fixed so shard folds are order-independent by construction).
+    fn run_snapshot(&self, budget: &ErrorBudget) -> SloSnapshot {
+        SloSnapshot {
+            counters: vec![
+                (slo::FLEET_REQUESTS, self.deliveries - self.gaps),
+                (slo::FLEET_ADMITTED, self.admitted()),
+                (slo::FLEET_SHED, self.shed),
+                (slo::FLEET_DOWNSAMPLED, self.downsampled),
+                (slo::FLEET_GAPS, self.gaps),
+                (slo::FLEET_FUSED, self.fused),
+                (slo::FLEET_QUARANTINED_FRAMES, self.quarantined_frames),
+                (slo::FLEET_QUARANTINE_TRIPS, self.trips),
+                (slo::FLEET_READMISSIONS, self.readmissions),
+                (slo::RETRIES, self.retries),
+                (slo::FALLBACK_FRAMES, self.fallback),
+                (slo::QUARANTINES, self.cpu_resets),
+            ],
+            error_budget_burn_milli: budget.burn_milli(self.degraded(), self.deliveries),
+            recovery_latency: self.recovery_counts.summarize(),
+            recovery_counts: self.recovery_counts.clone(),
+        }
+    }
+}
+
+/// The deterministic multi-node serving co-simulation.
+///
+/// Owns the provisioned [`SensorNode`] actors and the (shared, per-fleet)
+/// [`ResilientDeployment`] every shard serves with. See the module docs
+/// for the three-phase execution model.
+pub struct FleetService {
+    supervised: ResilientDeployment,
+    cfg: FleetConfig,
+    nodes: Vec<SensorNode>,
+    /// Nominal virtual service cost of one frame on a shard server, in
+    /// nanoseconds: the deployment's measured per-inference cycles at
+    /// [`FleetConfig::service_clock_hz`].
+    per_frame_ns: u64,
+}
+
+impl FleetService {
+    /// Provisions a fleet of `cfg.nodes` actors over `data` and wraps
+    /// `deployment` in the per-frame supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator error if the deployment cannot run a
+    /// probe frame (the probe measures the nominal per-frame cost the
+    /// admission plan schedules with).
+    pub fn new(
+        deployment: Deployment,
+        cfg: FleetConfig,
+        data: &IrDataset,
+    ) -> Result<Self, SimError> {
+        cfg.validate();
+        let probe = deployment.report(&vec![0.0; GRID_SIZE * GRID_SIZE])?;
+        let per_frame_ns = probe
+            .cycles
+            .saturating_mul(1_000_000_000)
+            .div_euclid(cfg.service_clock_hz)
+            .max(1);
+        let nodes = (0..cfg.nodes)
+            .map(|id| SensorNode::provision(id, data, &cfg))
+            .collect();
+        Ok(Self {
+            supervised: ResilientDeployment::new(deployment, cfg.resilience.clone()),
+            cfg,
+            nodes,
+            per_frame_ns,
+        })
+    }
+
+    /// The provisioned node actors.
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Nominal virtual service cost of one frame (ns) on a shard server.
+    pub fn per_frame_ns(&self) -> u64 {
+        self.per_frame_ns
+    }
+
+    /// A warmed CPU pool sized for `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the simulator error if the warm-up inference fails.
+    pub fn make_pool(&self, threads: usize) -> Result<CpuPool, SimError> {
+        self.supervised.inner().make_pool(threads)
+    }
+
+    /// Runs the whole co-simulation across `pool` and folds it into a
+    /// [`FleetReport`]. Bit-identical for every pool width.
+    pub fn run(&self, pool: &mut CpuPool) -> FleetReport {
+        let (planned, mut sims, exec_list) = self.plan();
+        let execs = self.execute(&planned, &exec_list, pool);
+        self.fold(planned, &mut sims, execs)
+    }
+
+    /// Phase 1 (serial): merge all node messages into virtual-time order
+    /// and simulate every shard's admission control, bounded queue,
+    /// backpressure hysteresis and batch server against the nominal
+    /// per-frame cost.
+    fn plan(&self) -> (Vec<PlannedDelivery>, Vec<ShardSim>, Vec<usize>) {
+        let mut events: Vec<FrameMsg> = self.nodes.iter().flat_map(|n| n.messages()).collect();
+        events.sort_by_key(|m| (m.arrival_ns, m.node, m.seq));
+        let mut planned: Vec<PlannedDelivery> = Vec::with_capacity(events.len());
+        let mut sims: Vec<ShardSim> = (0..self.cfg.shards).map(|_| ShardSim::new()).collect();
+        let mut throttle_ctr = vec![0u64; self.nodes.len()];
+        let mut exec_list: Vec<usize> = Vec::new();
+        for msg in events {
+            let node = &self.nodes[msg.node];
+            let (room, shard) = (node.room, node.shard);
+            // Let this shard's server catch up to the arrival instant
+            // before judging the queue: frames it has already started
+            // serving no longer occupy queue slots.
+            Self::drain(
+                &mut planned,
+                &mut sims[shard],
+                msg.arrival_ns,
+                &mut exec_list,
+                &self.cfg,
+                self.per_frame_ns,
+            );
+            let idx = planned.len();
+            let sim = &mut sims[shard];
+            let decision = if node.stream.ticks[msg.seq].frame.is_none() {
+                Decision::Gap
+            } else if sim.queue.len() >= self.cfg.queue_cap {
+                Decision::Shed
+            } else if sim.throttled && {
+                throttle_ctr[msg.node] += 1;
+                throttle_ctr[msg.node] % 2 == 1
+            } {
+                Decision::Downsampled
+            } else {
+                Decision::Queued
+            };
+            planned.push(PlannedDelivery {
+                msg,
+                room,
+                shard,
+                decision,
+                depth_after: 0,
+            });
+            if decision == Decision::Queued {
+                sim.queue.push_back(idx);
+            }
+            let depth = sim.queue.len();
+            planned[idx].depth_after = depth;
+            sim.peak_depth = sim.peak_depth.max(depth);
+            sim.depth_counts.record(depth as u64);
+            if depth >= self.cfg.high_watermark {
+                sim.throttled = true;
+            } else if depth <= self.cfg.low_watermark {
+                sim.throttled = false;
+            }
+        }
+        for sim in &mut sims {
+            Self::drain(
+                &mut planned,
+                sim,
+                i64::MAX,
+                &mut exec_list,
+                &self.cfg,
+                self.per_frame_ns,
+            );
+            debug_assert!(sim.queue.is_empty(), "final drain empties every queue");
+        }
+        (planned, sims, exec_list)
+    }
+
+    /// Forms and schedules batches on one shard server up to virtual time
+    /// `now`: while the server can start a batch no later than `now`, up
+    /// to `batch_max` queued frames are dispatched as one unit.
+    fn drain(
+        planned: &mut [PlannedDelivery],
+        sim: &mut ShardSim,
+        now: i64,
+        exec_list: &mut Vec<usize>,
+        cfg: &FleetConfig,
+        per_frame_ns: u64,
+    ) {
+        while let Some(&front) = sim.queue.front() {
+            let start = sim.server_free_ns.max(planned[front].msg.arrival_ns);
+            if start > now {
+                break;
+            }
+            let take = sim.queue.len().min(cfg.batch_max.max(1));
+            let service_ns = cfg.batch_overhead_ns + per_frame_ns * take as u64;
+            let completion_ns = start.saturating_add(service_ns as i64);
+            for _ in 0..take {
+                let idx = sim.queue.pop_front().expect("batch members queued");
+                let exec_idx = exec_list.len();
+                exec_list.push(idx);
+                planned[idx].decision = Decision::Execute {
+                    exec_idx,
+                    completion_ns,
+                };
+            }
+            sim.server_free_ns = completion_ns;
+        }
+    }
+
+    /// Phase 2 (parallel): run every scheduled frame's attempt loop across
+    /// the pool. Execution order never affects results — each attempt
+    /// loop restores its CPU from the pristine base and is a pure
+    /// function of `(frame, stall)`.
+    fn execute(
+        &self,
+        planned: &[PlannedDelivery],
+        exec_list: &[usize],
+        pool: &mut CpuPool,
+    ) -> Vec<AttemptOutcome> {
+        let m = exec_list.len();
+        if m == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Option<AttemptOutcome>> = (0..m).map(|_| None).collect();
+        let (base, cpus) = pool.split_mut();
+        let workers = cpus.len().max(1);
+        let chunk = m.div_ceil(workers);
+        let slots = pcount_runtime::SendPtr::new(out.as_mut_ptr());
+        pcount_runtime::current().par_chunks_mut(cpus, 1, 0, |w, cpu_slot| {
+            let cpu = &mut cpu_slot[0];
+            let hi = ((w + 1) * chunk).min(m);
+            for k in (w * chunk)..hi {
+                let p = &planned[exec_list[k]];
+                let tick = &self.nodes[p.msg.node].stream.ticks[p.msg.seq];
+                let frame = tick.frame.as_deref().expect("executed ticks carry data");
+                let outcome = self.supervised.attempt_frame(cpu, base, frame, tick.stall);
+                // SAFETY: worker ranges are disjoint by construction, so
+                // every slot has exactly one writer, and `out` is not
+                // read until the pool group completes.
+                unsafe { *slots.ptr().add(k) = Some(outcome) };
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every exec slot ran"))
+            .collect()
+    }
+
+    /// Phase 3 (serial): replay outcomes in arrival order through node
+    /// health windows, quarantine hysteresis and room fusion, and fold
+    /// everything into the report.
+    fn fold(
+        &self,
+        planned: Vec<PlannedDelivery>,
+        sims: &mut [ShardSim],
+        execs: Vec<AttemptOutcome>,
+    ) -> FleetReport {
+        let cfg = &self.cfg;
+        let budget = &cfg.resilience.error_budget;
+        let max_retries = cfg.resilience.retry.max_retries;
+        let clock_hz = cfg.resilience.clock_hz.max(1);
+        let mut states: Vec<NodeState> = (0..self.nodes.len())
+            .map(|_| NodeState::new(cfg.resilience.voter_window))
+            .collect();
+        let mut shard_latency: Vec<HistogramCounts> =
+            (0..cfg.shards).map(|_| HistogramCounts::empty()).collect();
+        let mut room_totals = vec![0usize; cfg.rooms];
+        let mut building = 0usize;
+        let mut changes: Vec<OccupancyChange> = Vec::new();
+        let mut deliveries: Vec<Delivery> = Vec::with_capacity(planned.len());
+        for (i, p) in planned.iter().enumerate() {
+            let ns = &mut states[p.msg.node];
+            ns.deliveries += 1;
+            let (status, prediction, latency_ns) = match p.decision {
+                Decision::Gap => {
+                    ns.gaps += 1;
+                    (DeliveryStatus::Gap, None, None)
+                }
+                Decision::Shed => {
+                    ns.shed += 1;
+                    (DeliveryStatus::Shed, None, None)
+                }
+                Decision::Downsampled => {
+                    ns.downsampled += 1;
+                    (DeliveryStatus::Downsampled, None, None)
+                }
+                Decision::Queued => unreachable!("final drain resolves every queued frame"),
+                Decision::Execute {
+                    exec_idx,
+                    completion_ns,
+                } => {
+                    let exec = &execs[exec_idx];
+                    let retries = exec.failed_attempts.min(max_retries);
+                    let backoff_ms = self.supervised.total_backoff_ms(i, retries);
+                    ns.retries += retries as u64;
+                    ns.cpu_resets += exec.failed_attempts as u64;
+                    // Retry overhead is charged to the affected request
+                    // alone (attributable tail latency) — it never shifts
+                    // the planned schedule, which keeps the admission
+                    // plan independent of execution.
+                    let extra_ns = if exec.failed_attempts > 0 {
+                        let recovery_ns = exec.wasted_cycles.saturating_mul(1_000_000_000)
+                            / clock_hz
+                            + backoff_ms * 1_000_000;
+                        ns.recovery_counts.record(recovery_ns);
+                        recovery_ns
+                    } else {
+                        0
+                    };
+                    let completion = completion_ns.saturating_add(extra_ns as i64);
+                    let latency = completion.saturating_sub(p.msg.arrival_ns).max(0) as u64;
+                    match &exec.run {
+                        Some(run) => {
+                            if exec.failed_attempts == 0 {
+                                ns.ok += 1;
+                                (DeliveryStatus::Ok, Some(run.prediction), Some(latency))
+                            } else {
+                                ns.recovered += 1;
+                                (
+                                    DeliveryStatus::Recovered {
+                                        failed_attempts: exec.failed_attempts,
+                                    },
+                                    Some(run.prediction),
+                                    Some(latency),
+                                )
+                            }
+                        }
+                        None => {
+                            ns.fallback += 1;
+                            (DeliveryStatus::Fallback, None, Some(latency))
+                        }
+                    }
+                }
+            };
+            if let Some(lat) = latency_ns {
+                shard_latency[p.shard].record(lat);
+                pcount_telemetry::histogram(slo::FLEET_REQUEST_LATENCY).record(lat);
+            }
+            pcount_telemetry::histogram(slo::FLEET_QUEUE_DEPTH).record(p.depth_after as u64);
+            // Fusion is judged against the quarantine state at delivery
+            // time; the health update below only affects later frames.
+            let was_quarantined = ns.quarantined;
+            let mut fused = false;
+            let new_contrib = match prediction {
+                Some(pred) => {
+                    let est = ns.voter.push(pred);
+                    ns.last_good = Some(est);
+                    if was_quarantined {
+                        ns.quarantined_frames += 1;
+                        ns.contrib
+                    } else {
+                        fused = true;
+                        ns.fused += 1;
+                        est
+                    }
+                }
+                None => {
+                    let est = ns.voter.push_missing().or(ns.last_good).unwrap_or(0);
+                    if status.executed() && was_quarantined {
+                        ns.quarantined_frames += 1;
+                    }
+                    if was_quarantined {
+                        // Quarantined rooms hold their last trusted value.
+                        ns.contrib
+                    } else {
+                        est
+                    }
+                }
+            };
+            if new_contrib != ns.contrib {
+                room_totals[p.room] = room_totals[p.room] - ns.contrib + new_contrib;
+                building = building - ns.contrib + new_contrib;
+                ns.contrib = new_contrib;
+                changes.push(OccupancyChange {
+                    seq: i as u64,
+                    room: p.room as u32,
+                    room_count: room_totals[p.room] as u32,
+                    building: building as u32,
+                });
+            }
+            // Health accounting: only node-caused outcomes move the
+            // detector (shed/downsampled frames are the service's doing).
+            let health_sample = match status {
+                DeliveryStatus::Gap => Some(1u8),
+                DeliveryStatus::Fallback => Some(2u8),
+                DeliveryStatus::Ok | DeliveryStatus::Recovered { .. } => Some(0u8),
+                DeliveryStatus::Shed | DeliveryStatus::Downsampled => None,
+            };
+            if let Some(sample) = health_sample {
+                if ns.quarantined {
+                    if sample == 0 {
+                        ns.clean_streak += 1;
+                        if ns.clean_streak >= cfg.readmit_after {
+                            ns.quarantined = false;
+                            ns.readmissions += 1;
+                            ns.clean_streak = 0;
+                            ns.window.clear();
+                        }
+                    } else {
+                        ns.clean_streak = 0;
+                    }
+                } else {
+                    ns.window.push_back(sample);
+                    if ns.window.len() > cfg.health_window {
+                        ns.window.pop_front();
+                    }
+                    if ns.window.len() == cfg.health_window {
+                        let snapshot = ns.window_snapshot(budget);
+                        if snapshot.error_budget_burn_milli >= cfg.quarantine_burn_milli {
+                            ns.quarantined = true;
+                            ns.trips += 1;
+                            ns.clean_streak = 0;
+                            ns.window.clear();
+                        }
+                    }
+                }
+            }
+            deliveries.push(Delivery {
+                msg: p.msg,
+                room: p.room,
+                shard: p.shard,
+                status,
+                queue_depth_after: p.depth_after,
+                latency_ns,
+                quarantined: was_quarantined,
+                fused,
+            });
+        }
+        self.reports(
+            states,
+            sims,
+            shard_latency,
+            deliveries,
+            changes,
+            room_totals,
+        )
+    }
+
+    /// Assembles node/shard/fleet reports and mirrors the run's totals
+    /// into the global `fleet/*` telemetry instruments.
+    #[allow(clippy::too_many_arguments)]
+    fn reports(
+        &self,
+        states: Vec<NodeState>,
+        sims: &mut [ShardSim],
+        shard_latency: Vec<HistogramCounts>,
+        deliveries: Vec<Delivery>,
+        changes: Vec<OccupancyChange>,
+        room_totals: Vec<usize>,
+    ) -> FleetReport {
+        let cfg = &self.cfg;
+        let budget = &cfg.resilience.error_budget;
+        let node_reports: Vec<NodeReport> = self
+            .nodes
+            .iter()
+            .zip(states.iter())
+            .map(|(node, ns)| NodeReport {
+                node: node.id,
+                room: node.room,
+                shard: node.shard,
+                deliveries: ns.deliveries,
+                gaps: ns.gaps,
+                shed: ns.shed,
+                downsampled: ns.downsampled,
+                ok: ns.ok,
+                recovered: ns.recovered,
+                fallback: ns.fallback,
+                fused: ns.fused,
+                quarantined_frames: ns.quarantined_frames,
+                quarantine_trips: ns.trips,
+                readmissions: ns.readmissions,
+                retries: ns.retries,
+                cpu_resets: ns.cpu_resets,
+                burn_milli: budget.burn_milli(ns.degraded(), ns.deliveries),
+                slo: ns.run_snapshot(budget),
+            })
+            .collect();
+        let shard_reports: Vec<ShardReport> = (0..cfg.shards)
+            .map(|shard| {
+                let members: Vec<&NodeState> = self
+                    .nodes
+                    .iter()
+                    .zip(states.iter())
+                    .filter(|(n, _)| n.shard == shard)
+                    .map(|(_, s)| s)
+                    .collect();
+                // The shard SLO is the associative fold of its nodes'
+                // snapshots; the burn pools every node's frames so a big
+                // healthy node cannot mask a small sick one.
+                let slo = members.iter().fold(SloSnapshot::default(), |acc, s| {
+                    acc.merge(&s.run_snapshot(budget))
+                });
+                let burn_milli =
+                    budget.burn_milli_total(members.iter().map(|s| (s.degraded(), s.deliveries)));
+                let sim = &sims[shard];
+                ShardReport {
+                    shard,
+                    nodes: members.len(),
+                    queue_depth_peak: sim.peak_depth as u64,
+                    queue_depth: sim.depth_counts.summarize(),
+                    latency: shard_latency[shard].summarize(),
+                    latency_counts: shard_latency[shard].clone(),
+                    burn_milli,
+                    slo,
+                }
+            })
+            .collect();
+        let totals = ServeTotals {
+            requests: states.iter().map(|s| s.deliveries - s.gaps).sum(),
+            admitted: states.iter().map(|s| s.admitted()).sum(),
+            shed: states.iter().map(|s| s.shed).sum(),
+            downsampled: states.iter().map(|s| s.downsampled).sum(),
+            gaps: states.iter().map(|s| s.gaps).sum(),
+            fused: states.iter().map(|s| s.fused).sum(),
+            quarantined_frames: states.iter().map(|s| s.quarantined_frames).sum(),
+            quarantine_trips: states.iter().map(|s| s.trips).sum(),
+            readmissions: states.iter().map(|s| s.readmissions).sum(),
+        };
+        for (name, value) in totals.as_counters() {
+            if value > 0 {
+                pcount_telemetry::counter(name).add(value);
+            }
+        }
+        let queue_depth_peak = sims.iter().map(|s| s.peak_depth).max().unwrap_or(0) as u64;
+        let worst_burn = shard_reports
+            .iter()
+            .map(|s| s.burn_milli)
+            .max()
+            .unwrap_or(0);
+        pcount_telemetry::gauge(slo::FLEET_QUEUE_DEPTH_PEAK).set(queue_depth_peak as i64);
+        pcount_telemetry::gauge(slo::FLEET_ERROR_BUDGET_BURN).set(worst_burn);
+        let latency_counts = shard_latency
+            .iter()
+            .fold(HistogramCounts::empty(), |acc, c| acc.merge(c));
+        let queue_depth_counts = sims.iter().fold(HistogramCounts::empty(), |acc, s| {
+            acc.merge(&s.depth_counts)
+        });
+        let occupancy =
+            OccupancyTrajectory::new(changes, room_totals.iter().map(|&r| r as u32).collect());
+        FleetReport {
+            nodes: cfg.nodes,
+            rooms: cfg.rooms,
+            shards: cfg.shards,
+            per_frame_ns: self.per_frame_ns,
+            totals,
+            latency: latency_counts.summarize(),
+            latency_counts,
+            queue_depth: queue_depth_counts.summarize(),
+            queue_depth_peak,
+            worst_shard_burn_milli: worst_burn,
+            shard_reports,
+            node_reports,
+            deliveries,
+            occupancy,
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Backpressure and quarantine invariants of the serving front-end:
+//! the bounded queue never exceeds its cap, every offered frame is
+//! disposed of exactly once, and a quarantined node's frames never reach
+//! fusion until readmission.
+
+mod common;
+
+use pcount_fleet::{DeliveryStatus, FleetConfig, FleetService};
+
+fn service(cfg: FleetConfig) -> FleetService {
+    FleetService::new(common::tiny_deployment(31), cfg, &common::tiny_dataset()).expect("fleet")
+}
+
+/// A config that drives the shards far past saturation: the virtual
+/// service clock is so slow that almost every frame of the burst faces a
+/// full queue.
+fn saturating_cfg() -> FleetConfig {
+    FleetConfig {
+        service_clock_hz: 2_000_000,
+        queue_cap: 6,
+        batch_max: 2,
+        high_watermark: 4,
+        low_watermark: 1,
+        ..common::small_cfg()
+    }
+}
+
+#[test]
+fn bounded_queue_never_exceeds_its_cap() {
+    let svc = service(saturating_cfg());
+    let mut pool = svc.make_pool(2).expect("pool");
+    let report = svc.run(&mut pool);
+    let cap = svc.config().queue_cap;
+    for d in &report.deliveries {
+        assert!(
+            d.queue_depth_after <= cap,
+            "node {} seq {}: depth {} > cap {cap}",
+            d.msg.node,
+            d.msg.seq,
+            d.queue_depth_after
+        );
+    }
+    assert_eq!(
+        report.queue_depth_peak as usize, cap,
+        "saturation reached the cap"
+    );
+    assert!(report.totals.shed > 0, "saturated fleet must shed");
+    assert!(
+        report.totals.downsampled > 0,
+        "throttled nodes must downsample under sustained overload"
+    );
+}
+
+#[test]
+fn every_offered_frame_is_counted_exactly_once() {
+    let svc = service(saturating_cfg());
+    let mut pool = svc.make_pool(2).expect("pool");
+    let report = svc.run(&mut pool);
+    assert!(report.conservation_holds());
+    // Recount the delivery log independently of the fold's accounting.
+    let count = |f: &dyn Fn(DeliveryStatus) -> bool| -> u64 {
+        report.deliveries.iter().filter(|d| f(d.status)).count() as u64
+    };
+    let gaps = count(&|s| s == DeliveryStatus::Gap);
+    let shed = count(&|s| s == DeliveryStatus::Shed);
+    let down = count(&|s| s == DeliveryStatus::Downsampled);
+    let executed = count(&|s| s.executed());
+    assert_eq!(report.totals.gaps, gaps);
+    assert_eq!(report.totals.shed, shed);
+    assert_eq!(report.totals.downsampled, down);
+    assert_eq!(report.totals.admitted, executed);
+    assert_eq!(
+        report.totals.requests,
+        shed + down + executed,
+        "every request is shed, downsampled or executed — exactly once"
+    );
+    assert_eq!(
+        report.deliveries.len() as u64,
+        report.totals.requests + gaps
+    );
+    // The same identities hold per node (no cross-node leakage).
+    for n in &report.node_reports {
+        assert_eq!(
+            n.deliveries,
+            n.gaps + n.shed + n.downsampled + n.ok + n.recovered + n.fallback
+        );
+    }
+}
+
+/// A config whose chaos reliably trips the sick-node detector: heavy
+/// gaps and unrecoverable stalls against a tight window.
+fn quarantining_cfg() -> FleetConfig {
+    FleetConfig {
+        fault_intensity: 0.55,
+        health_window: 3,
+        quarantine_burn_milli: 4_000,
+        readmit_after: 2,
+        frames_per_node: 12,
+        ..common::small_cfg()
+    }
+}
+
+#[test]
+fn quarantined_frames_never_reach_fusion_until_readmission() {
+    let svc = service(quarantining_cfg());
+    let mut pool = svc.make_pool(4).expect("pool");
+    let report = svc.run(&mut pool);
+    assert!(
+        report.totals.quarantine_trips > 0,
+        "this chaos level must quarantine at least one node"
+    );
+    // The core invariant, over every delivery of the run.
+    for d in &report.deliveries {
+        assert!(
+            !(d.quarantined && d.fused),
+            "node {} seq {} fused while quarantined",
+            d.msg.node,
+            d.msg.seq
+        );
+    }
+    // Stronger: the room estimates never moved on a quarantined node's
+    // delivery — change points only reference un-quarantined deliveries.
+    for c in &report.occupancy.changes {
+        let d = &report.deliveries[c.seq as usize];
+        assert!(
+            !d.quarantined,
+            "occupancy changed at seq {} during quarantine of node {}",
+            c.seq, d.msg.node
+        );
+    }
+    // Readmission really resumes fusion: a readmitted node fuses again
+    // after its quarantine window.
+    if let Some(n) = report
+        .node_reports
+        .iter()
+        .find(|n| n.readmissions > 0 && n.fused > 0)
+    {
+        let seqs: Vec<(bool, bool)> = report
+            .deliveries
+            .iter()
+            .filter(|d| d.msg.node == n.node)
+            .map(|d| (d.quarantined, d.fused))
+            .collect();
+        let last_quarantined = seqs.iter().rposition(|&(q, _)| q).expect("was quarantined");
+        assert!(
+            seqs[last_quarantined..].iter().any(|&(_, fused)| fused),
+            "node {} never fused again after readmission",
+            n.node
+        );
+    }
+    assert!(report.conservation_holds());
+}
+
+#[test]
+fn watermark_hysteresis_throttles_and_releases() {
+    let svc = service(saturating_cfg());
+    let mut pool = svc.make_pool(2).expect("pool");
+    let report = svc.run(&mut pool);
+    // Downsampling only ever happens at or past the high watermark —
+    // sampled depths at downsample decisions stay in the throttled band.
+    let low = svc.config().low_watermark;
+    for d in report
+        .deliveries
+        .iter()
+        .filter(|d| d.status == DeliveryStatus::Downsampled)
+    {
+        assert!(
+            d.queue_depth_after > low,
+            "node {} downsampled below the release watermark (depth {})",
+            d.msg.node,
+            d.queue_depth_after
+        );
+    }
+}

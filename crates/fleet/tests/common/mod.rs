@@ -1,0 +1,72 @@
+//! Shared fixtures of the fleet suites: a small trained INT8 deployment
+//! and a compact fleet configuration that still exercises every front-end
+//! path (admission, backpressure, quarantine) in seconds.
+
+use pcount_dataset::{DatasetConfig, IrDataset};
+use pcount_fleet::FleetConfig;
+use pcount_kernels::{Deployment, Target};
+use pcount_nn::{CnnConfig, TrainConfig};
+use pcount_quant::{fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn};
+use pcount_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small trained + quantised CNN deployed for the MAUPITI target.
+pub fn tiny_deployment(seed: u64) -> Deployment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 48;
+    let mut x = Tensor::zeros(&[n, 1, 8, 8]);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = rng.gen_range(0..4usize);
+        x.set(&[i, 0, 2 + class, 3], 3.0);
+        for h in 0..8 {
+            for w in 0..8 {
+                let v = x.at(&[i, 0, h, w]) + rng.gen_range(-0.2..0.2);
+                x.set(&[i, 0, h, w], v);
+            }
+        }
+        y.push(class);
+    }
+    let cfg = CnnConfig::seed().with_channels(6, 6, 12);
+    let mut net = cfg.build(&mut rng);
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 12,
+        learning_rate: 2e-3,
+        weight_decay: 0.0,
+        verbose: false,
+    };
+    let _ = pcount_nn::train_classifier(&mut net, &x, &y, &tc, &mut rng);
+    let folded = fold_sequential(cfg, &net).expect("fold");
+    let mut qat = QatCnn::from_folded(&folded, PrecisionAssignment::uniform(Precision::Int8));
+    qat.calibrate(&x);
+    let model = QuantizedCnn::from_qat(&qat);
+    Deployment::new(&model, Target::Maupiti).expect("deploy")
+}
+
+/// The synthetic LINAIGE-like dataset the nodes replay.
+pub fn tiny_dataset() -> IrDataset {
+    IrDataset::generate(&DatasetConfig::tiny(), 77)
+}
+
+/// A compact fleet: 24 nodes over 6 rooms on 2 shards, short windows.
+pub fn small_cfg() -> FleetConfig {
+    FleetConfig {
+        nodes: 24,
+        rooms: 6,
+        shards: 2,
+        frames_per_node: 8,
+        fault_intensity: 0.15,
+        clock_skew_max_ms: 120,
+        queue_cap: 16,
+        batch_max: 4,
+        high_watermark: 10,
+        low_watermark: 4,
+        health_window: 4,
+        quarantine_burn_milli: 5_000,
+        readmit_after: 3,
+        seed: 11,
+        ..FleetConfig::default()
+    }
+}

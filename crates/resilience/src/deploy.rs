@@ -224,12 +224,19 @@ enum Planned {
     Run(Option<StallFault>),
 }
 
-/// Raw execution result of one tick's attempt loop.
+/// Raw execution result of one frame's attempt loop
+/// ([`ResilientDeployment::attempt_frame`]), before the serial fold turns
+/// it into a [`FrameOutcome`]. Public so higher layers (the fleet serving
+/// simulation) can reuse the supervised attempt loop per admitted frame
+/// and do their own folding.
 #[derive(Debug, Clone)]
-struct TickExec {
-    run: Option<InferenceRun>,
-    failed_attempts: u32,
-    wasted_cycles: u64,
+pub struct AttemptOutcome {
+    /// The successful inference, if any attempt succeeded.
+    pub run: Option<InferenceRun>,
+    /// Attempts that faulted (each forced a pooled-CPU restore).
+    pub failed_attempts: u32,
+    /// Simulated cycles burned by the faulted attempts.
+    pub wasted_cycles: u64,
 }
 
 /// A [`Deployment`] wrapped in the resilience supervisor.
@@ -317,9 +324,9 @@ impl ResilientDeployment {
         stream: &FaultyStream,
         planned: &[Planned],
         pool: &mut CpuPool,
-    ) -> Vec<Option<TickExec>> {
+    ) -> Vec<Option<AttemptOutcome>> {
         let n = stream.ticks.len();
-        let mut out: Vec<Option<TickExec>> = (0..n).map(|_| None).collect();
+        let mut out: Vec<Option<AttemptOutcome>> = (0..n).map(|_| None).collect();
         if n == 0 {
             return out;
         }
@@ -338,7 +345,7 @@ impl ResilientDeployment {
                             .frame
                             .as_deref()
                             .expect("Run ticks carry data");
-                        Some(self.attempt_loop(cpu, base, frame, stall))
+                        Some(self.attempt_frame(cpu, base, frame, stall))
                     }
                 };
                 // SAFETY: worker ranges are disjoint by construction, so
@@ -350,18 +357,21 @@ impl ResilientDeployment {
         out
     }
 
-    /// One tick's attempt loop on one pooled CPU. The CPU is restored
+    /// One frame's attempt loop on one pooled CPU. The CPU is restored
     /// from `base` before *every* attempt — a faulted attempt leaves a
     /// torn memory image and mid-program PC behind, and even a successful
     /// one leaves the CPU halted — so no architectural state ever leaks
-    /// between attempts or ticks.
-    fn attempt_loop(
+    /// between attempts or frames. The result is a pure function of
+    /// `(frame, stall)` and the retry policy: callers (including the
+    /// fleet serving layer) may run many of these in parallel on disjoint
+    /// pool slots and still fold deterministically.
+    pub fn attempt_frame(
         &self,
         cpu: &mut Cpu,
         base: &Cpu,
         frame: &[f32],
         stall: Option<StallFault>,
-    ) -> TickExec {
+    ) -> AttemptOutcome {
         let attempts_allowed = self.cfg.retry.attempts_allowed();
         let mut failed_attempts = 0u32;
         let mut wasted_cycles = 0u64;
@@ -374,7 +384,7 @@ impl ResilientDeployment {
             let before = cpu.cycles;
             match self.inner.run_frame_with_budget(cpu, frame, budget) {
                 Ok(run) => {
-                    return TickExec {
+                    return AttemptOutcome {
                         run: Some(run),
                         failed_attempts,
                         wasted_cycles,
@@ -386,7 +396,7 @@ impl ResilientDeployment {
                 }
             }
         }
-        TickExec {
+        AttemptOutcome {
             run: None,
             failed_attempts,
             wasted_cycles,
@@ -400,7 +410,7 @@ impl ResilientDeployment {
         &self,
         stream: &FaultyStream,
         planned: &[Planned],
-        execs: Vec<Option<TickExec>>,
+        execs: Vec<Option<AttemptOutcome>>,
         planned_trips: usize,
         baseline: &SloBaseline,
     ) -> StreamReport {
@@ -512,8 +522,10 @@ impl ResilientDeployment {
 
     /// Total virtual backoff of `retries` retry waits on tick `i`:
     /// exponential from the base, capped, with deterministic per-attempt
-    /// jitter — recorded in simulated time, never slept.
-    fn total_backoff_ms(&self, tick: usize, retries: u32) -> u64 {
+    /// jitter — recorded in simulated time, never slept. Public so the
+    /// fleet layer can charge the same deterministic backoff to frames it
+    /// retried through [`Self::attempt_frame`].
+    pub fn total_backoff_ms(&self, tick: usize, retries: u32) -> u64 {
         let policy = &self.cfg.retry;
         let mut total = 0u64;
         for attempt in 1..=retries {

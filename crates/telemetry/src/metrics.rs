@@ -249,8 +249,10 @@ impl Histogram {
 }
 
 /// A merged, point-in-time copy of a histogram's bucket counts. Obtained
-/// from [`Histogram::counts`]; subtracting two snapshots yields the
-/// distribution of one measurement window.
+/// from [`Histogram::counts`] (or built up value-by-value with
+/// [`HistogramCounts::record`]); subtracting two snapshots yields the
+/// distribution of one measurement window, and adding two
+/// ([`HistogramCounts::merge`]) folds independent windows into one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramCounts {
     buckets: Vec<u64>,
@@ -258,7 +260,56 @@ pub struct HistogramCounts {
     max: u64,
 }
 
+impl Default for HistogramCounts {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl HistogramCounts {
+    /// An empty distribution (no recorded values). The identity element of
+    /// [`HistogramCounts::merge`].
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0u64; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value into this local (non-atomic) distribution. The
+    /// same bucketing as [`Histogram::record`], but without touching the
+    /// global registry — used by callers that keep per-entity (per-node,
+    /// per-shard) distributions and fold them later with
+    /// [`HistogramCounts::merge`].
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The bucket-wise sum `self + other`: the distribution of the union
+    /// of both windows. Associative and commutative (bucket counts and
+    /// sums are plain integer additions, the max is a max), so folding any
+    /// number of windows gives the same result in any order.
+    pub fn merge(&self, other: &HistogramCounts) -> HistogramCounts {
+        HistogramCounts {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(other.buckets.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            sum: self.sum.wrapping_add(other.sum),
+            max: self.max.max(other.max),
+        }
+    }
+
     /// The bucket-wise difference `self - baseline` (saturating, so a
     /// racing increment during the snapshot can never underflow).
     pub fn diff(&self, baseline: &HistogramCounts) -> HistogramCounts {

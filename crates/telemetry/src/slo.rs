@@ -55,6 +55,60 @@ pub fn slo_counter_names() -> Vec<&'static str> {
     names
 }
 
+// --- Fleet-serving endpoint metrics -----------------------------------
+//
+// The `fleet/*` namespace is the per-endpoint SLO surface of the
+// multi-node serving layer (`pcount-fleet`): request/admission counters,
+// queue instruments and the end-to-end request-latency histogram. The
+// fleet simulation keeps its authoritative (deterministic, per-shard)
+// accounting in its own report and mirrors these global instruments so
+// traces and flow reports see the serving layer next to everything else.
+
+/// Counter: frames offered to the service front-end (requests).
+pub const FLEET_REQUESTS: &str = "fleet/requests";
+/// Counter: requests admitted past admission control into a shard queue.
+pub const FLEET_ADMITTED: &str = "fleet/admitted";
+/// Counter: requests shed by admission control (bounded queue full).
+pub const FLEET_SHED: &str = "fleet/shed";
+/// Counter: frames a backpressured node downsampled at the source.
+pub const FLEET_DOWNSAMPLED: &str = "fleet/downsampled";
+/// Counter: sensor gaps (dropped frames that never reached the service).
+pub const FLEET_GAPS: &str = "fleet/gaps";
+/// Counter: executed frames whose prediction reached room fusion.
+pub const FLEET_FUSED: &str = "fleet/fused_frames";
+/// Counter: executed frames withheld from fusion because their node was
+/// quarantined at delivery time.
+pub const FLEET_QUARANTINED_FRAMES: &str = "fleet/quarantined_frames";
+/// Counter: sick-node quarantine trips.
+pub const FLEET_QUARANTINE_TRIPS: &str = "fleet/quarantine_trips";
+/// Counter: quarantined nodes readmitted after a clean streak.
+pub const FLEET_READMISSIONS: &str = "fleet/readmissions";
+/// Gauge: highest shard-queue depth observed in the most recent run.
+pub const FLEET_QUEUE_DEPTH_PEAK: &str = "fleet/queue_depth_peak";
+/// Gauge: worst per-shard error-budget burn of the most recent run
+/// (milli-units, see [`ErrorBudget`]).
+pub const FLEET_ERROR_BUDGET_BURN: &str = "fleet/error_budget_burn_milli";
+/// Histogram: end-to-end request latency (arrival to completion) in
+/// simulated nanoseconds.
+pub const FLEET_REQUEST_LATENCY: &str = "fleet/request_latency_ns";
+/// Histogram: shard queue depth sampled at every arrival.
+pub const FLEET_QUEUE_DEPTH: &str = "fleet/queue_depth";
+
+/// Every fleet-serving counter name, in canonical export order.
+pub fn fleet_counter_names() -> Vec<&'static str> {
+    vec![
+        FLEET_REQUESTS,
+        FLEET_ADMITTED,
+        FLEET_SHED,
+        FLEET_DOWNSAMPLED,
+        FLEET_GAPS,
+        FLEET_FUSED,
+        FLEET_QUARANTINED_FRAMES,
+        FLEET_QUARANTINE_TRIPS,
+        FLEET_READMISSIONS,
+    ]
+}
+
 /// An error budget: the fraction of frames a stream is allowed to degrade
 /// (fallback or drop) before its SLO is considered spent.
 ///
@@ -82,6 +136,19 @@ impl ErrorBudget {
             return if bad == 0 { 0 } else { i64::MAX };
         }
         (bad as f64 / allowed * 1000.0).round() as i64
+    }
+
+    /// Aggregate burn of many `(bad, total)` windows graded against one
+    /// budget: the windows are pooled (bads and totals summed) before the
+    /// burn is computed, so every frame weighs the same regardless of how
+    /// the windows partition them. This is how a shard folds its nodes'
+    /// windows into one per-shard burn — averaging per-node burns would
+    /// let a large healthy node mask a small sick one.
+    pub fn burn_milli_total<I: IntoIterator<Item = (u64, u64)>>(&self, windows: I) -> i64 {
+        let (bad, total) = windows.into_iter().fold((0u64, 0u64), |(b, t), (wb, wt)| {
+            (b.saturating_add(wb), t.saturating_add(wt))
+        });
+        self.burn_milli(bad, total)
     }
 }
 
@@ -133,11 +200,19 @@ pub struct SloSnapshot {
     pub error_budget_burn_milli: i64,
     /// Recovery-latency distribution of the window (simulated ns).
     pub recovery_latency: HistogramSummary,
+    /// Raw bucket counts behind [`SloSnapshot::recovery_latency`]. Kept so
+    /// snapshots [`merge`](SloSnapshot::merge) exactly: percentiles of a
+    /// union cannot be derived from two summaries, but they can from the
+    /// summed buckets.
+    pub recovery_counts: HistogramCounts,
 }
 
 impl SloSnapshot {
     /// Captures the window since `baseline`.
     pub fn capture_since(baseline: &SloBaseline) -> Self {
+        let recovery_counts = histogram(RECOVERY_LATENCY)
+            .counts()
+            .diff(&baseline.recovery);
         Self {
             counters: baseline
                 .counters
@@ -145,7 +220,42 @@ impl SloSnapshot {
                 .map(|&(name, before)| (name, counter(name).value().saturating_sub(before)))
                 .collect(),
             error_budget_burn_milli: gauge(ERROR_BUDGET_BURN).value(),
-            recovery_latency: histogram(RECOVERY_LATENCY).summary_since(&baseline.recovery),
+            recovery_latency: recovery_counts.summarize(),
+            recovery_counts,
+        }
+    }
+
+    /// Folds two windows into one: counters are summed by name (the union
+    /// of both name sets, in `self`-then-new order), the recovery-latency
+    /// distribution is the bucket-wise sum of both windows (summary
+    /// recomputed from the merged buckets, so merged percentiles are as
+    /// exact as any single capture's), and the budget burn is the **worst**
+    /// of the two — a gauge of the most-degraded window, not an average a
+    /// healthy sibling could dilute. (Pooled cross-window burn is computed
+    /// from raw `(bad, total)` windows via
+    /// [`ErrorBudget::burn_milli_total`], which a summed gauge cannot
+    /// reconstruct.)
+    ///
+    /// Merging is associative and order-independent up to counter order,
+    /// and [`SloSnapshot::default`] is its identity — so shards can fold
+    /// any number of node snapshots in any grouping and agree on every
+    /// number (property-tested in `tests/slo_merge.rs`).
+    pub fn merge(&self, other: &SloSnapshot) -> SloSnapshot {
+        let mut counters = self.counters.clone();
+        for &(name, v) in &other.counters {
+            match counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += v,
+                None => counters.push((name, v)),
+            }
+        }
+        let recovery_counts = self.recovery_counts.merge(&other.recovery_counts);
+        SloSnapshot {
+            counters,
+            error_budget_burn_milli: self
+                .error_budget_burn_milli
+                .max(other.error_budget_burn_milli),
+            recovery_latency: recovery_counts.summarize(),
+            recovery_counts,
         }
     }
 

@@ -16,6 +16,8 @@
 //! * [`platform`] — MAUPITI / IBEX / STM32 cost models (Table I).
 //! * [`resilience`] — deterministic fault injection and the supervised
 //!   streaming deployment (retry/backoff, circuit breaker, hold-last-good).
+//! * [`fleet`] — deterministic multi-node serving layer: node actors,
+//!   sharded fusion, admission control, backpressure and quarantine.
 //! * [`flow`] — the end-to-end optimisation flow (Figs. 5–7).
 //! * [`telemetry`] — tracing, metrics and profiling (`PCOUNT_TRACE`).
 //!
@@ -33,6 +35,7 @@
 
 pub use pcount_core as flow;
 pub use pcount_dataset as dataset;
+pub use pcount_fleet as fleet;
 pub use pcount_isa as isa;
 pub use pcount_kernels as kernels;
 pub use pcount_nas as nas;
