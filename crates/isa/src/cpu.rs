@@ -8,6 +8,7 @@
 //! same architectural results.
 
 use crate::engine::{self, BlockCache, ExecMode};
+use crate::fusion::FusedKind;
 use crate::instr::{decode, BranchOp, Instr, LoadOp, StoreOp};
 use crate::mem_model::{MemModelState, MemStats, MemoryModel};
 use crate::memory::{Memory, IMEM_BASE};
@@ -169,6 +170,43 @@ pub struct Cpu {
     /// Memory-model stall cycles attributed to each block slot,
     /// accumulated across block-cached runs (see [`Cpu::hottest_blocks`]).
     pub(crate) block_mem_stall_counts: Vec<u64>,
+    /// Whether the block-cached engine executes recognised loop idioms as
+    /// fused host loops (see [`Cpu::set_macro_fusion`]).
+    pub(crate) fusion_enabled: bool,
+    /// Fused-loop entries per block slot (one per trace entry that ran the
+    /// fused executor), accumulated across block-cached runs.
+    pub(crate) block_fused_entries: Vec<u64>,
+    /// Loop iterations executed through the fused path per block slot.
+    pub(crate) block_fused_iters: Vec<u64>,
+    /// Pipeline cycles (base + flush + stalls, memory-model stalls
+    /// excluded) charged by the fused path per block slot.
+    pub(crate) block_fused_cycles: Vec<u64>,
+    /// The fused pattern recognised at each block slot, if any.
+    pub(crate) block_fused_kind: Vec<Option<FusedKind>>,
+    /// Bulk-executed fused iterations not yet folded into the
+    /// per-mnemonic trace (drained by `engine::fold_exec_counts` at the
+    /// end of every run, so the hot loop never touches the trace map).
+    pub(crate) block_fused_bulk: Vec<FusedBulk>,
+}
+
+/// Per-slot bulk iteration counters a fused loop accumulates during a
+/// run, folded into the per-mnemonic trace by `engine::fold_exec_counts`
+/// once the run ends. Plain counted loops use `plain` (taken back-edge
+/// iterations); convolution nests count each architectural path
+/// separately so the fold can reconstruct the exact per-mnemonic
+/// multiset.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FusedBulk {
+    /// Taken back-edge iterations of a plain fused loop.
+    pub plain: u64,
+    /// Nest iterations skipped through the left-padding guard.
+    pub nest_skip_lo: u64,
+    /// Nest iterations skipped through the right-padding guard.
+    pub nest_skip_hi: u64,
+    /// Full nest iterations.
+    pub nest_full: u64,
+    /// Extra channel-loop passes inside full nest iterations.
+    pub nest_extra: u64,
 }
 
 /// One entry of the [`Cpu::hottest_blocks`] trace-cache profile.
@@ -184,6 +222,19 @@ pub struct HotBlock {
     /// (zero under [`MemoryModel::Flat`]) — the "why is this block
     /// expensive" column of the hot-trace report.
     pub mem_stall_cycles: u64,
+    /// Name of the fused loop idiom recognised at this trace
+    /// (`"mac_sdotp8"`, `"mac_sdotp4"`, `"memset"`, `"memcpy"`,
+    /// `"strided_copy"`), or `None` when the trace was never executed
+    /// through the fused path.
+    pub fused_kind: Option<&'static str>,
+    /// Trace entries that ran the fused loop executor.
+    pub fused_entries: u64,
+    /// Loop iterations executed through the fused path.
+    pub fused_iterations: u64,
+    /// Pipeline cycles (base + flush + stall) the fused path charged for
+    /// those iterations; memory-model stalls stay in
+    /// [`HotBlock::mem_stall_cycles`].
+    pub fused_cycles: u64,
 }
 
 /// Serialises a [`Cpu::hottest_blocks`] profile as a JSON array (one
@@ -195,9 +246,20 @@ pub fn hot_blocks_json(blocks: &[HotBlock]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let fused_kind = match b.fused_kind {
+            Some(kind) => format!("\"{kind}\""),
+            None => String::from("null"),
+        };
         out.push_str(&format!(
-            "{{\"entry_pc\":\"{:#010x}\",\"executions\":{},\"instructions\":{},\"mem_stall_cycles\":{}}}",
-            b.entry_pc, b.executions, b.instructions, b.mem_stall_cycles
+            "{{\"entry_pc\":\"{:#010x}\",\"executions\":{},\"instructions\":{},\"mem_stall_cycles\":{},\"fused_kind\":{},\"fused_entries\":{},\"fused_iterations\":{},\"fused_cycles\":{}}}",
+            b.entry_pc,
+            b.executions,
+            b.instructions,
+            b.mem_stall_cycles,
+            fused_kind,
+            b.fused_entries,
+            b.fused_iterations,
+            b.fused_cycles
         ));
     }
     out.push(']');
@@ -241,6 +303,12 @@ impl Cpu {
             mem_state: MemModelState::default(),
             mem_stats: MemStats::default(),
             block_mem_stall_counts: Vec::new(),
+            fusion_enabled: true,
+            block_fused_entries: Vec::new(),
+            block_fused_iters: Vec::new(),
+            block_fused_cycles: Vec::new(),
+            block_fused_kind: Vec::new(),
+            block_fused_bulk: Vec::new(),
         }
     }
 
@@ -344,27 +412,47 @@ impl Cpu {
         self.chain_enabled = enabled;
     }
 
+    /// Whether the block-cached engine executes recognised loop idioms
+    /// (SDOTP MAC reductions, memset, memcpy, strided copies) as fused
+    /// host loops (enabled by default).
+    pub fn macro_fusion(&self) -> bool {
+        self.fusion_enabled
+    }
+
+    /// Enables or disables macro-op fusion. Architectural results —
+    /// registers, memory, instret, cycles, stall breakdowns, traces and
+    /// faults — are bit-identical either way; fusion only replaces
+    /// per-instruction dispatch of recognised loops with one bulk host
+    /// loop per trace entry. The throughput bench flips this to measure
+    /// the fusion speedup.
+    pub fn set_macro_fusion(&mut self, enabled: bool) {
+        self.fusion_enabled = enabled;
+    }
+
+    /// Builder-style variant of [`Cpu::set_macro_fusion`].
+    pub fn with_macro_fusion(mut self, enabled: bool) -> Self {
+        self.set_macro_fusion(enabled);
+        self
+    }
+
     /// The `n` hottest superblock traces executed by this CPU under
     /// [`ExecMode::BlockCached`], ordered by retired instructions
     /// (descending, then by entry address). Counts accumulate across runs
     /// and reset on [`Cpu::load_program`]; runs cut short mid-trace by a
     /// budget or fault only count their completed trace executions.
     pub fn hottest_blocks(&self, n: usize) -> Vec<HotBlock> {
-        let mut hot: Vec<HotBlock> = self
-            .block_exec_counts
-            .iter()
-            .zip(self.block_instr_counts.iter())
-            .zip(self.block_mem_stall_counts.iter())
-            .enumerate()
-            .filter(|&(_, ((&execs, _), _))| execs > 0)
-            .map(
-                |(slot, ((&executions, &instructions), &mem_stall_cycles))| HotBlock {
-                    entry_pc: IMEM_BASE + 4 * slot as u32,
-                    executions,
-                    instructions,
-                    mem_stall_cycles,
-                },
-            )
+        let mut hot: Vec<HotBlock> = (0..self.block_exec_counts.len())
+            .filter(|&slot| self.block_exec_counts[slot] > 0)
+            .map(|slot| HotBlock {
+                entry_pc: IMEM_BASE + 4 * slot as u32,
+                executions: self.block_exec_counts[slot],
+                instructions: self.block_instr_counts[slot],
+                mem_stall_cycles: self.block_mem_stall_counts[slot],
+                fused_kind: self.block_fused_kind[slot].map(FusedKind::name),
+                fused_entries: self.block_fused_entries[slot],
+                fused_iterations: self.block_fused_iters[slot],
+                fused_cycles: self.block_fused_cycles[slot],
+            })
             .collect();
         hot.sort_by(|a, b| {
             b.instructions
@@ -373,6 +461,32 @@ impl Cpu {
         });
         hot.truncate(n);
         hot
+    }
+
+    /// Aggregated macro-op fusion hit counts, one `(pattern name,
+    /// fused trace entries, fused loop iterations)` triple per fused
+    /// loop idiom observed since the last [`Cpu::load_program`], sorted
+    /// by pattern name. Empty when fusion never fired (fusion disabled,
+    /// `Simple` engine, or no recognisable loops).
+    pub fn fusion_profile(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut agg: Vec<(&'static str, u64, u64)> = Vec::new();
+        for slot in 0..self.block_fused_kind.len() {
+            let Some(kind) = self.block_fused_kind[slot] else {
+                continue;
+            };
+            let name = kind.name();
+            let entries = self.block_fused_entries[slot];
+            let iters = self.block_fused_iters[slot];
+            match agg.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(row) => {
+                    row.1 += entries;
+                    row.2 += iters;
+                }
+                None => agg.push((name, entries, iters)),
+            }
+        }
+        agg.sort_by_key(|&(name, _, _)| name);
+        agg
     }
 
     /// Encodes `program` and loads it at the start of instruction memory,
@@ -414,6 +528,11 @@ impl Cpu {
         self.block_exec_counts = Vec::new();
         self.block_instr_counts = Vec::new();
         self.block_mem_stall_counts = Vec::new();
+        self.block_fused_entries = Vec::new();
+        self.block_fused_iters = Vec::new();
+        self.block_fused_cycles = Vec::new();
+        self.block_fused_kind = Vec::new();
+        self.block_fused_bulk = Vec::new();
         self.pipeline.reset();
         self.mem_state.reset();
         self.mem_stats = MemStats::default();
@@ -450,6 +569,7 @@ impl Cpu {
         self.trace = base.trace.clone();
         self.mode = base.mode;
         self.chain_enabled = base.chain_enabled;
+        self.fusion_enabled = base.fusion_enabled;
         self.mem_model = base.mem_model;
         self.mem_state = base.mem_state;
         self.mem_stats = base.mem_stats;

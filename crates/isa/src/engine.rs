@@ -218,6 +218,7 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     let mut memo: Option<(u32, usize, Arc<Block>)> = None;
     let mut fault: Option<SimError> = None;
     let chaining = cpu.chain_enabled;
+    let fusion = cpu.fusion_enabled;
     // Memory-hierarchy model: `None` for the flat (free) model, so the
     // dispatch loop pays one branch per trace execution. Under the
     // Maupiti model, every retired prefix is charged in one
@@ -229,6 +230,13 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
     };
     let mut mem_state = cpu.mem_state;
     let mut mem_stats = MemStats::default();
+    // Memory-model charge base for the current trace execution:
+    // positions [0, mem_base) were already charged in bulk by a
+    // mid-trace fused loop, so the segment-convention handlers charge
+    // [mem_base, exit) instead of the whole prefix. Reset per dispatch
+    // and per self-loop re-entry. Declared here so `charge_mem!` can see
+    // it across macro hygiene.
+    let mut mem_base;
     // Accounting state is allocated on first block-cached use, so CPUs that
     // only ever run the reference interpreter (and the pristine CPU a
     // deployment clones per inference) carry nothing to copy.
@@ -239,12 +247,19 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
         cpu.block_exec_counts = vec![0; slots];
         cpu.block_instr_counts = vec![0; slots];
         cpu.block_mem_stall_counts = vec![0; slots];
+        cpu.block_fused_entries = vec![0; slots];
+        cpu.block_fused_iters = vec![0; slots];
+        cpu.block_fused_cycles = vec![0; slots];
+        cpu.block_fused_kind = vec![None; slots];
+        cpu.block_fused_bulk = vec![crate::cpu::FusedBulk::default(); slots];
     }
 
-    // Charges the memory model for the retired prefix of the current
-    // trace ([0, $n)) and attributes the stall cycles to the trace's
-    // profile slot. `$exit_redirect` marks a taken side exit ending the
-    // prefix. A no-op under the flat model.
+    // Charges the memory model for the retired segment [mem_base, $n) of
+    // the current trace execution and attributes the stall cycles to the
+    // trace's profile slot. `mem_base` is 0 except after a mid-trace
+    // fused loop ran, which charges everything before its final
+    // iteration in bulk. `$exit_redirect` marks a taken side exit ending
+    // the segment. A no-op under the flat model.
     macro_rules! charge_mem {
         ($block:expr, $slot:expr, $n:expr, $exit_redirect:expr) => {
             if let Some(cfg) = &maupiti {
@@ -252,6 +267,7 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                     cfg,
                     &$block.mem_prefix,
                     &$block.redirects,
+                    mem_base,
                     $n,
                     $exit_redirect,
                     &mut mem_stats,
@@ -331,6 +347,31 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
         let len = block.instrs.len();
         let entry = block.entry_pc;
         let end_exit = block.exits.len() - 1;
+        // Trace position the per-instruction pass resumes from: nonzero
+        // only right after a fused loop ran, so the pass continues past
+        // (or, on a declined/partial run, from) the loop head.
+        let mut start = 0usize;
+        mem_base = 0;
+        // The fused op this trace execution may run: the recognised op,
+        // except that a convolution nest is swapped for its embedded
+        // channel loop under the Maupiti model — the nest's bulk
+        // accounting cannot reproduce the model's order-sensitive
+        // per-iteration charges, while the plain loop's `charge_loop`
+        // path can.
+        let active_fused: Option<&crate::fusion::FusedOp> = match &block.fused {
+            Some(f) if fusion => {
+                if f.kind == crate::fusion::FusedKind::ConvNest && maupiti.is_some() {
+                    block.fused_inner.as_ref()
+                } else {
+                    Some(f)
+                }
+            }
+            _ => None,
+        };
+        // Macro-op fusion gets one shot per trace execution: the pass
+        // pauses when it reaches the recognised loop head, the fused
+        // executor runs the whole loop, and the pass resumes past it.
+        let mut fused_armed = active_fused.is_some();
         // Tight loops (side or end exits back to the trace entry) re-enter
         // here without another dispatch.
         loop {
@@ -341,10 +382,17 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 len
             };
             let full = n == len;
+            // Pause point for macro-op fusion: stop the pass at the loop
+            // head so the recognised loop can run fused.
+            let stop = match active_fused {
+                Some(f) if fused_armed && f.start < n => f.start,
+                _ => n,
+            };
             let mut ctrl_next = block.cont_pc;
             let mut mem_fault: Option<(usize, u32)> = None;
             let mut side_exit: Option<(usize, u16)> = None;
-            for (i, d) in block.instrs[..n].iter().enumerate() {
+            for (i, d) in block.instrs[start..stop].iter().enumerate() {
+                let i = i + start;
                 let mut cost = d.base_cycles as u64;
                 let prev_load_dest = load_dest;
                 let mut stall = 0u64;
@@ -556,6 +604,9 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 cycles += cost;
                 stalls += stall;
             }
+            // Resume offsets apply to exactly one pass; the handlers below
+            // account whole prefixes from 0 by convention.
+            start = 0;
 
             if let Some((i, addr)) = mem_fault {
                 // The faulting instruction counts as issued (it was traced
@@ -581,8 +632,12 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 // prefetch-buffer miss.
                 charge_mem!(block, slot, i + 1, true);
                 // Self-loop fast path: the exit jumped back to this trace's
-                // entry, so re-enter without another dispatch.
+                // entry, so re-enter without another dispatch. The re-entry
+                // is a fresh trace execution: re-arm the fused loop and
+                // restart the memory-model charge range.
                 if ctrl_next == entry && executed < max_instructions && !cpu.halted {
+                    fused_armed = active_fused.is_some();
+                    mem_base = 0;
                     continue;
                 }
                 cpu.pc = ctrl_next;
@@ -591,6 +646,145 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                     chain_to!(block, ordinal as usize, ctrl_next);
                 }
                 continue 'dispatch;
+            }
+
+            // The pass paused at the head of the recognised loop: execute
+            // the whole loop as one host loop and bulk-charge every cost
+            // stream. The fused executor advances registers and memory
+            // for `iters` iterations; taken back-edges (`taken`) are
+            // accounted directly here — instret, per-mnemonic trace,
+            // per-block attribution, pipeline and memory-model costs —
+            // while the final fall-through iteration only has its
+            // *cycles* charged here: its instret/trace/memory accounting
+            // flows through the ordinary segment-convention handlers when
+            // the pass resumes past the back edge. A `None` from
+            // `execute` (an access would leave data memory, or no budget
+            // for even one iteration) falls back to the per-instruction
+            // path, which reproduces the exact fault or timeout.
+            if stop < n {
+                fused_armed = false;
+                let f = active_fused.expect("paused only at a fused loop");
+                // The convolution nest runs whole kernel-x iterations and
+                // bulk-charges each one's precomputed path costs. Stopping
+                // is always at an iteration boundary with the head's
+                // budget share (`f.start` instructions) reserved, so the
+                // per-instruction pass resumed at the head reproduces the
+                // final guard exit, a mid-iteration timeout or a faulting
+                // access exactly. Never reached under Maupiti (the nest
+                // is swapped for its inner loop there).
+                if f.kind == crate::fusion::FusedKind::ConvNest {
+                    let budget = (max_instructions - executed).saturating_sub(f.start as u64);
+                    let out = f.execute_nest(&mut cpu.regs, &mut cpu.mem, budget);
+                    let iters = out.iters();
+                    if iters > 0 {
+                        let crate::fusion::FusedDetail::ConvNest(nd) = &f.detail else {
+                            unreachable!("nest kind implies nest detail");
+                        };
+                        let instret = nd.skip_lo.instret * out.skip_lo
+                            + nd.skip_hi.instret * out.skip_hi
+                            + nd.full1.instret * out.full
+                            + nd.extra.instret * out.inner_extra;
+                        let arch_cycles = nd.skip_lo.cycles * out.skip_lo
+                            + nd.skip_hi.cycles * out.skip_hi
+                            + nd.full1.cycles * out.full
+                            + nd.extra.cycles * out.inner_extra;
+                        let stall = nd.skip_lo.stalls * out.skip_lo
+                            + nd.skip_hi.stalls * out.skip_hi
+                            + nd.full1.stalls * out.full
+                            + nd.extra.stalls * out.inner_extra;
+                        let flush = nd.skip_lo.flushes * out.skip_lo
+                            + nd.skip_hi.flushes * out.skip_hi
+                            + nd.full1.flushes * out.full
+                            + nd.extra.flushes * out.inner_extra;
+                        cycles += arch_cycles;
+                        stalls += stall;
+                        flushes += flush;
+                        executed += instret;
+                        // Every iteration ends in the closing jump, which
+                        // clears the pending-load hazard state.
+                        load_dest = 0;
+                        cpu.block_instr_counts[slot] += instret;
+                        cpu.block_exec_counts[slot] += iters;
+                        let bulk = &mut cpu.block_fused_bulk[slot];
+                        bulk.nest_skip_lo += out.skip_lo;
+                        bulk.nest_skip_hi += out.skip_hi;
+                        bulk.nest_full += out.full;
+                        bulk.nest_extra += out.inner_extra;
+                        cpu.block_fused_entries[slot] += 1;
+                        cpu.block_fused_iters[slot] += iters;
+                        cpu.block_fused_cycles[slot] += arch_cycles;
+                        cpu.block_fused_kind[slot] = Some(f.kind);
+                    }
+                    start = f.start;
+                    continue;
+                }
+                let avail = (max_instructions - executed).saturating_sub(f.start as u64);
+                let max_iters = avail / f.body_len as u64;
+                let mut resume = f.start;
+                if max_iters > 0 {
+                    if let Some(out) = f.execute(&mut cpu.regs, &mut cpu.mem, max_iters) {
+                        let taken = if out.fell_through {
+                            out.iters - 1
+                        } else {
+                            out.iters
+                        };
+                        let mut stall = f.steady_stalls * out.iters;
+                        if load_dest != 0 && (f.entry_reads_mask >> load_dest) & 1 != 0 {
+                            stall += LOAD_USE_STALL;
+                        }
+                        let arch_cycles =
+                            f.base_cycles * out.iters + f.flush_on_take * taken + stall;
+                        cycles += arch_cycles;
+                        stalls += stall;
+                        flushes += f.flush_on_take * taken;
+                        // The body ends in a branch, which clears the
+                        // pending-load hazard state.
+                        load_dest = 0;
+                        if taken > 0 {
+                            executed += taken * f.body_len as u64;
+                            cpu.block_instr_counts[slot] += taken * f.body_len as u64;
+                            if f.start == 0 {
+                                // Whole-trace self-loop: every taken back
+                                // edge is one completed execution of this
+                                // trace, exactly as the unfused engine
+                                // counts them.
+                                cpu.block_exec_counts[slot] += taken;
+                            }
+                            // Per-mnemonic trace counts fold lazily in
+                            // `fold_exec_counts`, keeping the map out of
+                            // the hot loop.
+                            cpu.block_fused_bulk[slot].plain += taken;
+                            if let Some(cfg) = &maupiti {
+                                // Arch order: the setup segment before the
+                                // loop head, then the taken iterations. The
+                                // final iteration and the tail are charged
+                                // by the eventual exit over [mem_base, ·).
+                                charge_mem!(block, slot, f.start, false);
+                                let mstall = mem_state.charge_loop(
+                                    cfg,
+                                    &block.mem_prefix,
+                                    &block.redirects,
+                                    f.start,
+                                    f.start + f.body_len,
+                                    taken,
+                                    &mut mem_stats,
+                                );
+                                cycles += mstall;
+                                cpu.block_mem_stall_counts[slot] += mstall;
+                            }
+                            mem_base = f.start;
+                        }
+                        cpu.block_fused_entries[slot] += 1;
+                        cpu.block_fused_iters[slot] += out.iters;
+                        cpu.block_fused_cycles[slot] += arch_cycles;
+                        cpu.block_fused_kind[slot] = Some(f.kind);
+                        if out.fell_through {
+                            resume = f.start + f.body_len;
+                        }
+                    }
+                }
+                start = resume;
+                continue;
             }
 
             if !full {
@@ -616,6 +810,10 @@ fn run_inner(cpu: &mut Cpu, _start_instret: u64, max_instructions: u64) -> Resul
                 && !cpu.halted
                 && block.end == BlockEnd::Terminator
             {
+                // Terminator self-loop re-entry: a fresh trace execution,
+                // so re-arm the fused loop and restart the charge range.
+                fused_armed = active_fused.is_some();
+                mem_base = 0;
                 continue;
             }
             cpu.pc = ctrl_next;
@@ -682,10 +880,51 @@ fn fold_exec_counts(cpu: &mut Cpu) {
             }
             cpu.block_exec_counts[slot] += execs;
             cpu.block_instr_counts[slot] += instrs;
+            let bulk = std::mem::take(&mut cpu.block_fused_bulk[slot]);
+            if bulk.plain > 0 {
+                // The plain op is either the recognised op itself or, on
+                // a nest block that ran under Maupiti, the nest's
+                // embedded channel loop.
+                let f = block
+                    .fused
+                    .as_ref()
+                    .filter(|f| f.kind != crate::fusion::FusedKind::ConvNest)
+                    .or(block.fused_inner.as_ref())
+                    .expect("bulk iterations imply a fused loop");
+                for d in &block.instrs[f.start..f.start + f.body_len] {
+                    cpu.trace.record_many(d.mnemonic(), bulk.plain);
+                }
+            }
+            let iters = bulk.nest_skip_lo + bulk.nest_skip_hi + bulk.nest_full;
+            if iters > 0 {
+                let f = block.fused.as_ref().expect("nest counts imply a nest");
+                let s = f.start;
+                for (j, d) in block.instrs[s..s + crate::fusion::NEST_LEN]
+                    .iter()
+                    .enumerate()
+                {
+                    // Per-position multiset of the executed paths: guards
+                    // and tail run every iteration, the right guard also
+                    // on full and right-skip paths, pointer setup only on
+                    // full iterations, the channel loop once per full
+                    // iteration plus the extra passes.
+                    let count = match j {
+                        0..=4 => iters,
+                        5 => bulk.nest_skip_hi + bulk.nest_full,
+                        6..=15 => bulk.nest_full,
+                        16..=22 => bulk.nest_full + bulk.nest_extra,
+                        _ => iters,
+                    };
+                    if count > 0 {
+                        cpu.trace.record_many(d.mnemonic(), count);
+                    }
+                }
+            }
         } else {
             for count in cpu.block_exit_counts[slot].iter_mut() {
                 *count = 0;
             }
+            cpu.block_fused_bulk[slot] = crate::cpu::FusedBulk::default();
         }
     }
 }
@@ -1629,5 +1868,910 @@ mod tests {
         cached.run(100_000).unwrap();
         assert_same_architectural_state(&simple, &cached);
         assert_eq!(cached.reg(reg::A0), 40 * 25);
+    }
+
+    // ---- macro-op fusion differential tests -------------------------
+
+    use crate::mem_model::MemoryModel;
+
+    /// Runs `program` on three CPUs — the Simple reference, BlockCached
+    /// with fusion off and BlockCached with fusion on — under the same
+    /// instruction budget and memory model, and asserts that the fused
+    /// engine is bit-identical to both: architectural state and instret
+    /// against Simple, plus cycles, stall breakdowns, memory-model stats
+    /// and the full data image against the unfused block engine. Returns
+    /// `(unfused, fused)` for extra per-test assertions.
+    fn assert_fusion_parity(
+        program: &[Instr],
+        budget: u64,
+        model: MemoryModel,
+        setup: &dyn Fn(&mut Cpu),
+    ) -> (Cpu, Cpu) {
+        let mut simple = Cpu::new_default();
+        simple.set_memory_model(model);
+        simple.load_program(program).unwrap();
+        setup(&mut simple);
+        let rs = simple.run(budget);
+
+        let run_cached = |fusion: bool| {
+            let mut cpu = Cpu::new_default();
+            cpu.set_exec_mode(ExecMode::BlockCached);
+            cpu.set_macro_fusion(fusion);
+            cpu.set_memory_model(model);
+            cpu.load_program(program).unwrap();
+            setup(&mut cpu);
+            let r = cpu.run(budget);
+            (cpu, r)
+        };
+        let (unfused, ru) = run_cached(false);
+        let (fused, rf) = run_cached(true);
+
+        assert_eq!(ru, rf, "run outcome diverged fused vs unfused");
+        assert_eq!(
+            rs.as_ref().err(),
+            rf.as_ref().err(),
+            "fault behaviour diverged fused vs Simple"
+        );
+        if let (Ok(s), Ok(f)) = (&rs, &rf) {
+            assert_eq!(s.instructions, f.instructions);
+        }
+        assert_same_architectural_state(&simple, &fused);
+        for r in 0..32 {
+            assert_eq!(unfused.reg(r), fused.reg(r), "register x{r} diverged");
+        }
+        assert_eq!(unfused.pc, fused.pc, "pc diverged");
+        assert_eq!(unfused.instret, fused.instret, "instret diverged");
+        assert_eq!(unfused.cycles, fused.cycles, "cycles diverged");
+        assert_eq!(unfused.trace, fused.trace, "trace diverged");
+        assert_eq!(unfused.halted(), fused.halted());
+        assert_eq!(
+            unfused.pipeline.stats, fused.pipeline.stats,
+            "pipeline stall breakdown diverged"
+        );
+        assert_eq!(unfused.mem_stats, fused.mem_stats, "memory stats diverged");
+        let len = fused.mem.dmem_size();
+        assert_eq!(
+            simple.mem.read_dmem(DMEM_BASE, len),
+            fused.mem.read_dmem(DMEM_BASE, len),
+            "data memory diverged fused vs Simple"
+        );
+        assert_eq!(
+            unfused.mem.read_dmem(DMEM_BASE, len),
+            fused.mem.read_dmem(DMEM_BASE, len),
+            "data memory diverged fused vs unfused"
+        );
+        (unfused, fused)
+    }
+
+    /// `lui rd, 0x100` materialises `DMEM_BASE`; adding `extra` offsets
+    /// into the data image.
+    fn li_dmem(rd: u8, extra: i32) -> [Instr; 2] {
+        [
+            Instr::Lui { rd, imm: 0x100 },
+            Instr::Addi {
+                rd,
+                rs1: rd,
+                imm: extra,
+            },
+        ]
+    }
+
+    /// The SDOTP channel-loop idiom emitted by the kernel code
+    /// generator, preceded by pointer/counter setup.
+    fn mac_program(four_bit: bool, count: i32) -> Vec<Instr> {
+        let sdotp = if four_bit {
+            Instr::Sdotp4 {
+                rd: reg::S7,
+                rs1: reg::T4,
+                rs2: reg::T5,
+            }
+        } else {
+            Instr::Sdotp8 {
+                rd: reg::S7,
+                rs1: reg::T4,
+                rs2: reg::T5,
+            }
+        };
+        let mut p = Vec::new();
+        p.extend(li_dmem(reg::T1, 0));
+        p.extend(li_dmem(reg::T2, 512));
+        p.push(Instr::Addi {
+            rd: reg::T3,
+            rs1: reg::ZERO,
+            imm: count,
+        });
+        p.push(Instr::Addi {
+            rd: reg::S7,
+            rs1: reg::ZERO,
+            imm: 7,
+        });
+        p.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::T4,
+                rs1: reg::T1,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::T5,
+                rs1: reg::T2,
+                offset: 0,
+            },
+            sdotp,
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::T2,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -24,
+            },
+            Instr::Ebreak,
+        ]);
+        p
+    }
+
+    fn fill_dmem(cpu: &mut Cpu) {
+        let bytes: Vec<u8> = (0..1024u32)
+            .map(|i| (i.wrapping_mul(37) >> 2) as u8)
+            .collect();
+        cpu.mem.write_dmem(DMEM_BASE, &bytes);
+    }
+
+    #[test]
+    fn fused_mac_loops_match_unfused_and_simple_bit_for_bit() {
+        for four_bit in [false, true] {
+            for model in [MemoryModel::Flat, MemoryModel::maupiti()] {
+                let (unfused, fused) =
+                    assert_fusion_parity(&mac_program(four_bit, 60), 100_000, model, &fill_dmem);
+                assert_eq!(unfused.fusion_profile(), &[]);
+                let profile = fused.fusion_profile();
+                let want = if four_bit { "mac_sdotp4" } else { "mac_sdotp8" };
+                assert_eq!(profile.len(), 1);
+                assert_eq!(profile[0].0, want);
+                // The loop body sits behind the setup code inside the
+                // prologue trace; mid-trace recognition fuses it there,
+                // so every iteration executes through the fused path.
+                assert_eq!(profile[0].2, 60);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_memset_variants_match_bit_for_bit() {
+        for (store, stride, count) in [
+            (StoreOp::Sb, 1, 100),
+            (StoreOp::Sh, 2, 50),
+            (StoreOp::Sw, 4, 25),
+            (StoreOp::Sb, 5, 30),  // strided fill
+            (StoreOp::Sw, -4, 20), // descending fill
+        ] {
+            let mut p = Vec::new();
+            p.extend(li_dmem(reg::T1, 256));
+            p.push(Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::ZERO,
+                imm: count,
+            });
+            p.push(Instr::Addi {
+                rd: reg::A0,
+                rs1: reg::ZERO,
+                imm: 0x5A,
+            });
+            p.extend([
+                Instr::Store {
+                    op: store,
+                    rs1: reg::T1,
+                    rs2: reg::A0,
+                    offset: 0,
+                },
+                Instr::Addi {
+                    rd: reg::T1,
+                    rs1: reg::T1,
+                    imm: stride,
+                },
+                Instr::Addi {
+                    rd: reg::T3,
+                    rs1: reg::T3,
+                    imm: -1,
+                },
+                Instr::Branch {
+                    op: BranchOp::Bne,
+                    rs1: reg::T3,
+                    rs2: reg::ZERO,
+                    offset: -12,
+                },
+                Instr::Ebreak,
+            ]);
+            let (_, fused) = assert_fusion_parity(&p, 100_000, MemoryModel::Flat, &fill_dmem);
+            assert_eq!(fused.fusion_profile()[0].0, "memset");
+        }
+    }
+
+    fn copy_program(load: LoadOp, store: StoreOp, ss: i32, ds: i32, count: i32) -> Vec<Instr> {
+        let mut p = Vec::new();
+        p.extend(li_dmem(reg::T1, 0));
+        p.extend(li_dmem(reg::T2, 600));
+        p.push(Instr::Addi {
+            rd: reg::T3,
+            rs1: reg::ZERO,
+            imm: count,
+        });
+        p.extend([
+            Instr::Load {
+                op: load,
+                rd: reg::T4,
+                rs1: reg::T1,
+                offset: 0,
+            },
+            Instr::Store {
+                op: store,
+                rs1: reg::T2,
+                rs2: reg::T4,
+                offset: 0,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: ss,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::T2,
+                imm: ds,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -20,
+            },
+            Instr::Ebreak,
+        ]);
+        p
+    }
+
+    #[test]
+    fn fused_copy_variants_match_bit_for_bit() {
+        for (load, store, ss, ds, count, kind) in [
+            (LoadOp::Lw, StoreOp::Sw, 4, 4, 64, "memcpy"),
+            (LoadOp::Lbu, StoreOp::Sb, 1, 1, 200, "memcpy"),
+            (LoadOp::Lb, StoreOp::Sb, 9, 1, 40, "strided_copy"), // im2col gather
+            (LoadOp::Lh, StoreOp::Sh, 16, 2, 30, "strided_copy"),
+            (LoadOp::Lhu, StoreOp::Sw, 2, 4, 30, "strided_copy"), // widening copy
+        ] {
+            let p = copy_program(load, store, ss, ds, count);
+            for model in [MemoryModel::Flat, MemoryModel::maupiti()] {
+                let (_, fused) = assert_fusion_parity(&p, 100_000, model, &fill_dmem);
+                assert_eq!(fused.fusion_profile()[0].0, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_fused_copy_matches_bit_for_bit() {
+        // dst inside the source stream: element-order semantics matter.
+        let p = copy_program(LoadOp::Lbu, StoreOp::Sb, 1, 1, 64);
+        let mut p = p;
+        p[3] = Instr::Addi {
+            rd: reg::T2,
+            rs1: reg::T2,
+            imm: -597, // dst = src + 3
+        };
+        assert_fusion_parity(&p, 100_000, MemoryModel::Flat, &fill_dmem);
+    }
+
+    #[test]
+    fn single_iteration_and_fallthrough_entry_match() {
+        // cnt0 == 1: one iteration, back-edge never taken.
+        assert_fusion_parity(
+            &mac_program(false, 1),
+            100_000,
+            MemoryModel::Flat,
+            &fill_dmem,
+        );
+        // cnt0 == 2: exactly one taken back-edge.
+        assert_fusion_parity(
+            &mac_program(false, 2),
+            100_000,
+            MemoryModel::Flat,
+            &fill_dmem,
+        );
+    }
+
+    #[test]
+    fn zero_trip_count_wraps_and_times_out_identically() {
+        // A do-while loop entered with cnt == 0 runs 2^32 iterations;
+        // with a small budget both engines must time out at the same
+        // instruction, with identical partial memory effects.
+        let mut p = Vec::new();
+        p.extend(li_dmem(reg::T1, 0));
+        p.push(Instr::Addi {
+            rd: reg::T3,
+            rs1: reg::ZERO,
+            imm: 0,
+        });
+        p.extend([
+            Instr::Store {
+                op: StoreOp::Sb,
+                rs1: reg::T1,
+                rs2: reg::ZERO,
+                offset: 0,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: 1,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -12,
+            },
+            Instr::Ebreak,
+        ]);
+        // Budgets hitting the loop at every phase: mid-iteration, on an
+        // iteration boundary and right at the back-edge.
+        for budget in [100, 101, 102, 103, 104, 4003] {
+            assert_fusion_parity(&p, budget, MemoryModel::Flat, &fill_dmem);
+        }
+    }
+
+    #[test]
+    fn budget_expiry_mid_fused_loop_matches() {
+        // 60 MAC iterations * 7 instructions after a 6-instruction
+        // prologue; sweep budgets across iteration boundaries.
+        for budget in [
+            6,
+            7,
+            12,
+            13,
+            14,
+            6 + 7 * 30,
+            6 + 7 * 30 + 3,
+            6 + 7 * 60,
+            6 + 7 * 60 + 1,
+        ] {
+            assert_fusion_parity(
+                &mac_program(false, 60),
+                budget,
+                MemoryModel::Flat,
+                &fill_dmem,
+            );
+            assert_fusion_parity(
+                &mac_program(false, 60),
+                budget,
+                MemoryModel::maupiti(),
+                &fill_dmem,
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_stream_falls_back_and_faults_identically() {
+        // The copy runs off the end of data memory; the fused path must
+        // decline and the unfused trace must reproduce the exact fault.
+        let mut p = copy_program(LoadOp::Lw, StoreOp::Sw, 4, 4, 64);
+        p[2] = Instr::Lui {
+            rd: reg::T2,
+            imm: 0x100,
+        };
+        p[3] = Instr::Addi {
+            rd: reg::T2,
+            rs1: reg::T2,
+            imm: 16 * 1024 - 32, // 8 words of headroom for a 64-word copy
+        };
+        let (_, fused) = assert_fusion_parity(&p, 100_000, MemoryModel::Flat, &fill_dmem);
+        assert!(
+            fused.fusion_profile().is_empty(),
+            "a declined stream must not count as a fusion hit"
+        );
+    }
+
+    #[test]
+    fn reloading_a_program_resets_the_fusion_profile() {
+        let mut cpu = Cpu::new_default();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(&mac_program(false, 60)).unwrap();
+        fill_dmem(&mut cpu);
+        cpu.run(100_000).unwrap();
+        assert!(!cpu.fusion_profile().is_empty());
+        // Loading a new image invalidates the decoded blocks and the
+        // fusion counters; the copy loop then fuses from scratch.
+        cpu.load_program(&copy_program(LoadOp::Lw, StoreOp::Sw, 4, 4, 8))
+            .unwrap();
+        fill_dmem(&mut cpu);
+        cpu.run(100_000).unwrap();
+        let profile = cpu.fusion_profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].0, "memcpy");
+    }
+
+    #[test]
+    fn hottest_blocks_attribution_still_sums_to_instret_with_fusion() {
+        let mut cpu = Cpu::new_default();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        cpu.load_program(&mac_program(false, 60)).unwrap();
+        fill_dmem(&mut cpu);
+        cpu.run(100_000).unwrap();
+        let blocks = cpu.hottest_blocks(16);
+        let total: u64 = blocks.iter().map(|b| b.instructions).sum();
+        assert_eq!(
+            total, cpu.instret,
+            "per-block attribution must sum to instret"
+        );
+        let hot = &blocks[0];
+        assert_eq!(hot.fused_kind, Some("mac_sdotp8"));
+        assert!(hot.fused_entries >= 1);
+        // Mid-trace recognition fuses the loop inside the prologue
+        // trace, so all 60 iterations are attributed to one block.
+        assert_eq!(hot.fused_iterations, 60);
+        assert!(hot.fused_cycles > 0);
+        let json = crate::cpu::hot_blocks_json(&blocks);
+        assert!(json.contains("\"fused_kind\":\"mac_sdotp8\""));
+        assert!(json.contains("\"fused_iterations\":60"));
+    }
+
+    #[test]
+    fn toggling_fusion_off_disables_the_fused_path() {
+        let mut cpu = Cpu::new_default();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        assert!(cpu.macro_fusion());
+        cpu.set_macro_fusion(false);
+        cpu.load_program(&mac_program(false, 60)).unwrap();
+        fill_dmem(&mut cpu);
+        cpu.run(100_000).unwrap();
+        assert!(cpu.fusion_profile().is_empty());
+        assert!(cpu
+            .hottest_blocks(16)
+            .iter()
+            .all(|b| b.fused_kind.is_none()));
+    }
+
+    /// An output-row sweep over the conv3x3 kernel-x guard nest, exactly
+    /// as `emit_conv3x3` lays it out: for each `ox` in `0..w`, reset the
+    /// accumulator, run kx in `0..3` with left/right padding guards
+    /// around an SDOTP channel loop, then consume the accumulator. The
+    /// first trace (entry 0) carries the nest as a suffix at start 12;
+    /// the re-entry trace at the loop head carries it at start 0.
+    fn conv_nest_program(w: i32, ch: i32) -> Vec<Instr> {
+        let mut p = Vec::new();
+        p.extend(li_dmem(reg::A0, 0)); // xbase
+        p.extend(li_dmem(reg::S10, 512)); // wbase
+        for (rd, imm) in [
+            (reg::A4, w),
+            (reg::A5, ch),
+            (reg::S8, 1),  // ky
+            (reg::S11, 2), // iy
+            (reg::S6, 0),  // ox
+            (reg::S5, 0),  // checksum
+        ] {
+            p.push(Instr::Addi {
+                rd,
+                rs1: reg::ZERO,
+                imm,
+            });
+        }
+        // ox loop head (index 10): reset acc, kx = 0.
+        p.push(Instr::Addi {
+            rd: reg::S7,
+            rs1: reg::ZERO,
+            imm: 7,
+        });
+        p.push(Instr::Addi {
+            rd: reg::T6,
+            rs1: reg::ZERO,
+            imm: 0,
+        });
+        // kx nest, indices 12..=36.
+        p.push(Instr::Addi {
+            rd: reg::T0,
+            rs1: reg::ZERO,
+            imm: 3,
+        });
+        p.push(Instr::Branch {
+            op: BranchOp::Bge,
+            rs1: reg::T6,
+            rs2: reg::T0,
+            offset: 24 * 4,
+        });
+        p.push(Instr::Add {
+            rd: reg::T0,
+            rs1: reg::S6,
+            rs2: reg::T6,
+        });
+        p.push(Instr::Addi {
+            rd: reg::T0,
+            rs1: reg::T0,
+            imm: -1,
+        });
+        p.push(Instr::Branch {
+            op: BranchOp::Blt,
+            rs1: reg::T0,
+            rs2: reg::ZERO,
+            offset: (23 - 4) * 4,
+        });
+        p.push(Instr::Branch {
+            op: BranchOp::Bge,
+            rs1: reg::T0,
+            rs2: reg::A4,
+            offset: (23 - 5) * 4,
+        });
+        p.push(Instr::Mul {
+            rd: reg::T1,
+            rs1: reg::S11,
+            rs2: reg::A4,
+        });
+        p.push(Instr::Add {
+            rd: reg::T1,
+            rs1: reg::T1,
+            rs2: reg::T0,
+        });
+        p.push(Instr::Mul {
+            rd: reg::T1,
+            rs1: reg::T1,
+            rs2: reg::A5,
+        });
+        p.push(Instr::Add {
+            rd: reg::T1,
+            rs1: reg::T1,
+            rs2: reg::A0,
+        });
+        p.push(Instr::Addi {
+            rd: reg::T2,
+            rs1: reg::ZERO,
+            imm: 3,
+        });
+        p.push(Instr::Mul {
+            rd: reg::T2,
+            rs1: reg::T2,
+            rs2: reg::S8,
+        });
+        p.push(Instr::Add {
+            rd: reg::T2,
+            rs1: reg::T2,
+            rs2: reg::T6,
+        });
+        p.push(Instr::Mul {
+            rd: reg::T2,
+            rs1: reg::T2,
+            rs2: reg::A5,
+        });
+        p.push(Instr::Add {
+            rd: reg::T2,
+            rs1: reg::T2,
+            rs2: reg::S10,
+        });
+        p.push(Instr::Srli {
+            rd: reg::T3,
+            rs1: reg::A5,
+            shamt: 2,
+        });
+        p.extend([
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::T4,
+                rs1: reg::T1,
+                offset: 0,
+            },
+            Instr::Load {
+                op: LoadOp::Lw,
+                rd: reg::T5,
+                rs1: reg::T2,
+                offset: 0,
+            },
+            Instr::Sdotp8 {
+                rd: reg::S7,
+                rs1: reg::T4,
+                rs2: reg::T5,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::T2,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -24,
+            },
+        ]);
+        p.push(Instr::Addi {
+            rd: reg::T6,
+            rs1: reg::T6,
+            imm: 1,
+        });
+        p.push(Instr::Jal {
+            rd: reg::ZERO,
+            offset: -24 * 4,
+        });
+        // kx_end (index 37): fold the accumulator, advance ox.
+        p.push(Instr::Add {
+            rd: reg::S5,
+            rs1: reg::S5,
+            rs2: reg::S7,
+        });
+        p.push(Instr::Addi {
+            rd: reg::S6,
+            rs1: reg::S6,
+            imm: 1,
+        });
+        p.push(Instr::Branch {
+            op: BranchOp::Blt,
+            rs1: reg::S6,
+            rs2: reg::A4,
+            offset: (10 - 39) * 4,
+        });
+        p.push(Instr::Ebreak);
+        p
+    }
+
+    #[test]
+    fn fused_conv_nest_matches_unfused_and_simple_bit_for_bit() {
+        // W = 6, ch = 8 bytes (trip 2): ox = 0 takes the left-padding
+        // guard, ox = 5 the right-padding guard, everything else runs
+        // three full kernel taps. A full budget sweep crosses every
+        // phase: prologue, guard skips, mid-channel-loop expiry and the
+        // iteration boundaries of the fused nest.
+        let p = conv_nest_program(6, 8);
+        for budget in 1..=600u64 {
+            assert_fusion_parity(&p, budget, MemoryModel::Flat, &fill_dmem);
+        }
+        let (_, fused) = assert_fusion_parity(&p, 100_000, MemoryModel::Flat, &fill_dmem);
+        let profile = fused.fusion_profile();
+        assert!(
+            profile.iter().any(|(name, entries, iters)| {
+                *name == "conv3x3_nest" && *entries >= 6 && *iters >= 18
+            }),
+            "nest should dominate the profile, got {profile:?}"
+        );
+        assert!(fused
+            .hottest_blocks(16)
+            .iter()
+            .any(|b| b.fused_kind == Some("conv3x3_nest")));
+
+        // trip 1 (ch = 4): the channel loop collapses to a single pass.
+        let p1 = conv_nest_program(6, 4);
+        for budget in [1, 17, 40, 41, 42, 100, 253, 254, 255, 100_000] {
+            assert_fusion_parity(&p1, budget, MemoryModel::Flat, &fill_dmem);
+        }
+
+        // Maupiti declines the nest and substitutes the embedded channel
+        // loop; spot-check budgets including expiry inside that loop.
+        for budget in [50, 137, 290, 421, 579, 100_000] {
+            let (_, fused) = assert_fusion_parity(&p, budget, MemoryModel::maupiti(), &fill_dmem);
+            assert!(
+                fused
+                    .fusion_profile()
+                    .iter()
+                    .all(|(name, ..)| *name != "conv3x3_nest"),
+                "the nest must not run under Maupiti"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_nest_zero_trip_channel_loop_times_out_identically() {
+        // ch = 2 makes `srli` produce a zero trip count: the do-while
+        // channel loop wraps through 2^32 iterations. The nest must
+        // decline at the iteration boundary and both engines time out on
+        // the same instruction with identical partial state.
+        let p = conv_nest_program(6, 2);
+        for budget in [40, 41, 50, 100, 200] {
+            assert_fusion_parity(&p, budget, MemoryModel::Flat, &fill_dmem);
+        }
+    }
+
+    #[test]
+    fn conv_nest_out_of_bounds_stream_faults_identically() {
+        // iy = 2000 pushes xptr far past data memory: the fused nest
+        // must decline the iteration untouched and the unfused replay
+        // reproduces the exact access fault.
+        let mut p = conv_nest_program(6, 8);
+        p[7] = Instr::Addi {
+            rd: reg::S11,
+            rs1: reg::ZERO,
+            imm: 2000,
+        };
+        assert_fusion_parity(&p, 100_000, MemoryModel::Flat, &fill_dmem);
+        assert_fusion_parity(&p, 100_000, MemoryModel::maupiti(), &fill_dmem);
+    }
+
+    mod fusion_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Seeds data memory with a deterministic byte pattern.
+        fn seeded_fill(seed: u64) -> impl Fn(&mut Cpu) {
+            move |cpu: &mut Cpu| {
+                let mut state = seed | 1;
+                let bytes: Vec<u8> = (0..cpu.mem.dmem_size())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) as u8
+                    })
+                    .collect();
+                cpu.mem.write_dmem(DMEM_BASE, &bytes);
+            }
+        }
+
+        /// Materialises `DMEM_BASE + extra` (or `DMEM_BASE + 16K - back`
+        /// when probing the end of data memory) without exceeding the
+        /// 12-bit `addi` immediate.
+        fn li_addr(rd: u8, near_end: bool, extra: i32) -> [Instr; 2] {
+            if near_end {
+                [
+                    Instr::Lui { rd, imm: 0x104 }, // DMEM_BASE + 16 KiB
+                    Instr::Addi {
+                        rd,
+                        rs1: rd,
+                        imm: -extra,
+                    },
+                ]
+            } else {
+                [
+                    Instr::Lui { rd, imm: 0x100 },
+                    Instr::Addi {
+                        rd,
+                        rs1: rd,
+                        imm: extra,
+                    },
+                ]
+            }
+        }
+
+        proptest! {
+            /// Random copy loops — all five load widths, signed and
+            /// unsigned, random strides (including zero and negative),
+            /// random overlap, random budgets and occasional streams that
+            /// run off the end of data memory — are bit-identical between
+            /// the fused and unfused engines, faults and timeouts
+            /// included.
+            #[test]
+            fn random_copy_loops_are_bit_identical(
+                which in 0..5usize,
+                ss in -8i32..9,
+                ds in -8i32..9,
+                count in 0i32..70,
+                src_extra in 600i32..1800,
+                dst_extra in 600i32..1800,
+                near_end_sel in 0u32..5,
+                budget in 1u64..1200,
+                seed in any::<u64>(),
+            ) {
+                let (load, store) = [
+                    (LoadOp::Lb, StoreOp::Sb),
+                    (LoadOp::Lbu, StoreOp::Sb),
+                    (LoadOp::Lh, StoreOp::Sh),
+                    (LoadOp::Lhu, StoreOp::Sw),
+                    (LoadOp::Lw, StoreOp::Sw),
+                ][which];
+                let near_end = near_end_sel == 0;
+                let mut p = Vec::new();
+                p.extend(li_addr(reg::T1, near_end, src_extra));
+                p.extend(li_addr(reg::T2, false, dst_extra));
+                p.push(Instr::Addi { rd: reg::T3, rs1: reg::ZERO, imm: count });
+                p.extend([
+                    Instr::Load { op: load, rd: reg::T4, rs1: reg::T1, offset: 0 },
+                    Instr::Store { op: store, rs1: reg::T2, rs2: reg::T4, offset: 0 },
+                    Instr::Addi { rd: reg::T1, rs1: reg::T1, imm: ss },
+                    Instr::Addi { rd: reg::T2, rs1: reg::T2, imm: ds },
+                    Instr::Addi { rd: reg::T3, rs1: reg::T3, imm: -1 },
+                    Instr::Branch { op: BranchOp::Bne, rs1: reg::T3, rs2: reg::ZERO, offset: -20 },
+                    Instr::Ebreak,
+                ]);
+                assert_fusion_parity(&p, budget, MemoryModel::Flat, &seeded_fill(seed));
+                assert_fusion_parity(&p, budget, MemoryModel::maupiti(), &seeded_fill(seed));
+            }
+
+            /// Random memset loops with every store width, random stride
+            /// and fill value (x0 included) are bit-identical.
+            #[test]
+            fn random_memset_loops_are_bit_identical(
+                which in 0..3usize,
+                stride in -8i32..9,
+                count in 0i32..70,
+                extra in 600i32..1800,
+                near_end_sel in 0u32..5,
+                zero_val in any::<bool>(),
+                fill in -2048i32..2048,
+                budget in 1u64..1200,
+                seed in any::<u64>(),
+            ) {
+                let store = [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw][which];
+                let near_end = near_end_sel == 0;
+                let val = if zero_val { reg::ZERO } else { reg::A0 };
+                let mut p = Vec::new();
+                p.extend(li_addr(reg::T1, near_end, extra));
+                p.push(Instr::Addi { rd: reg::T3, rs1: reg::ZERO, imm: count });
+                p.push(Instr::Addi { rd: reg::A0, rs1: reg::ZERO, imm: fill });
+                p.extend([
+                    Instr::Store { op: store, rs1: reg::T1, rs2: val, offset: 0 },
+                    Instr::Addi { rd: reg::T1, rs1: reg::T1, imm: stride },
+                    Instr::Addi { rd: reg::T3, rs1: reg::T3, imm: -1 },
+                    Instr::Branch { op: BranchOp::Bne, rs1: reg::T3, rs2: reg::ZERO, offset: -12 },
+                    Instr::Ebreak,
+                ]);
+                assert_fusion_parity(&p, budget, MemoryModel::Flat, &seeded_fill(seed));
+            }
+
+            /// Random SDOTP MAC reductions — both lane widths, random
+            /// word strides (unaligned included: data memory has no
+            /// alignment requirement), random budgets — are
+            /// bit-identical.
+            #[test]
+            fn random_mac_loops_are_bit_identical(
+                four_bit in any::<bool>(),
+                s1 in -8i32..9,
+                s2 in -8i32..9,
+                count in 0i32..70,
+                e1 in 600i32..1800,
+                e2 in 600i32..1800,
+                near_end_sel in 0u32..5,
+                budget in 1u64..1200,
+                seed in any::<u64>(),
+            ) {
+                let sdotp = if four_bit {
+                    Instr::Sdotp4 { rd: reg::S7, rs1: reg::T4, rs2: reg::T5 }
+                } else {
+                    Instr::Sdotp8 { rd: reg::S7, rs1: reg::T4, rs2: reg::T5 }
+                };
+                let near_end = near_end_sel == 0;
+                let mut p = Vec::new();
+                p.extend(li_addr(reg::T1, near_end, e1));
+                p.extend(li_addr(reg::T2, false, e2));
+                p.push(Instr::Addi { rd: reg::T3, rs1: reg::ZERO, imm: count });
+                p.extend([
+                    Instr::Load { op: LoadOp::Lw, rd: reg::T4, rs1: reg::T1, offset: 0 },
+                    Instr::Load { op: LoadOp::Lw, rd: reg::T5, rs1: reg::T2, offset: 0 },
+                    sdotp,
+                    Instr::Addi { rd: reg::T1, rs1: reg::T1, imm: s1 },
+                    Instr::Addi { rd: reg::T2, rs1: reg::T2, imm: s2 },
+                    Instr::Addi { rd: reg::T3, rs1: reg::T3, imm: -1 },
+                    Instr::Branch { op: BranchOp::Bne, rs1: reg::T3, rs2: reg::ZERO, offset: -24 },
+                    Instr::Ebreak,
+                ]);
+                assert_fusion_parity(&p, budget, MemoryModel::Flat, &seeded_fill(seed));
+                assert_fusion_parity(&p, budget, MemoryModel::maupiti(), &seeded_fill(seed));
+            }
+        }
     }
 }

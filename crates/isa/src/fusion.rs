@@ -1,0 +1,1642 @@
+//! Macro-op fusion: idiom recognition over decoded superblock traces.
+//!
+//! The deployed CNN spends nearly all of its simulated time in a handful
+//! of idiomatic self-loops — SDOTP MAC reductions, constant-store memset
+//! fills, load/store copies and im2col-style strided copies. This module
+//! recognises those shapes once, at trace-build time, and lowers each to
+//! a [`FusedOp`] attached to the block. The engine then executes the
+//! whole loop as **one host-level loop per trace entry**: the trip count
+//! comes from the live loop-carried registers, the body runs with direct
+//! slice access on [`Memory`], and cycles / instret / pipeline stalls /
+//! memory-model costs are bulk-charged from the per-iteration summaries
+//! precomputed here — bit-identical to per-instruction dispatch.
+//!
+//! All patterns are do-while counted loops ending in
+//! `addi cnt, cnt, -1; bne cnt, x0, entry`, exactly what the kernel code
+//! generator in `pcount-kernels` emits. Recognition is conservative: the
+//! loop-carried registers must be pairwise distinct (no aliasing
+//! surprises) and every fused entry re-validates that **all** memory
+//! accesses of the planned iterations stay inside data memory — any trip
+//! count that would fault, wrap an address or touch instruction memory
+//! falls back to the unfused trace, which reproduces the exact
+//! architectural behaviour (including the faulting instruction).
+
+use crate::cpu::{sdotp4, sdotp8};
+use crate::instr::{Decoded, Op};
+use crate::memory::{Memory, DMEM_BASE};
+use crate::pipeline::LOAD_USE_STALL;
+
+/// The loop idiom a [`FusedOp`] lowers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FusedKind {
+    /// 8-bit SDOTP multiply-accumulate reduction loop.
+    MacSdotp8,
+    /// 4-bit SDOTP multiply-accumulate reduction loop.
+    MacSdotp4,
+    /// Constant-store fill loop (memset).
+    Memset,
+    /// Load/store copy with stride equal to the element width (memcpy).
+    Memcpy,
+    /// Load/store copy with independent source/destination strides
+    /// (im2col-style gather/scatter).
+    StridedCopy,
+    /// The whole 3-wide convolution kernel-x guard loop: padding guards,
+    /// input/weight pointer setup and the embedded SDOTP channel loop,
+    /// executed as one host loop per kernel-x iteration.
+    ConvNest,
+}
+
+impl FusedKind {
+    /// Stable machine-readable name (used by `hot_blocks_json` and the
+    /// bench emitters).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            FusedKind::MacSdotp8 => "mac_sdotp8",
+            FusedKind::MacSdotp4 => "mac_sdotp4",
+            FusedKind::Memset => "memset",
+            FusedKind::Memcpy => "memcpy",
+            FusedKind::StridedCopy => "strided_copy",
+            FusedKind::ConvNest => "conv3x3_nest",
+        }
+    }
+}
+
+/// Pattern-specific operands of a fused loop, registers by index and
+/// immediates pre-extracted from the decoded body.
+#[derive(Debug, Clone)]
+pub(crate) enum FusedDetail {
+    /// `lw ld1, off1(p1); lw ld2, off2(p2); sdotp acc, ld1, ld2;
+    /// addi p1, p1, s1; addi p2, p2, s2; addi cnt, cnt, -1; bne`.
+    Mac {
+        four_bit: bool,
+        p1: u8,
+        off1: u32,
+        s1: u32,
+        p2: u8,
+        off2: u32,
+        s2: u32,
+        ld1: u8,
+        ld2: u8,
+        acc: u8,
+        /// The SDOTP reads `(ld2, ld1)` instead of `(ld1, ld2)`.
+        swap: bool,
+    },
+    /// `s[bhw] val, off(p); addi p, p, stride; addi cnt, cnt, -1; bne`.
+    Memset {
+        p: u8,
+        off: u32,
+        stride: u32,
+        width: u8,
+        val: u8,
+    },
+    /// `l* tmp, loff(src); s* tmp, soff(dst); addi src, src, ss;
+    /// addi dst, dst, ds; addi cnt, cnt, -1; bne`.
+    Copy {
+        src: u8,
+        loff: u32,
+        ss: u32,
+        dst: u8,
+        soff: u32,
+        ds: u32,
+        tmp: u8,
+        lwidth: u8,
+        lsigned: bool,
+        swidth: u8,
+    },
+    /// The 25-instruction convolution kernel-x guard loop (see
+    /// [`NestDetail`]), boxed to keep `FusedOp` small for the common
+    /// patterns.
+    ConvNest(Box<NestDetail>),
+}
+
+/// Pipeline summary of one architectural path through the nest: what the
+/// per-instruction engine would have charged for exactly that
+/// instruction sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PathCost {
+    /// Instructions retired on the path.
+    pub instret: u64,
+    /// Cycles charged, load-use stalls and taken-branch flushes
+    /// included (unconditional-jump flushes are tracked in `flushes`
+    /// only, exactly like the engine's per-instruction accounting).
+    pub cycles: u64,
+    /// Load-use stall cycles within `cycles`.
+    pub stalls: u64,
+    /// Flush cycles (taken branches and unconditional jumps).
+    pub flushes: u64,
+}
+
+/// Operands and per-path costs of a fused convolution kernel-x loop —
+/// the exact 25-instruction shape `emit_conv3x3` generates:
+///
+/// ```text
+///  0  li    scratch, kmax          ; loop bound
+///  1  bge   kx, scratch, kx_end    ; side exit: nest finished
+///  2  add   scratch, ox, kx        ; ix = ox + kx
+///  3  addi  scratch, scratch, bias ; ix -= pad
+///  4  blt   scratch, x0,  skip     ; left-padding guard
+///  5  bge   scratch, w,   skip     ; right-padding guard
+///  6..9    xptr = ((iy*w)+ix)*ch + xbase
+/// 10..14   wptr = ((ky_mul*ky)+kx)*ch + wbase
+/// 15  srli  cnt, ch, trip_sh       ; channel-loop trip count
+/// 16..22   SDOTP MAC channel loop (the `Mac` pattern)
+/// 23  addi  kx, kx, 1              ; skip: guards land here
+/// 24  jal   x0, head
+/// ```
+///
+/// A skip iteration executes `{0..4, 23, 24}` (left) or `{0..5, 23, 24}`
+/// (right) — the very same pc sequence the unfused engine retires when
+/// a guard side-exits into the `kx_next` tail block — so bulk-charging
+/// the precomputed [`PathCost`] per path keeps every counter
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub(crate) struct NestDetail {
+    /// Kernel-x loop counter register.
+    pub kx: u8,
+    /// Loop bound (`li scratch, kmax`), compared signed.
+    pub kmax: u32,
+    /// Scratch register: holds the bound for the exit check, then `ix`.
+    pub scratch: u8,
+    /// Output-x register (`ix = ox + kx + bias`).
+    pub ox: u8,
+    /// Signed bias added to `ix` (the negated padding).
+    pub ix_bias: u32,
+    /// Spatial-size register the right-padding guard compares against.
+    pub w: u8,
+    /// Input-row register (`iy`, precomputed by the enclosing loop).
+    pub iy: u8,
+    /// Bytes-per-pixel register (also sourcing the trip count).
+    pub ch: u8,
+    /// Input tensor base-address register.
+    pub xbase: u8,
+    /// Kernel-y register.
+    pub ky: u8,
+    /// Immediate multiplying `ky` in the weight index (kernel width).
+    pub ky_mul: u32,
+    /// Weight base-address register (per output channel).
+    pub wbase: u8,
+    /// Input pointer register the channel loop walks.
+    pub xptr: u8,
+    /// Weight pointer register the channel loop walks.
+    pub wptr: u8,
+    /// Shift turning the byte count into the channel-loop trip count.
+    pub trip_sh: u32,
+    /// The embedded channel loop (always a `Mac` pattern), with `start`
+    /// relative to its own head.
+    pub inner: FusedOp,
+    /// Costs of a left-padding skip iteration (7 instructions).
+    pub skip_lo: PathCost,
+    /// Costs of a right-padding skip iteration (8 instructions).
+    pub skip_hi: PathCost,
+    /// Costs of a full iteration with a single channel-loop pass
+    /// (25 instructions).
+    pub full1: PathCost,
+    /// Costs of each extra channel-loop pass (7 instructions, taken
+    /// back-edge).
+    pub extra: PathCost,
+}
+
+/// What one fused nest execution did, counted per architectural path so
+/// the engine can bulk-charge instret, cycles, stalls, flushes and the
+/// per-mnemonic trace exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NestOutcome {
+    /// Iterations skipped through the left-padding (`blt`) guard.
+    pub skip_lo: u64,
+    /// Iterations skipped through the right-padding (`bge`) guard.
+    pub skip_hi: u64,
+    /// Full iterations (pointer setup plus the whole channel loop).
+    pub full: u64,
+    /// Extra channel-loop passes beyond the first, summed over all full
+    /// iterations.
+    pub inner_extra: u64,
+}
+
+impl NestOutcome {
+    /// Kernel-x iterations executed.
+    pub fn iters(&self) -> u64 {
+        self.skip_lo + self.skip_hi + self.full
+    }
+}
+
+/// A recognised loop idiom attached to a `Block`, with everything the
+/// engine needs to bulk-charge one iteration precomputed at build time.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedOp {
+    /// Which idiom this is.
+    pub kind: FusedKind,
+    /// Trace position of the loop head: the body occupies
+    /// `instrs[start..start + body_len]` and its back-edge branch
+    /// targets `instrs[start]`. Zero when the whole trace is the loop
+    /// (a self-loop block); nonzero when the loop sits behind setup
+    /// code inside a longer trace, which the engine executes
+    /// per-instruction before entering the fused loop.
+    pub start: usize,
+    /// Instructions per iteration, back-edge branch included.
+    pub body_len: usize,
+    /// Loop counter register (`addi cnt, cnt, -1; bne cnt, x0, entry`).
+    pub cnt: u8,
+    /// Pipeline base cycles of one iteration, branch flush excluded.
+    pub base_cycles: u64,
+    /// Flush cycles charged per taken back-edge.
+    pub flush_on_take: u64,
+    /// Load-use interlock stalls inside one steady-state iteration
+    /// (entered with no pending load, as after the back-edge branch).
+    pub steady_stalls: u64,
+    /// Read mask of the body's first instruction, for the incoming
+    /// load-use hazard of the very first iteration.
+    pub entry_reads_mask: u32,
+    /// The idiom's operands.
+    pub detail: FusedDetail,
+}
+
+/// What one fused execution did.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedOutcome {
+    /// Iterations executed architecturally (registers and memory are
+    /// advanced past all of them).
+    pub iters: u64,
+    /// The last iteration did not take the back-edge: the counter
+    /// reached zero and execution continues past the branch.
+    pub fell_through: bool,
+}
+
+/// `addi rd, rd, imm` with `rd != x0`, the loop-carried update shape.
+fn addi_self(d: &Decoded) -> Option<(u8, u32)> {
+    match d.op {
+        Op::Addi(imm) if d.rd != 0 && d.rd == d.rs1 => Some((d.rd, imm)),
+        _ => None,
+    }
+}
+
+/// The back-edge `bne cnt, x0, entry` closing a counted self-loop at
+/// trace position `i`; returns the counter register.
+fn back_edge(entry_pc: u32, instrs: &[Decoded], i: usize) -> Option<u8> {
+    let d = instrs.get(i)?;
+    match d.op {
+        Op::Bne { target } if target == entry_pc && d.rs2 == 0 && d.rs1 != 0 => Some(d.rs1),
+        _ => None,
+    }
+}
+
+/// Checks that `addi cnt, cnt, -1` immediately precedes the back-edge.
+fn decrements(instrs: &[Decoded], i: usize, cnt: u8) -> bool {
+    addi_self(&instrs[i]) == Some((cnt, u32::MAX))
+}
+
+/// All registers pairwise distinct and none of them x0.
+fn distinct_nonzero(regs: &[u8]) -> bool {
+    let mut mask = 1u32; // x0 pre-set, so any zero register collides
+    for &r in regs {
+        let bit = 1u32 << (r & 31);
+        if mask & bit != 0 {
+            return false;
+        }
+        mask |= bit;
+    }
+    true
+}
+
+/// Per-iteration pipeline summary of `instrs[..body_len]`: base cycles
+/// without the branch flush, the flush charged per taken back-edge, and
+/// the steady-state load-use stalls (simulated with no incoming load).
+fn body_costs(instrs: &[Decoded], body_len: usize) -> (u64, u64, u64) {
+    let body = &instrs[..body_len];
+    let base: u64 = body.iter().map(|d| d.base_cycles as u64).sum();
+    let flush = body[body_len - 1].flush_on_take as u64;
+    let mut load_dest = 0u8;
+    let mut stalls = 0u64;
+    for d in body {
+        if load_dest != 0 && (d.reads_mask >> load_dest) & 1 != 0 {
+            stalls += LOAD_USE_STALL;
+        }
+        load_dest = if d.is_load { d.rd } else { 0 };
+    }
+    (base, flush, stalls)
+}
+
+fn fused(
+    kind: FusedKind,
+    instrs: &[Decoded],
+    body_len: usize,
+    cnt: u8,
+    detail: FusedDetail,
+) -> FusedOp {
+    let (base_cycles, flush_on_take, steady_stalls) = body_costs(instrs, body_len);
+    FusedOp {
+        kind,
+        start: 0,
+        body_len,
+        cnt,
+        base_cycles,
+        flush_on_take,
+        steady_stalls,
+        entry_reads_mask: instrs[0].reads_mask,
+        detail,
+    }
+}
+
+/// Recognises a fusible loop idiom anywhere inside a freshly decoded
+/// trace. Called once per block by the trace builder.
+///
+/// Each candidate position is taken as a loop head: the window starting
+/// there must match an idiom body whose back-edge branch targets the
+/// window's first instruction. Position 0 covers pure self-loop blocks
+/// (the back-edge is a side exit to `entry_pc`); later positions cover
+/// loops embedded behind setup code — the dominant shape in convolution
+/// traces, where pointer arithmetic precedes each channel loop. The
+/// first (earliest) match wins; the convolution nest is preferred over
+/// the plain patterns because it subsumes the channel loop it embeds.
+///
+/// Returns `(primary, inner)`: when the primary is a
+/// [`FusedKind::ConvNest`], `inner` carries the nest's embedded channel
+/// loop as a standalone plain MAC op, which the engine uses instead of
+/// the nest under the Maupiti memory model (whose order-sensitive
+/// per-iteration charges the nest does not reproduce).
+pub(crate) fn recognize(instrs: &[Decoded]) -> (Option<FusedOp>, Option<FusedOp>) {
+    for start in 0..instrs.len() {
+        let w = &instrs[start..];
+        let head_pc = w[0].pc;
+        if let Some(mut f) = try_nest(w) {
+            f.start = start;
+            let mut inner = match &f.detail {
+                FusedDetail::ConvNest(n) => n.inner.clone(),
+                _ => unreachable!("try_nest yields a ConvNest detail"),
+            };
+            inner.start = start + NEST_INNER_OFF;
+            return (Some(f), Some(inner));
+        }
+        if let Some(mut f) = try_mac(head_pc, w)
+            .or_else(|| try_copy(head_pc, w))
+            .or_else(|| try_memset(head_pc, w))
+        {
+            f.start = start;
+            return (Some(f), None);
+        }
+    }
+    (None, None)
+}
+
+/// Length of the nest window in instructions.
+pub(crate) const NEST_LEN: usize = 25;
+/// Offset of the embedded channel loop inside the nest window.
+pub(crate) const NEST_INNER_OFF: usize = 16;
+/// Offset of the `addi kx, kx, 1` tail the padding guards skip to.
+const NEST_SKIP_OFF: usize = 23;
+
+/// The operand of `d` that is not `r`, for commutative two-register ops.
+fn other_operand(d: &Decoded, r: u8) -> Option<u8> {
+    if d.rs1 == r {
+        Some(d.rs2)
+    } else if d.rs2 == r {
+        Some(d.rs1)
+    } else {
+        None
+    }
+}
+
+/// Pipeline costs of one architectural path through the nest window
+/// `w`, mirroring the engine's per-instruction rules exactly: base
+/// cycles, load-use interlocks (the path is always entered with no
+/// pending load — every path starts at the `li`, which reads only x0),
+/// flush cycles added to `cycles` for taken conditional branches, and
+/// flush cycles tracked in `flushes` only for unconditional jumps.
+fn nest_path_cost(w: &[Decoded], path: &[(usize, bool)]) -> PathCost {
+    let mut c = PathCost {
+        instret: path.len() as u64,
+        ..PathCost::default()
+    };
+    let mut load_dest = 0u8;
+    for &(i, taken) in path {
+        let d = &w[i];
+        let mut cost = d.base_cycles as u64;
+        if load_dest != 0 && (d.reads_mask >> load_dest) & 1 != 0 {
+            cost += LOAD_USE_STALL;
+            c.stalls += LOAD_USE_STALL;
+        }
+        load_dest = if d.is_load { d.rd } else { 0 };
+        match d.op {
+            Op::Beq { .. }
+            | Op::Bne { .. }
+            | Op::Blt { .. }
+            | Op::Bge { .. }
+            | Op::Bltu { .. }
+            | Op::Bgeu { .. }
+                if taken =>
+            {
+                cost += d.flush_on_take as u64;
+                c.flushes += d.flush_on_take as u64;
+            }
+            Op::Jal { .. } | Op::JalFollowed { .. } => {
+                c.flushes += d.flush_on_take as u64;
+            }
+            _ => {}
+        }
+        c.cycles += cost;
+    }
+    c
+}
+
+/// Matches the convolution kernel-x guard loop (see [`NestDetail`] for
+/// the shape). The window must be exactly [`NEST_LEN`] instructions and
+/// end the trace: its closing `jal` targets the window head, which the
+/// trace builder never follows (the head is already in the trace), so a
+/// matching window is always a trace suffix.
+fn try_nest(w: &[Decoded]) -> Option<FusedOp> {
+    if w.len() != NEST_LEN {
+        return None;
+    }
+    // 0: li scratch, kmax
+    let (scratch, kmax) = match w[0].op {
+        Op::Addi(imm) if w[0].rs1 == 0 && w[0].rd != 0 => (w[0].rd, imm),
+        _ => return None,
+    };
+    // 1: bge kx, scratch -> nest finished (side exit)
+    let kx = match w[1].op {
+        Op::Bge { .. } if w[1].rs2 == scratch && w[1].rs1 != 0 => w[1].rs1,
+        _ => return None,
+    };
+    // 2: add scratch, ox, kx
+    let ox = match w[2].op {
+        Op::Add if w[2].rd == scratch => other_operand(&w[2], kx)?,
+        _ => return None,
+    };
+    // 3: addi scratch, scratch, bias
+    let (r3, ix_bias) = addi_self(&w[3])?;
+    if r3 != scratch {
+        return None;
+    }
+    // 4: blt scratch, x0 -> skip; 5: bge scratch, w -> skip
+    let t_skip = match w[4].op {
+        Op::Blt { target } if w[4].rs1 == scratch && w[4].rs2 == 0 => target,
+        _ => return None,
+    };
+    let w_reg = match w[5].op {
+        Op::Bge { target } if target == t_skip && w[5].rs1 == scratch && w[5].rs2 != 0 => w[5].rs2,
+        _ => return None,
+    };
+    if t_skip != w[NEST_SKIP_OFF].pc {
+        return None;
+    }
+    // 6..9: xptr = ((iy * w) + ix) * ch + xbase
+    let xptr = w[6].rd;
+    let iy = match w[6].op {
+        Op::Mul if xptr != 0 => other_operand(&w[6], w_reg)?,
+        _ => return None,
+    };
+    if !matches!(w[7].op, Op::Add if w[7].rd == xptr && other_operand(&w[7], xptr) == Some(scratch))
+    {
+        return None;
+    }
+    let ch = match w[8].op {
+        Op::Mul if w[8].rd == xptr => other_operand(&w[8], xptr)?,
+        _ => return None,
+    };
+    let xbase = match w[9].op {
+        Op::Add if w[9].rd == xptr => other_operand(&w[9], xptr)?,
+        _ => return None,
+    };
+    // 10..14: wptr = ((ky_mul * ky) + kx) * ch + wbase
+    let (wptr, ky_mul) = match w[10].op {
+        Op::Addi(imm) if w[10].rs1 == 0 && w[10].rd != 0 => (w[10].rd, imm),
+        _ => return None,
+    };
+    let ky = match w[11].op {
+        Op::Mul if w[11].rd == wptr => other_operand(&w[11], wptr)?,
+        _ => return None,
+    };
+    if !matches!(w[12].op, Op::Add if w[12].rd == wptr && other_operand(&w[12], wptr) == Some(kx)) {
+        return None;
+    }
+    if !matches!(w[13].op, Op::Mul if w[13].rd == wptr && other_operand(&w[13], wptr) == Some(ch)) {
+        return None;
+    }
+    let wbase = match w[14].op {
+        Op::Add if w[14].rd == wptr => other_operand(&w[14], wptr)?,
+        _ => return None,
+    };
+    // 15: srli cnt, ch, trip_sh
+    let (cnt, trip_sh) = match w[15].op {
+        Op::Srli(sh) if w[15].rs1 == ch && w[15].rd != 0 => (w[15].rd, sh),
+        _ => return None,
+    };
+    // 16..22: the embedded SDOTP channel loop.
+    let inner = try_mac(w[NEST_INNER_OFF].pc, &w[NEST_INNER_OFF..])?;
+    if inner.cnt != cnt {
+        return None;
+    }
+    let (p1, p2, ld1, ld2, acc) = match inner.detail {
+        FusedDetail::Mac {
+            p1,
+            p2,
+            ld1,
+            ld2,
+            acc,
+            ..
+        } => (p1, p2, ld1, ld2, acc),
+        _ => return None,
+    };
+    if (p1, p2) != (xptr, wptr) && (p1, p2) != (wptr, xptr) {
+        return None;
+    }
+    // 23: addi kx, kx, 1; 24: jal x0, head
+    if addi_self(&w[NEST_SKIP_OFF]) != Some((kx, 1)) {
+        return None;
+    }
+    if !matches!(w[24].op, Op::Jal { target, .. } if target == w[0].pc && w[24].rd == 0) {
+        return None;
+    }
+    if !distinct_nonzero(&[
+        kx, scratch, ox, w_reg, iy, ch, xbase, ky, wbase, xptr, wptr, cnt, ld1, ld2, acc,
+    ]) {
+        return None;
+    }
+    let skip_lo = nest_path_cost(
+        w,
+        &[
+            (0, false),
+            (1, false),
+            (2, false),
+            (3, false),
+            (4, true),
+            (23, false),
+            (24, false),
+        ],
+    );
+    let skip_hi = nest_path_cost(
+        w,
+        &[
+            (0, false),
+            (1, false),
+            (2, false),
+            (3, false),
+            (4, false),
+            (5, true),
+            (23, false),
+            (24, false),
+        ],
+    );
+    let full_path: Vec<(usize, bool)> = (0..NEST_LEN).map(|i| (i, false)).collect();
+    let full1 = nest_path_cost(w, &full_path);
+    let extra_path: Vec<(usize, bool)> = (NEST_INNER_OFF..NEST_SKIP_OFF)
+        .map(|i| (i, i == NEST_SKIP_OFF - 1))
+        .collect();
+    let extra = nest_path_cost(w, &extra_path);
+    let detail = NestDetail {
+        kx,
+        kmax,
+        scratch,
+        ox,
+        ix_bias,
+        w: w_reg,
+        iy,
+        ch,
+        xbase,
+        ky,
+        ky_mul,
+        wbase,
+        xptr,
+        wptr,
+        trip_sh,
+        inner,
+        skip_lo,
+        skip_hi,
+        full1,
+        extra,
+    };
+    Some(FusedOp {
+        kind: FusedKind::ConvNest,
+        start: 0,
+        body_len: NEST_LEN,
+        cnt: kx,
+        base_cycles: detail.full1.cycles,
+        flush_on_take: w[24].flush_on_take as u64,
+        steady_stalls: detail.full1.stalls,
+        entry_reads_mask: w[0].reads_mask,
+        detail: FusedDetail::ConvNest(Box::new(detail)),
+    })
+}
+
+fn try_mac(entry_pc: u32, instrs: &[Decoded]) -> Option<FusedOp> {
+    let cnt = back_edge(entry_pc, instrs, 6)?;
+    if !decrements(instrs, 5, cnt) {
+        return None;
+    }
+    let (ld1, p1, off1) = match instrs[0].op {
+        Op::Lw(off) if instrs[0].rd != 0 => (instrs[0].rd, instrs[0].rs1, off),
+        _ => return None,
+    };
+    let (ld2, p2, off2) = match instrs[1].op {
+        Op::Lw(off) if instrs[1].rd != 0 => (instrs[1].rd, instrs[1].rs1, off),
+        _ => return None,
+    };
+    let four_bit = match instrs[2].op {
+        Op::Sdotp8 => false,
+        Op::Sdotp4 => true,
+        _ => return None,
+    };
+    let acc = instrs[2].rd;
+    let swap = if (instrs[2].rs1, instrs[2].rs2) == (ld1, ld2) {
+        false
+    } else if (instrs[2].rs1, instrs[2].rs2) == (ld2, ld1) {
+        true
+    } else {
+        return None;
+    };
+    let (ra, sa) = addi_self(&instrs[3])?;
+    let (rb, sb) = addi_self(&instrs[4])?;
+    let (s1, s2) = if (ra, rb) == (p1, p2) {
+        (sa, sb)
+    } else if (ra, rb) == (p2, p1) {
+        (sb, sa)
+    } else {
+        return None;
+    };
+    if !distinct_nonzero(&[p1, p2, ld1, ld2, acc, cnt]) {
+        return None;
+    }
+    let kind = if four_bit {
+        FusedKind::MacSdotp4
+    } else {
+        FusedKind::MacSdotp8
+    };
+    let detail = FusedDetail::Mac {
+        four_bit,
+        p1,
+        off1,
+        s1,
+        p2,
+        off2,
+        s2,
+        ld1,
+        ld2,
+        acc,
+        swap,
+    };
+    Some(fused(kind, instrs, 7, cnt, detail))
+}
+
+fn try_copy(entry_pc: u32, instrs: &[Decoded]) -> Option<FusedOp> {
+    let cnt = back_edge(entry_pc, instrs, 5)?;
+    if !decrements(instrs, 4, cnt) {
+        return None;
+    }
+    let (tmp, src, loff, lwidth, lsigned) = match instrs[0].op {
+        Op::Lb(off) => (instrs[0].rd, instrs[0].rs1, off, 1u8, true),
+        Op::Lbu(off) => (instrs[0].rd, instrs[0].rs1, off, 1, false),
+        Op::Lh(off) => (instrs[0].rd, instrs[0].rs1, off, 2, true),
+        Op::Lhu(off) => (instrs[0].rd, instrs[0].rs1, off, 2, false),
+        Op::Lw(off) => (instrs[0].rd, instrs[0].rs1, off, 4, false),
+        _ => return None,
+    };
+    if tmp == 0 {
+        return None;
+    }
+    let (dst, soff, swidth) = match instrs[1].op {
+        Op::Sb(off) => (instrs[1].rs1, off, 1u8),
+        Op::Sh(off) => (instrs[1].rs1, off, 2),
+        Op::Sw(off) => (instrs[1].rs1, off, 4),
+        _ => return None,
+    };
+    if instrs[1].rs2 != tmp {
+        return None;
+    }
+    let (ra, sa) = addi_self(&instrs[2])?;
+    let (rb, sb) = addi_self(&instrs[3])?;
+    let (ss, ds) = if (ra, rb) == (src, dst) {
+        (sa, sb)
+    } else if (ra, rb) == (dst, src) {
+        (sb, sa)
+    } else {
+        return None;
+    };
+    if !distinct_nonzero(&[src, dst, tmp, cnt]) {
+        return None;
+    }
+    let kind = if lwidth == swidth && ss == lwidth as u32 && ds == swidth as u32 {
+        FusedKind::Memcpy
+    } else {
+        FusedKind::StridedCopy
+    };
+    let detail = FusedDetail::Copy {
+        src,
+        loff,
+        ss,
+        dst,
+        soff,
+        ds,
+        tmp,
+        lwidth,
+        lsigned,
+        swidth,
+    };
+    Some(fused(kind, instrs, 6, cnt, detail))
+}
+
+fn try_memset(entry_pc: u32, instrs: &[Decoded]) -> Option<FusedOp> {
+    let cnt = back_edge(entry_pc, instrs, 3)?;
+    if !decrements(instrs, 2, cnt) {
+        return None;
+    }
+    let (p, off, width) = match instrs[0].op {
+        Op::Sb(off) => (instrs[0].rs1, off, 1u8),
+        Op::Sh(off) => (instrs[0].rs1, off, 2),
+        Op::Sw(off) => (instrs[0].rs1, off, 4),
+        _ => return None,
+    };
+    let val = instrs[0].rs2;
+    let (pr, stride) = addi_self(&instrs[1])?;
+    if pr != p {
+        return None;
+    }
+    // `val` may be x0 (zero fill) but must be loop-invariant, i.e. not
+    // the pointer or the counter.
+    if !distinct_nonzero(&[p, cnt]) || val == p || val == cnt {
+        return None;
+    }
+    let detail = FusedDetail::Memset {
+        p,
+        off,
+        stride,
+        width,
+        val,
+    };
+    Some(fused(FusedKind::Memset, instrs, 4, cnt, detail))
+}
+
+/// Whether every access of the affine stream `base + off + j*stride`
+/// (`j in 0..iters`, `width` bytes each) stays inside data memory
+/// *without wrapping the 32-bit address space*. Checked in wide
+/// arithmetic over the two endpoints; a failed check only means "run
+/// unfused", never a wrong result.
+fn stream_ok(dmem_len: usize, base: u32, off: u32, stride: u32, width: u8, iters: u64) -> bool {
+    let a0 = base.wrapping_add(off) as i128;
+    let s = stride as i32 as i128;
+    let last = a0 + s * (iters as i128 - 1);
+    let (lo, hi) = if s >= 0 { (a0, last) } else { (last, a0) };
+    lo >= DMEM_BASE as i128 && hi + width as i128 <= DMEM_BASE as i128 + dmem_len as i128
+}
+
+#[inline]
+fn load_elem(dmem: &[u8], at: usize, width: u8, signed: bool) -> u32 {
+    match (width, signed) {
+        (1, false) => dmem[at] as u32,
+        (1, true) => dmem[at] as i8 as i32 as u32,
+        (2, false) => u16::from_le_bytes([dmem[at], dmem[at + 1]]) as u32,
+        (2, true) => u16::from_le_bytes([dmem[at], dmem[at + 1]]) as i16 as i32 as u32,
+        _ => u32::from_le_bytes([dmem[at], dmem[at + 1], dmem[at + 2], dmem[at + 3]]),
+    }
+}
+
+#[inline]
+fn store_elem(dmem: &mut [u8], at: usize, value: u32, width: u8) {
+    match width {
+        1 => dmem[at] = value as u8,
+        2 => dmem[at..at + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+        _ => dmem[at..at + 4].copy_from_slice(&value.to_le_bytes()),
+    }
+}
+
+impl FusedOp {
+    /// Executes up to `max_iters` iterations of the fused loop directly
+    /// against the register file and data memory.
+    ///
+    /// Reads the live trip count from the counter register (a zero
+    /// counter wraps: these are do-while loops, so it means 2^32
+    /// iterations), executes `min(trip, max_iters)` iterations and
+    /// writes back every loop-carried register exactly as the unfused
+    /// body would have left it. Returns `None` — with **no** state
+    /// touched — when any planned access would leave data memory, so the
+    /// caller falls back to per-instruction dispatch and reproduces the
+    /// exact fault.
+    pub(crate) fn execute(
+        &self,
+        regs: &mut [u32; 32],
+        mem: &mut Memory,
+        max_iters: u64,
+    ) -> Option<FusedOutcome> {
+        let cnt0 = regs[self.cnt as usize];
+        let total = if cnt0 == 0 { 1u64 << 32 } else { cnt0 as u64 };
+        let iters = total.min(max_iters);
+        if iters == 0 {
+            return None;
+        }
+        match &self.detail {
+            // The nest has its own executor with per-path accounting.
+            FusedDetail::ConvNest(_) => return None,
+            FusedDetail::Mac {
+                four_bit,
+                p1,
+                off1,
+                s1,
+                p2,
+                off2,
+                s2,
+                ld1,
+                ld2,
+                acc,
+                swap,
+            } => {
+                let b1 = regs[*p1 as usize];
+                let b2 = regs[*p2 as usize];
+                let dmem = mem.dmem();
+                if !stream_ok(dmem.len(), b1, *off1, *s1, 4, iters)
+                    || !stream_ok(dmem.len(), b2, *off2, *s2, 4, iters)
+                {
+                    return None;
+                }
+                let mut a1 = b1.wrapping_add(*off1).wrapping_sub(DMEM_BASE) as usize;
+                let mut a2 = b2.wrapping_add(*off2).wrapping_sub(DMEM_BASE) as usize;
+                let s1i = *s1 as i32 as isize;
+                let s2i = *s2 as i32 as isize;
+                let mut accv = regs[*acc as usize] as i32;
+                let (mut w1, mut w2) = (0u32, 0u32);
+                for _ in 0..iters {
+                    w1 = u32::from_le_bytes([dmem[a1], dmem[a1 + 1], dmem[a1 + 2], dmem[a1 + 3]]);
+                    w2 = u32::from_le_bytes([dmem[a2], dmem[a2 + 1], dmem[a2 + 2], dmem[a2 + 3]]);
+                    let (x, y) = if *swap { (w2, w1) } else { (w1, w2) };
+                    // Same accumulation expression as the engines, so
+                    // overflow behaviour is identical too.
+                    accv += if *four_bit {
+                        sdotp4(x, y)
+                    } else {
+                        sdotp8(x, y)
+                    };
+                    a1 = a1.wrapping_add_signed(s1i);
+                    a2 = a2.wrapping_add_signed(s2i);
+                }
+                regs[*ld1 as usize] = w1;
+                regs[*ld2 as usize] = w2;
+                regs[*acc as usize] = accv as u32;
+                regs[*p1 as usize] = b1.wrapping_add((iters as u32).wrapping_mul(*s1));
+                regs[*p2 as usize] = b2.wrapping_add((iters as u32).wrapping_mul(*s2));
+            }
+            FusedDetail::Memset {
+                p,
+                off,
+                stride,
+                width,
+                val,
+            } => {
+                let base = regs[*p as usize];
+                let value = regs[*val as usize];
+                let dmem = mem.dmem_mut();
+                if !stream_ok(dmem.len(), base, *off, *stride, *width, iters) {
+                    return None;
+                }
+                let mut a = base.wrapping_add(*off).wrapping_sub(DMEM_BASE) as usize;
+                let si = *stride as i32 as isize;
+                if *width == 1 && si == 1 {
+                    dmem[a..a + iters as usize].fill(value as u8);
+                } else {
+                    for _ in 0..iters {
+                        store_elem(dmem, a, value, *width);
+                        a = a.wrapping_add_signed(si);
+                    }
+                }
+                regs[*p as usize] = base.wrapping_add((iters as u32).wrapping_mul(*stride));
+            }
+            FusedDetail::Copy {
+                src,
+                loff,
+                ss,
+                dst,
+                soff,
+                ds,
+                tmp,
+                lwidth,
+                lsigned,
+                swidth,
+            } => {
+                let sbase = regs[*src as usize];
+                let dbase = regs[*dst as usize];
+                let dmem = mem.dmem_mut();
+                if !stream_ok(dmem.len(), sbase, *loff, *ss, *lwidth, iters)
+                    || !stream_ok(dmem.len(), dbase, *soff, *ds, *swidth, iters)
+                {
+                    return None;
+                }
+                let mut sa = sbase.wrapping_add(*loff).wrapping_sub(DMEM_BASE) as usize;
+                let mut da = dbase.wrapping_add(*soff).wrapping_sub(DMEM_BASE) as usize;
+                let ssi = *ss as i32 as isize;
+                let dsi = *ds as i32 as isize;
+                let w = *lwidth as usize;
+                let span = w as u64 * iters;
+                let contiguous = lwidth == swidth && ssi == w as isize && dsi == w as isize;
+                let disjoint = (sa as u64 + span <= da as u64) || (da as u64 + span <= sa as u64);
+                let last;
+                if contiguous && disjoint {
+                    let n = span as usize;
+                    dmem.copy_within(sa..sa + n, da);
+                    last = load_elem(dmem, sa + n - w, *lwidth, *lsigned);
+                } else {
+                    let mut v = 0u32;
+                    for _ in 0..iters {
+                        v = load_elem(dmem, sa, *lwidth, *lsigned);
+                        store_elem(dmem, da, v, *swidth);
+                        sa = sa.wrapping_add_signed(ssi);
+                        da = da.wrapping_add_signed(dsi);
+                    }
+                    last = v;
+                }
+                regs[*tmp as usize] = last;
+                regs[*src as usize] = sbase.wrapping_add((iters as u32).wrapping_mul(*ss));
+                regs[*dst as usize] = dbase.wrapping_add((iters as u32).wrapping_mul(*ds));
+            }
+        }
+        regs[self.cnt as usize] = cnt0.wrapping_sub(iters as u32);
+        Some(FusedOutcome {
+            iters,
+            fell_through: iters == total,
+        })
+    }
+
+    /// Executes whole kernel-x iterations of a [`FusedKind::ConvNest`]
+    /// loop, stopping only at iteration boundaries.
+    ///
+    /// Each iteration replays the exact register effects of its
+    /// architectural path: the guards are evaluated on the live
+    /// registers, pointer setup uses the same wrapping arithmetic as the
+    /// instruction sequence, and the embedded channel loop runs through
+    /// the plain MAC executor. The loop stops — leaving the registers at
+    /// a clean iteration boundary, so the per-instruction pass resumed
+    /// at the nest head reproduces the exact fault, timeout or loop exit
+    /// — when the counter reaches the bound, when `budget` cannot cover
+    /// the next iteration in full, when the channel-loop trip count is
+    /// zero (the do-while underflow pathology) or when a channel-loop
+    /// access would leave data memory.
+    pub(crate) fn execute_nest(
+        &self,
+        regs: &mut [u32; 32],
+        mem: &mut Memory,
+        budget: u64,
+    ) -> NestOutcome {
+        let FusedDetail::ConvNest(d) = &self.detail else {
+            unreachable!("execute_nest on a non-nest op");
+        };
+        let (off1, s1, off2, s2, swap_ptrs) = match d.inner.detail {
+            FusedDetail::Mac {
+                p1,
+                off1,
+                s1,
+                off2,
+                s2,
+                ..
+            } => (off1, s1, off2, s2, p1 != d.xptr),
+            _ => unreachable!("nest inner is always a MAC loop"),
+        };
+        let mut out = NestOutcome::default();
+        let mut budget = budget;
+        loop {
+            let kx = regs[d.kx as usize];
+            if (kx as i32) >= (d.kmax as i32) {
+                break;
+            }
+            let ix = regs[d.ox as usize].wrapping_add(kx).wrapping_add(d.ix_bias);
+            let skip_lo = (ix as i32) < 0;
+            let skip_hi = !skip_lo && (ix as i32) >= (regs[d.w as usize] as i32);
+            if skip_lo || skip_hi {
+                let cost = if skip_lo {
+                    d.skip_lo.instret
+                } else {
+                    d.skip_hi.instret
+                };
+                if budget < cost {
+                    break;
+                }
+                budget -= cost;
+                regs[d.scratch as usize] = ix;
+                regs[d.kx as usize] = kx.wrapping_add(1);
+                if skip_lo {
+                    out.skip_lo += 1;
+                } else {
+                    out.skip_hi += 1;
+                }
+                continue;
+            }
+            let ch = regs[d.ch as usize];
+            let trip0 = ch >> d.trip_sh;
+            if trip0 == 0 {
+                break;
+            }
+            let trip = trip0 as u64;
+            let cost = d.full1.instret + (trip - 1) * d.extra.instret;
+            if budget < cost {
+                break;
+            }
+            let xptr = regs[d.iy as usize]
+                .wrapping_mul(regs[d.w as usize])
+                .wrapping_add(ix)
+                .wrapping_mul(ch)
+                .wrapping_add(regs[d.xbase as usize]);
+            let wptr = d
+                .ky_mul
+                .wrapping_mul(regs[d.ky as usize])
+                .wrapping_add(kx)
+                .wrapping_mul(ch)
+                .wrapping_add(regs[d.wbase as usize]);
+            // Validate both channel-loop streams *before* touching any
+            // register, so a declined iteration leaves the boundary
+            // state untouched.
+            let (b1, b2) = if swap_ptrs {
+                (wptr, xptr)
+            } else {
+                (xptr, wptr)
+            };
+            let dlen = mem.dmem().len();
+            if !stream_ok(dlen, b1, off1, s1, 4, trip) || !stream_ok(dlen, b2, off2, s2, 4, trip) {
+                break;
+            }
+            budget -= cost;
+            regs[d.scratch as usize] = ix;
+            regs[d.xptr as usize] = xptr;
+            regs[d.wptr as usize] = wptr;
+            regs[d.inner.cnt as usize] = trip0;
+            d.inner
+                .execute(regs, mem, trip)
+                .expect("pre-validated channel-loop streams");
+            regs[d.kx as usize] = kx.wrapping_add(1);
+            out.full += 1;
+            out.inner_extra += trip - 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::reg;
+
+    const ENTRY: u32 = 0x40;
+
+    fn dec(program: &[Instr]) -> Vec<Decoded> {
+        program
+            .iter()
+            .enumerate()
+            .map(|(i, &instr)| Decoded::new(instr, ENTRY + 4 * i as u32))
+            .collect()
+    }
+
+    /// The exact 7-instruction MAC reduction loop the kernel code
+    /// generator emits for SDOTP channel loops.
+    fn mac_loop(four_bit: bool) -> Vec<Instr> {
+        let sdotp = if four_bit {
+            Instr::Sdotp4 {
+                rd: reg::S7,
+                rs1: reg::T4,
+                rs2: reg::T5,
+            }
+        } else {
+            Instr::Sdotp8 {
+                rd: reg::S7,
+                rs1: reg::T4,
+                rs2: reg::T5,
+            }
+        };
+        vec![
+            Instr::Load {
+                op: crate::LoadOp::Lw,
+                rd: reg::T4,
+                rs1: reg::T1,
+                offset: 0,
+            },
+            Instr::Load {
+                op: crate::LoadOp::Lw,
+                rd: reg::T5,
+                rs1: reg::T2,
+                offset: 0,
+            },
+            sdotp,
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::T2,
+                imm: 4,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -24,
+            },
+        ]
+    }
+
+    fn copy_loop(load: crate::LoadOp, store: crate::StoreOp, ss: i32, ds: i32) -> Vec<Instr> {
+        vec![
+            Instr::Load {
+                op: load,
+                rd: reg::T4,
+                rs1: reg::T1,
+                offset: 0,
+            },
+            Instr::Store {
+                op: store,
+                rs1: reg::T2,
+                rs2: reg::T4,
+                offset: 0,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: ss,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::T2,
+                imm: ds,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -20,
+            },
+        ]
+    }
+
+    fn memset_loop(store: crate::StoreOp, stride: i32, val: u8) -> Vec<Instr> {
+        vec![
+            Instr::Store {
+                op: store,
+                rs1: reg::T1,
+                rs2: val,
+                offset: 0,
+            },
+            Instr::Addi {
+                rd: reg::T1,
+                rs1: reg::T1,
+                imm: stride,
+            },
+            Instr::Addi {
+                rd: reg::T3,
+                rs1: reg::T3,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Bne,
+                rs1: reg::T3,
+                rs2: reg::ZERO,
+                offset: -12,
+            },
+        ]
+    }
+
+    /// The primary recognised op, as most tests only care about it.
+    fn recognize1(instrs: &[Decoded]) -> Option<FusedOp> {
+        recognize(instrs).0
+    }
+
+    #[test]
+    fn recognizes_the_kernel_mac_loops() {
+        for (four_bit, kind) in [(false, FusedKind::MacSdotp8), (true, FusedKind::MacSdotp4)] {
+            let f = recognize1(&dec(&mac_loop(four_bit))).expect("mac loop should fuse");
+            assert_eq!(f.kind, kind);
+            assert_eq!(f.body_len, 7);
+            assert_eq!(f.cnt, reg::T3);
+            // The sdotp reads t5 one instruction after its lw: exactly one
+            // steady-state load-use stall per iteration.
+            assert_eq!(f.steady_stalls, LOAD_USE_STALL);
+            assert!(f.flush_on_take > 0);
+        }
+    }
+
+    #[test]
+    fn classifies_copy_loops_by_stride() {
+        use crate::{LoadOp, StoreOp};
+        let unit = |f: FusedOp| f.kind;
+        assert_eq!(
+            unit(recognize1(&dec(&copy_loop(LoadOp::Lw, StoreOp::Sw, 4, 4))).unwrap()),
+            FusedKind::Memcpy
+        );
+        assert_eq!(
+            unit(recognize1(&dec(&copy_loop(LoadOp::Lbu, StoreOp::Sb, 1, 1))).unwrap()),
+            FusedKind::Memcpy
+        );
+        // im2col-style gather: byte copy walking the source by a row pitch.
+        assert_eq!(
+            unit(recognize1(&dec(&copy_loop(LoadOp::Lb, StoreOp::Sb, 9, 1))).unwrap()),
+            FusedKind::StridedCopy
+        );
+        // Width-changing copies never qualify as memcpy.
+        assert_eq!(
+            unit(recognize1(&dec(&copy_loop(LoadOp::Lh, StoreOp::Sb, 2, 1))).unwrap()),
+            FusedKind::StridedCopy
+        );
+    }
+
+    #[test]
+    fn recognizes_memset_including_zero_fill() {
+        use crate::StoreOp;
+        for (store, stride) in [
+            (StoreOp::Sb, 1),
+            (StoreOp::Sh, 2),
+            (StoreOp::Sw, 4),
+            (StoreOp::Sb, 3),
+        ] {
+            let f = recognize1(&dec(&memset_loop(store, stride, reg::ZERO)))
+                .expect("memset loop should fuse");
+            assert_eq!(f.kind, FusedKind::Memset);
+            assert_eq!(f.body_len, 4);
+        }
+        // Non-zero fill value is fine too.
+        assert!(recognize1(&dec(&memset_loop(StoreOp::Sb, 1, reg::A0))).is_some());
+    }
+
+    #[test]
+    fn rejects_aliased_or_malformed_loops() {
+        use crate::{BranchOp, LoadOp, StoreOp};
+        // Counter aliases a pointer.
+        let mut p = copy_loop(LoadOp::Lw, StoreOp::Sw, 4, 4);
+        if let Instr::Addi { rd, rs1, .. } = &mut p[4] {
+            *rd = reg::T1;
+            *rs1 = reg::T1;
+        }
+        if let Instr::Branch { rs1, .. } = &mut p[5] {
+            *rs1 = reg::T1;
+        }
+        assert!(recognize1(&dec(&p)).is_none());
+
+        // Memset whose "value" register is the walked pointer.
+        assert!(recognize1(&dec(&memset_loop(StoreOp::Sb, 1, reg::T1))).is_none());
+
+        // Back edge to somewhere other than the trace entry.
+        let p = mac_loop(false);
+        assert!(recognize1(&dec(&p)[1..]).is_none());
+
+        // Decrement by something other than -1.
+        let mut p = mac_loop(false);
+        if let Instr::Addi { imm, .. } = &mut p[5] {
+            *imm = -2;
+        }
+        assert!(recognize1(&dec(&p)).is_none());
+
+        // `bne` against a non-zero register is not a counted loop.
+        let mut p = mac_loop(false);
+        if let Instr::Branch { rs2, .. } = &mut p[6] {
+            *rs2 = reg::A0;
+        }
+        assert!(recognize1(&dec(&p)).is_none());
+
+        // `beq` back edges never fuse.
+        let mut p = mac_loop(false);
+        if let Instr::Branch { op, .. } = &mut p[6] {
+            *op = BranchOp::Beq;
+        }
+        assert!(recognize1(&dec(&p)).is_none());
+    }
+
+    #[test]
+    fn executor_runs_a_memcpy_and_writes_back_loop_registers() {
+        use crate::{LoadOp, StoreOp};
+        let f = recognize1(&dec(&copy_loop(LoadOp::Lw, StoreOp::Sw, 4, 4))).unwrap();
+        let mut mem = Memory::new(1024, 1024);
+        let src: Vec<u8> = (0u8..64).collect();
+        mem.write_dmem(DMEM_BASE, &src);
+        let mut regs = [0u32; 32];
+        regs[reg::T1 as usize] = DMEM_BASE;
+        regs[reg::T2 as usize] = DMEM_BASE + 256;
+        regs[reg::T3 as usize] = 16;
+        let out = f.execute(&mut regs, &mut mem, u64::MAX).unwrap();
+        assert_eq!(out.iters, 16);
+        assert!(out.fell_through);
+        assert_eq!(mem.read_dmem(DMEM_BASE + 256, 64), &src[..]);
+        assert_eq!(regs[reg::T1 as usize], DMEM_BASE + 64);
+        assert_eq!(regs[reg::T2 as usize], DMEM_BASE + 256 + 64);
+        assert_eq!(regs[reg::T3 as usize], 0);
+        // tmp holds the last word copied.
+        assert_eq!(regs[reg::T4 as usize], u32::from_le_bytes([60, 61, 62, 63]));
+    }
+
+    #[test]
+    fn executor_caps_iterations_at_the_budget() {
+        use crate::StoreOp;
+        let f = recognize1(&dec(&memset_loop(StoreOp::Sb, 1, reg::A0))).unwrap();
+        let mut mem = Memory::new(1024, 1024);
+        let mut regs = [0u32; 32];
+        regs[reg::T1 as usize] = DMEM_BASE;
+        regs[reg::T3 as usize] = 100;
+        regs[reg::A0 as usize] = 0xAB;
+        let out = f.execute(&mut regs, &mut mem, 40).unwrap();
+        assert_eq!(out.iters, 40);
+        assert!(!out.fell_through);
+        assert_eq!(regs[reg::T3 as usize], 60);
+        let mut want = vec![0xABu8; 40];
+        want.push(0);
+        assert_eq!(mem.read_dmem(DMEM_BASE, 41), &want[..]);
+    }
+
+    #[test]
+    fn executor_declines_out_of_bounds_streams_and_zero_budgets() {
+        use crate::StoreOp;
+        let f = recognize1(&dec(&memset_loop(StoreOp::Sw, 4, reg::ZERO))).unwrap();
+        let mut mem = Memory::new(1024, 1024);
+        let mut regs = [0u32; 32];
+        // Trip count runs 4 bytes past the 1 KiB data memory.
+        regs[reg::T1 as usize] = DMEM_BASE + 1024 - 16;
+        regs[reg::T3 as usize] = 5;
+        let saved = regs;
+        assert!(f.execute(&mut regs, &mut mem, u64::MAX).is_none());
+        assert_eq!(regs, saved, "a declined execute must not touch state");
+        // An address below data memory declines too.
+        regs[reg::T1 as usize] = DMEM_BASE - 4;
+        regs[reg::T3 as usize] = 2;
+        assert!(f.execute(&mut regs, &mut mem, u64::MAX).is_none());
+        // Zero budget declines regardless of the counter.
+        regs[reg::T1 as usize] = DMEM_BASE;
+        assert!(f.execute(&mut regs, &mut mem, 0).is_none());
+    }
+
+    #[test]
+    fn executor_treats_zero_counter_as_a_full_wrap() {
+        use crate::StoreOp;
+        let f = recognize1(&dec(&memset_loop(StoreOp::Sb, 1, reg::ZERO))).unwrap();
+        let mut mem = Memory::new(1024, 1024);
+        mem.write_dmem(DMEM_BASE, &[0xFF; 16]);
+        let mut regs = [0u32; 32];
+        regs[reg::T1 as usize] = DMEM_BASE;
+        regs[reg::T3 as usize] = 0;
+        // A do-while loop entered with cnt == 0 runs 2^32 iterations; a
+        // 10-iteration budget caps it and leaves the counter wrapped.
+        let out = f.execute(&mut regs, &mut mem, 10).unwrap();
+        assert_eq!(out.iters, 10);
+        assert!(!out.fell_through);
+        assert_eq!(regs[reg::T3 as usize], 0u32.wrapping_sub(10));
+        assert_eq!(
+            mem.read_dmem(DMEM_BASE, 11),
+            [[0u8; 10].as_slice(), &[0xFF]].concat()
+        );
+    }
+
+    /// The exact 25-instruction kernel-x guard loop `emit_conv3x3`
+    /// generates: kx in t6, ix scratch t0, output-x s6, spatial size a4,
+    /// input row s11, bytes-per-pixel a5, input base a0, kernel-y s8,
+    /// weight base s10, pointers t1/t2, counter t3, accumulator s7.
+    fn nest_loop() -> Vec<Instr> {
+        let mut p = vec![
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::ZERO,
+                imm: 3,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Bge,
+                rs1: reg::T6,
+                rs2: reg::T0,
+                offset: 24 * 4, // kx_end, past the closing jal
+            },
+            Instr::Add {
+                rd: reg::T0,
+                rs1: reg::S6,
+                rs2: reg::T6,
+            },
+            Instr::Addi {
+                rd: reg::T0,
+                rs1: reg::T0,
+                imm: -1,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Blt,
+                rs1: reg::T0,
+                rs2: reg::ZERO,
+                offset: (23 - 4) * 4,
+            },
+            Instr::Branch {
+                op: crate::BranchOp::Bge,
+                rs1: reg::T0,
+                rs2: reg::A4,
+                offset: (23 - 5) * 4,
+            },
+            Instr::Mul {
+                rd: reg::T1,
+                rs1: reg::S11,
+                rs2: reg::A4,
+            },
+            Instr::Add {
+                rd: reg::T1,
+                rs1: reg::T1,
+                rs2: reg::T0,
+            },
+            Instr::Mul {
+                rd: reg::T1,
+                rs1: reg::T1,
+                rs2: reg::A5,
+            },
+            Instr::Add {
+                rd: reg::T1,
+                rs1: reg::T1,
+                rs2: reg::A0,
+            },
+            Instr::Addi {
+                rd: reg::T2,
+                rs1: reg::ZERO,
+                imm: 3,
+            },
+            Instr::Mul {
+                rd: reg::T2,
+                rs1: reg::T2,
+                rs2: reg::S8,
+            },
+            Instr::Add {
+                rd: reg::T2,
+                rs1: reg::T2,
+                rs2: reg::T6,
+            },
+            Instr::Mul {
+                rd: reg::T2,
+                rs1: reg::T2,
+                rs2: reg::A5,
+            },
+            Instr::Add {
+                rd: reg::T2,
+                rs1: reg::T2,
+                rs2: reg::S10,
+            },
+            Instr::Srli {
+                rd: reg::T3,
+                rs1: reg::A5,
+                shamt: 2,
+            },
+        ];
+        p.extend(mac_loop(false));
+        p.push(Instr::Addi {
+            rd: reg::T6,
+            rs1: reg::T6,
+            imm: 1,
+        });
+        p.push(Instr::Jal {
+            rd: reg::ZERO,
+            offset: -24 * 4,
+        });
+        p
+    }
+
+    #[test]
+    fn recognizes_the_conv_kx_nest() {
+        let (primary, inner) = recognize(&dec(&nest_loop()));
+        let f = primary.expect("nest should fuse");
+        assert_eq!(f.kind, FusedKind::ConvNest);
+        assert_eq!(f.start, 0);
+        assert_eq!(f.body_len, NEST_LEN);
+        let FusedDetail::ConvNest(d) = &f.detail else {
+            panic!("nest kind without nest detail");
+        };
+        assert_eq!(
+            (d.kx, d.scratch, d.ox, d.w, d.iy, d.ch, d.xbase),
+            (
+                reg::T6,
+                reg::T0,
+                reg::S6,
+                reg::A4,
+                reg::S11,
+                reg::A5,
+                reg::A0
+            )
+        );
+        assert_eq!(
+            (d.ky, d.wbase, d.xptr, d.wptr),
+            (reg::S8, reg::S10, reg::T1, reg::T2)
+        );
+        assert_eq!(
+            (d.kmax, d.ky_mul, d.trip_sh, d.ix_bias),
+            (3, 3, 2, u32::MAX)
+        );
+        // Path shapes: 7-instruction left skip, 8-instruction right skip,
+        // 25-instruction full iteration, 7-instruction extra channel pass.
+        assert_eq!(
+            [
+                d.skip_lo.instret,
+                d.skip_hi.instret,
+                d.full1.instret,
+                d.extra.instret
+            ],
+            [7, 8, 25, 7]
+        );
+        // Only the channel loop has the lw->sdotp interlock.
+        assert_eq!(d.skip_lo.stalls, 0);
+        assert_eq!(d.full1.stalls, LOAD_USE_STALL);
+        assert_eq!(d.extra.stalls, LOAD_USE_STALL);
+        // Every path flushes at least once (guard or jump).
+        assert!(d.skip_lo.flushes > 0 && d.full1.flushes > 0 && d.extra.flushes > 0);
+        // The embedded channel loop rides along for the Maupiti fallback.
+        let inner = inner.expect("nest carries its inner loop");
+        assert_eq!(inner.kind, FusedKind::MacSdotp8);
+        assert_eq!(inner.start, NEST_INNER_OFF);
+    }
+
+    #[test]
+    fn rejects_malformed_nests() {
+        // A truncated window (no closing jal) is not a nest; the embedded
+        // channel loop at offset 16 still fuses on its own.
+        let mut p = nest_loop();
+        p.pop();
+        let (f, inner) = recognize(&dec(&p));
+        assert_eq!(
+            f.expect("inner mac should still fuse").kind,
+            FusedKind::MacSdotp8
+        );
+        assert!(inner.is_none());
+
+        // Guards skipping anywhere but the `addi kx` tail are not a nest
+        // (the channel loop may still fuse on its own).
+        let mut p = nest_loop();
+        if let Instr::Branch { offset, .. } = &mut p[4] {
+            *offset += 4;
+        }
+        assert!(recognize(&dec(&p))
+            .0
+            .is_none_or(|f| f.kind != FusedKind::ConvNest));
+
+        // A counter register aliasing the kernel-x register is rejected.
+        let mut p = nest_loop();
+        if let Instr::Srli { rd, .. } = &mut p[15] {
+            *rd = reg::T6;
+        }
+        assert!(recognize(&dec(&p))
+            .0
+            .is_none_or(|f| f.kind != FusedKind::ConvNest));
+    }
+
+    #[test]
+    fn nest_executor_walks_guards_and_full_iterations() {
+        let f = recognize(&dec(&nest_loop())).0.unwrap();
+        let mut mem = Memory::new(1024, 4096);
+        let bytes: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(23) >> 3) as u8)
+            .collect();
+        mem.write_dmem(DMEM_BASE, &bytes);
+        // W = 4, ch = 4 bytes (trip 1), iy = 1, ky = 1, ox = 0:
+        // kx 0 -> ix -1 (left skip), kx 1/2 -> full iterations.
+        let mut regs = [0u32; 32];
+        regs[reg::A4 as usize] = 4;
+        regs[reg::A5 as usize] = 4;
+        regs[reg::S11 as usize] = 1;
+        regs[reg::S8 as usize] = 1;
+        regs[reg::A0 as usize] = DMEM_BASE;
+        regs[reg::S10 as usize] = DMEM_BASE + 512;
+        let mut full_budget = regs;
+        let out = f.execute_nest(&mut full_budget, &mut mem, u64::MAX);
+        assert_eq!(
+            (out.skip_lo, out.skip_hi, out.full, out.inner_extra),
+            (1, 0, 2, 0)
+        );
+        assert_eq!(out.iters(), 3);
+        assert_eq!(full_budget[reg::T6 as usize], 3, "kx ran to the bound");
+        assert_eq!(full_budget[reg::T3 as usize], 0, "channel counter spent");
+        // A budget covering only the skip and one full iteration stops at
+        // the iteration boundary.
+        let mut capped = regs;
+        let out = f.execute_nest(&mut capped, &mut mem, 7 + 25);
+        assert_eq!((out.skip_lo, out.full), (1, 1));
+        assert_eq!(capped[reg::T6 as usize], 2);
+        // ox = W - 1 exercises the right-padding guard on the last kx.
+        let mut right = regs;
+        right[reg::S6 as usize] = 3;
+        let out = f.execute_nest(&mut right, &mut mem, u64::MAX);
+        assert_eq!((out.skip_lo, out.skip_hi, out.full), (0, 1, 2));
+        // An out-of-bounds channel stream declines at the iteration
+        // boundary without touching the counter.
+        let mut oob = regs;
+        oob[reg::S11 as usize] = 100_000;
+        let before = oob;
+        let out = f.execute_nest(&mut oob, &mut mem, u64::MAX);
+        assert_eq!(
+            (out.iters(), out.skip_lo),
+            (1, 1),
+            "only the guard skip ran"
+        );
+        assert_eq!(oob[reg::T6 as usize], 1);
+        assert_eq!(oob[reg::T1 as usize], before[reg::T1 as usize]);
+    }
+
+    #[test]
+    fn overlapping_copy_matches_element_by_element_semantics() {
+        use crate::{LoadOp, StoreOp};
+        let f = recognize1(&dec(&copy_loop(LoadOp::Lbu, StoreOp::Sb, 1, 1))).unwrap();
+        let mut mem = Memory::new(1024, 1024);
+        mem.write_dmem(DMEM_BASE, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut regs = [0u32; 32];
+        // dst = src + 1 with forward element order smears the first byte.
+        regs[reg::T1 as usize] = DMEM_BASE;
+        regs[reg::T2 as usize] = DMEM_BASE + 1;
+        regs[reg::T3 as usize] = 4;
+        f.execute(&mut regs, &mut mem, u64::MAX).unwrap();
+        assert_eq!(mem.read_dmem(DMEM_BASE, 8), &[1, 1, 1, 1, 1, 6, 7, 8]);
+    }
+}

@@ -51,6 +51,7 @@
 mod block;
 mod cpu;
 mod engine;
+mod fusion;
 mod instr;
 mod mem_model;
 mod memory;

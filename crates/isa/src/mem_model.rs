@@ -181,32 +181,40 @@ impl MemModelState {
         extra
     }
 
-    /// Charges the retired prefix of one trace execution in a single call
-    /// (block-cached engine path), equivalent to [`MemModelState::step`]
-    /// applied to each of the prefix's `n` instructions.
+    /// Charges the retired trace segment `[start, n)` of one trace
+    /// execution in a single call (block-cached engine path), equivalent
+    /// to [`MemModelState::step`] applied to each of the segment's
+    /// instructions. `start` is 0 for a whole retired prefix; it is
+    /// nonzero only when the engine resumes a trace past a fused loop
+    /// whose earlier positions were already charged in bulk.
     ///
     /// `mem_prefix[i]` counts the data accesses among the trace's first
     /// `i` instructions and `redirects` holds the ascending trace
     /// positions of instructions that unconditionally redirect the PC
     /// (followed and terminator jumps) — both precomputed per block.
-    /// `exit_redirect` is set when the prefix leaves through a taken side
-    /// exit (its final instruction is a taken conditional branch).
+    /// `exit_redirect` is set when the segment leaves through a taken
+    /// side exit (its final instruction is a taken conditional branch).
     /// Returns the extra stall cycles to charge.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn charge_prefix(
         &mut self,
         cfg: &MaupitiMemConfig,
         mem_prefix: &[u32],
         redirects: &[u32],
+        start: usize,
         n: usize,
         exit_redirect: bool,
         stats: &mut MemStats,
     ) -> u64 {
         let mut contended = 0u64;
         let mut misses = 0u64;
-        let mut pos = 0usize;
+        let mut pos = start;
         let mut w = self.window_left as usize;
         for &r in redirects {
             let r = r as usize;
+            if r < start {
+                continue;
+            }
             if r >= n {
                 break;
             }
@@ -239,6 +247,43 @@ impl MemModelState {
         stats.dmem_stall_cycles += dmem;
         imem + dmem
     }
+
+    /// Charges `iters` back-to-back taken-back-edge executions of the
+    /// same loop body occupying trace positions `[start, n)` (a fused
+    /// loop), equivalent to calling [`MemModelState::charge_prefix`]
+    /// over that segment with `exit_redirect = true` that many times.
+    /// The first iteration is charged from the live carry-in window;
+    /// every taken exit then resets the window to
+    /// [`MaupitiMemConfig::prefetch_entries`], so all later iterations
+    /// charge identically and can be costed once and multiplied. Returns
+    /// the total extra stall cycles.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn charge_loop(
+        &mut self,
+        cfg: &MaupitiMemConfig,
+        mem_prefix: &[u32],
+        redirects: &[u32],
+        start: usize,
+        n: usize,
+        iters: u64,
+        stats: &mut MemStats,
+    ) -> u64 {
+        if iters == 0 {
+            return 0;
+        }
+        let mut total = self.charge_prefix(cfg, mem_prefix, redirects, start, n, true, stats);
+        if iters > 1 {
+            let mut steady = MemStats::default();
+            let per = self.charge_prefix(cfg, mem_prefix, redirects, start, n, true, &mut steady);
+            let k = iters - 1;
+            total += per * k;
+            stats.fetch_misses += steady.fetch_misses * k;
+            stats.imem_stall_cycles += steady.imem_stall_cycles * k;
+            stats.contended_accesses += steady.contended_accesses * k;
+            stats.dmem_stall_cycles += steady.dmem_stall_cycles * k;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +296,7 @@ mod tests {
         cfg: &MaupitiMemConfig,
         is_mem: &[bool],
         redirect_at: &[usize],
+        seg_start: usize,
         start_window: u32,
         exit_redirect: bool,
     ) {
@@ -269,6 +315,7 @@ mod tests {
             cfg,
             &mem_prefix,
             &redirects,
+            seg_start,
             n,
             exit_redirect,
             &mut fast_stats,
@@ -279,7 +326,7 @@ mod tests {
         };
         let mut slow_stats = MemStats::default();
         let mut slow_cycles = 0u64;
-        for (i, &mem) in is_mem.iter().enumerate() {
+        for (i, &mem) in is_mem.iter().enumerate().skip(seg_start) {
             let is_redirect = redirect_at.contains(&i) || (exit_redirect && i == n - 1);
             slow_cycles += slow.step(cfg, mem, is_redirect, &mut slow_stats);
         }
@@ -292,23 +339,130 @@ mod tests {
     fn prefix_charge_matches_per_instruction_stepping() {
         let cfg = MaupitiMemConfig::default();
         // No redirects, cold start: nothing charged.
-        assert_paths_agree(&cfg, &[true, true, false, true], &[], 0, false);
+        assert_paths_agree(&cfg, &[true, true, false, true], &[], 0, 0, false);
         // Carry-in window covers the first accesses only.
-        assert_paths_agree(&cfg, &[true, true, false, true, true, true], &[], 3, false);
+        assert_paths_agree(
+            &cfg,
+            &[true, true, false, true, true, true],
+            &[],
+            0,
+            3,
+            false,
+        );
         // Mid-prefix redirect opens a fresh window.
         assert_paths_agree(
             &cfg,
             &[true, false, false, true, true, false],
             &[2],
             0,
+            0,
             false,
         );
         // Redirect as the last instruction carries a full window out.
-        assert_paths_agree(&cfg, &[false, true, false], &[2], 2, false);
+        assert_paths_agree(&cfg, &[false, true, false], &[2], 0, 2, false);
         // Taken side exit redirects at the end of the prefix.
-        assert_paths_agree(&cfg, &[true, true, false], &[], 4, true);
+        assert_paths_agree(&cfg, &[true, true, false], &[], 0, 4, true);
         // Back-to-back redirects.
-        assert_paths_agree(&cfg, &[false, false, true, true], &[0, 1], 1, false);
+        assert_paths_agree(&cfg, &[false, false, true, true], &[0, 1], 0, 1, false);
+        // Mid-trace segments (resume past a fused loop): redirects before
+        // the segment are out of range and must be ignored.
+        assert_paths_agree(&cfg, &[true, true, true, true, true], &[], 2, 4, false);
+        assert_paths_agree(&cfg, &[true, false, true, true, false], &[1], 3, 2, true);
+        assert_paths_agree(
+            &cfg,
+            &[true, true, false, true, false, true],
+            &[1, 4],
+            2,
+            3,
+            false,
+        );
+    }
+
+    /// `charge_loop` must equal `iters` sequential taken-exit
+    /// `charge_prefix` calls — cycles, counters and carry state.
+    fn assert_loop_agrees(
+        cfg: &MaupitiMemConfig,
+        is_mem: &[bool],
+        redirect_at: &[usize],
+        seg_start: usize,
+        start_window: u32,
+        iters: u64,
+    ) {
+        let n = is_mem.len();
+        let mut mem_prefix = vec![0u32; n + 1];
+        for i in 0..n {
+            mem_prefix[i + 1] = mem_prefix[i] + is_mem[i] as u32;
+        }
+        let redirects: Vec<u32> = redirect_at.iter().map(|&r| r as u32).collect();
+
+        let mut fast = MemModelState {
+            window_left: start_window,
+        };
+        let mut fast_stats = MemStats::default();
+        let fast_cycles = fast.charge_loop(
+            cfg,
+            &mem_prefix,
+            &redirects,
+            seg_start,
+            n,
+            iters,
+            &mut fast_stats,
+        );
+
+        let mut slow = MemModelState {
+            window_left: start_window,
+        };
+        let mut slow_stats = MemStats::default();
+        let mut slow_cycles = 0u64;
+        for _ in 0..iters {
+            slow_cycles += slow.charge_prefix(
+                cfg,
+                &mem_prefix,
+                &redirects,
+                seg_start,
+                n,
+                true,
+                &mut slow_stats,
+            );
+        }
+        assert_eq!(fast_cycles, slow_cycles, "loop cycle charge diverged");
+        assert_eq!(fast_stats, slow_stats, "loop stall counters diverged");
+        assert_eq!(fast.window_left, slow.window_left, "loop carry diverged");
+    }
+
+    #[test]
+    fn loop_charge_matches_repeated_prefix_charges() {
+        let cfg = MaupitiMemConfig::default();
+        // The CNN MAC body shape: two loads early, then ALU + branch.
+        let mac = [true, true, false, false, false, false, false];
+        for iters in [0, 1, 2, 3, 17, 1000] {
+            assert_loop_agrees(&cfg, &mac, &[], 0, 0, iters);
+            // Warm carry-in window (mid-run entry).
+            assert_loop_agrees(&cfg, &mac, &[], 0, 4, iters);
+            assert_loop_agrees(&cfg, &mac, &[], 0, 2, iters);
+        }
+        // Short memset body, and a deep window that outlives the body.
+        assert_loop_agrees(&cfg, &[true, false, false, false], &[], 0, 3, 5);
+        let deep = MaupitiMemConfig {
+            prefetch_entries: 16,
+            refill_cycles: 7,
+            contention_cycles: 3,
+        };
+        assert_loop_agrees(
+            &deep,
+            &[true, true, false, false, false, false],
+            &[],
+            0,
+            9,
+            12,
+        );
+        // A loop body embedded mid-trace: only positions past `start`
+        // belong to an iteration.
+        let embedded = [false, true, false, true, true, false, false, false, false];
+        for iters in [1, 2, 5, 40] {
+            assert_loop_agrees(&cfg, &embedded, &[], 2, 3, iters);
+            assert_loop_agrees(&cfg, &embedded, &[1], 2, 0, iters);
+        }
     }
 
     #[test]

@@ -254,6 +254,21 @@ impl Deployment {
         self.base_cpu.set_superblock_chaining(enabled);
     }
 
+    /// Whether the block-cached engine lowers recognised loop idioms
+    /// (SDOTP MAC reductions, memset/memcpy/strided copies) to fused
+    /// host-level loops.
+    pub fn macro_fusion(&self) -> bool {
+        self.base_cpu.macro_fusion()
+    }
+
+    /// Enables or disables macro-op fusion on the simulator engine
+    /// (enabled by default; architectural results, instruction counts
+    /// and cycle accounting are identical either way). Used by the
+    /// throughput bench to measure the fusion speedup.
+    pub fn set_macro_fusion(&mut self, enabled: bool) {
+        self.base_cpu.set_macro_fusion(enabled);
+    }
+
     /// Runs one inference on an ambient-normalised 8x8 frame.
     ///
     /// # Errors
@@ -485,6 +500,22 @@ impl Deployment {
         cpu.set_exec_mode(ExecMode::BlockCached);
         self.run_frame_on(&mut cpu, frame)?;
         Ok(cpu.hottest_blocks(n))
+    }
+
+    /// Runs one inference on `frame` under [`ExecMode::BlockCached`] and
+    /// returns the aggregated macro-op fusion profile: one `(pattern
+    /// name, fused trace entries, fused loop iterations)` triple per
+    /// recognised loop idiom, sorted by pattern name. Empty when fusion
+    /// is disabled on this deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator faults.
+    pub fn fusion_profile(&self, frame: &[f32]) -> Result<Vec<(&'static str, u64, u64)>, SimError> {
+        let mut cpu = self.base_cpu.clone();
+        cpu.set_exec_mode(ExecMode::BlockCached);
+        self.run_frame_on(&mut cpu, frame)?;
+        Ok(cpu.fusion_profile())
     }
 
     /// Builds a static + dynamic cost report using `frame` as the sample

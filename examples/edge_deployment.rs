@@ -82,12 +82,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Hot-spot profile: the superblocks where the MAUPITI inference spends
-    // its instructions and memory stalls, as machine-readable JSON.
+    // its instructions and memory stalls, as machine-readable JSON. The
+    // fused_* columns show which blocks the block engine ran as macro-op
+    // fused loops (SDOTP channel loops, conv3x3 guard nests, memset/copy)
+    // and how many loop iterations each fused entry absorbed.
     let mut profiled = Deployment::new(&model, Target::Maupiti)?;
     profiled.set_memory_model(MemoryModel::maupiti());
     let hot = profiled.hottest_blocks(frame, 5)?;
     println!("\nhottest superblocks (MAUPITI, maupiti memory model):");
     println!("{}", hot_blocks_json(&hot));
+
+    // Fused-loop breakdown: per-block attribution (instructions per
+    // block) still sums to the run total with fusion active.
+    let all = profiled.hottest_blocks(frame, usize::MAX)?;
+    let attributed: u64 = all.iter().map(|b| b.instructions).sum();
+    let run = profiled.run_frame(frame)?;
+    assert_eq!(
+        attributed, run.instructions,
+        "per-block attribution must sum to total instret"
+    );
+    println!(
+        "\nfused loops ({} of {} instructions attributed):",
+        attributed, run.instructions
+    );
+    println!(
+        "  {:<9} {:>13} {:>8} {:>11} {:>12}",
+        "pc", "kind", "entries", "iterations", "fused cycles"
+    );
+    for b in all.iter().filter(|b| b.fused_kind.is_some()) {
+        println!(
+            "  {:#09x} {:>13} {:>8} {:>11} {:>12}",
+            b.entry_pc,
+            b.fused_kind.unwrap_or("-"),
+            b.fused_entries,
+            b.fused_iterations,
+            b.fused_cycles
+        );
+    }
 
     // Full three-platform comparison (Table-I style row).
     println!("\nThree-platform comparison:");
