@@ -11,13 +11,22 @@
 //! * a ≥200-node fleet run completes with every delivery slot disposed
 //!   of exactly once — no node fault ever aborts the service;
 //! * the same fleet seed is bit-reproducible across pool widths 1 and 4
-//!   (identical occupancy trajectory digest and report JSON);
+//!   (identical occupancy trajectory digest and report JSON), with and
+//!   without shard crashes in the schedule;
 //! * the load ramp actually bites: the hardest level sheds or
-//!   downsamples, and the bounded queue never exceeds its cap.
+//!   downsamples, and the bounded queue never exceeds its cap;
+//! * a crash storm (half the shards die mid-run and restart from their
+//!   checkpoints) conserves every queued frame and reports recovery-time
+//!   percentiles, one sample per outage;
+//! * burn-driven adaptive admission beats the static watermarks on the
+//!   hardest ramp level: fewer frames shed at the queue with p99 latency
+//!   inside the static envelope.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pcount_dataset::{DatasetConfig, IrDataset};
-use pcount_fleet::{FleetConfig, FleetReport, FleetService, StormConfig};
+use pcount_fleet::{
+    AdaptiveConfig, CrashConfig, FleetConfig, FleetReport, FleetService, StormConfig,
+};
 use pcount_kernels::{Deployment, Target};
 
 /// Seed of the demo model and the dataset nodes replay.
@@ -187,8 +196,126 @@ fn bench_serve(c: &mut Criterion) {
         storm_report.worst_shard_burn_milli,
     );
 
-    // Always-on determinism tripwire (the CI serve-smoke gate).
+    // Crash storm: every other shard dies mid-run and restarts from its
+    // checkpoint. The hardest ramp period keeps the queues backed up, so
+    // each outage strands a real backlog for the disposal policy.
+    let crash_cfg = FleetConfig {
+        frame_period_ms: 25,
+        // A slowed service clock against a small queue keeps a real
+        // backlog queued at the crash instant for the disposal policy.
+        service_clock_hz: 50_000_000,
+        queue_cap: 32,
+        high_watermark: 24,
+        low_watermark: 8,
+        crash: Some(CrashConfig::default()),
+        // Several checkpoint boundaries fit even the short smoke run, so
+        // the restarts genuinely recover from checkpointed state.
+        checkpoint_period_ms: 25,
+        ..base_cfg(smoke)
+    };
+    let crash_report = run_fleet(&deployment, &data, crash_cfg.clone());
+    check_complete(&crash_report, "crash storm");
+    assert!(crash_report.totals.crashes > 0, "crash storm never fired");
+    assert_eq!(
+        crash_report.crash_reports.len() as u64,
+        crash_report.totals.crashes,
+        "one outage report per crash"
+    );
+    assert_eq!(
+        crash_report.recovery.count, crash_report.totals.crashes,
+        "one recovery sample per crash"
+    );
+    assert!(
+        crash_report.recovery.p50 > 0,
+        "recovery percentiles must be populated"
+    );
+    let mut stranded = 0;
+    for c in &crash_report.crash_reports {
+        assert_eq!(
+            c.queued_at_crash,
+            c.crash_lost + c.rerouted + c.held,
+            "shard {} outage leaked part of its queue",
+            c.shard
+        );
+        stranded += c.queued_at_crash;
+    }
+    assert!(stranded > 0, "no crash found a backlog to dispose of");
+    assert!(
+        crash_report.totals.rerouted > 0,
+        "reroute policy moved no traffic to the survivors"
+    );
+    println!(
+        "serve crash storm: {} crashes, {} frames lost vs {} rerouted, \
+         recovery p50 {} us p99 {} us, {} checkpoints {} migrations",
+        crash_report.totals.crashes,
+        crash_report.totals.crash_lost,
+        crash_report.totals.rerouted,
+        crash_report.recovery.p50 / 1_000,
+        crash_report.recovery.p99 / 1_000,
+        crash_report.totals.checkpoints,
+        crash_report.totals.migrations,
+    );
+
+    // Adaptive admission vs the static watermarks, same overload: the
+    // burn-driven controller must shed fewer frames at the queue while
+    // keeping p99 latency inside the static envelope.
+    // Saturating front-end: a slowed service clock against a small queue
+    // makes the static watermarks shed hard at the cap.
+    let static_cfg = FleetConfig {
+        frame_period_ms: 25,
+        service_clock_hz: 50_000_000,
+        queue_cap: 32,
+        high_watermark: 24,
+        low_watermark: 8,
+        ..base_cfg(smoke)
+    };
+    let adaptive_cfg = FleetConfig {
+        adaptive: Some(AdaptiveConfig::default()),
+        ..static_cfg.clone()
+    };
+    let static_report = run_fleet(&deployment, &data, static_cfg);
+    let adaptive_report = run_fleet(&deployment, &data, adaptive_cfg);
+    check_complete(&static_report, "static admission");
+    check_complete(&adaptive_report, "adaptive admission");
+    let tightens: u64 = adaptive_report
+        .shard_reports
+        .iter()
+        .map(|s| s.adaptive_tightens)
+        .sum();
+    assert!(tightens > 0, "overload never tightened the watermarks");
+    assert!(
+        adaptive_report.totals.shed < static_report.totals.shed,
+        "adaptive shed {} >= static shed {}",
+        adaptive_report.totals.shed,
+        static_report.totals.shed
+    );
+    assert!(
+        adaptive_report.latency.p99 <= static_report.latency.p99 * 5 / 4,
+        "adaptive p99 {} ns escaped the static envelope ({} ns)",
+        adaptive_report.latency.p99,
+        static_report.latency.p99
+    );
+    println!(
+        "serve adaptive: shed {} vs static {} (downsampled {} vs {}), \
+         p99 {} us vs {} us, {} tightens {} relaxes",
+        adaptive_report.totals.shed,
+        static_report.totals.shed,
+        adaptive_report.totals.downsampled,
+        static_report.totals.downsampled,
+        adaptive_report.latency.p99 / 1_000,
+        static_report.latency.p99 / 1_000,
+        tightens,
+        adaptive_report
+            .shard_reports
+            .iter()
+            .map(|s| s.adaptive_relaxes)
+            .sum::<u64>(),
+    );
+
+    // Always-on determinism tripwires (the CI serve-smoke gate): once
+    // plain, once with the crash schedule in play.
     let occupancy_hash = check_reproducible(&deployment, &data, &base_cfg(smoke));
+    let failover_hash = check_reproducible(&deployment, &data, &crash_cfg);
     pcount_telemetry::set_enabled(false);
 
     write_bench_json(&[
@@ -203,11 +330,17 @@ fn bench_serve(c: &mut Criterion) {
         (
             "serve",
             format!(
-                "{{\"ramp\":[{}],\"storm\":{},\"determinism\":{{\
-                 \"occupancy_hash\":\"{}\",\"pool_widths\":[1,4],\"bit_identical\":true}}}}",
+                "{{\"ramp\":[{}],\"storm\":{},\"crash_storm\":{},\
+                 \"adaptive\":{{\"static\":{},\"adaptive\":{}}},\"determinism\":{{\
+                 \"occupancy_hash\":\"{}\",\"failover_occupancy_hash\":\"{}\",\
+                 \"pool_widths\":[1,4],\"bit_identical\":true}}}}",
                 ramp_entries.join(","),
                 storm_report.to_json(),
+                crash_report.to_json(),
+                static_report.to_json(),
+                adaptive_report.to_json(),
                 occupancy_hash,
+                failover_hash,
             ),
         ),
     ]);

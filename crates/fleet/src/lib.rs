@@ -24,24 +24,45 @@
 //!   reports fold node snapshots with `SloSnapshot::merge` and pool
 //!   error-budget burn with `ErrorBudget::burn_milli_total`.
 //!
+//! * **Shard failover** ([`CrashConfig`], [`ShardCheckpoint`]): shards
+//!   themselves can die on a seeded, virtual-time crash schedule. A
+//!   crashing shard's queue is disposed of per [`CrashPolicy`]
+//!   (re-routed to surviving shards, shed as lost-in-crash, or held
+//!   across the downtime), its rooms deterministically migrate to
+//!   failover shards and return home on restart, and recovery resumes
+//!   from the last periodic checkpoint — fusion state since the
+//!   checkpoint is lost and hold-last-good covers the gap.
+//! * **Adaptive admission** ([`AdaptiveConfig`]): instead of the static
+//!   watermarks, each shard can derive its effective
+//!   watermarks/downsample stride from the error-budget burn of a live
+//!   windowed snapshot of its own admission outcomes, with hysteresis
+//!   against flapping.
+//!
 //! Scheduling is virtual-time: a serial event plan decides every
-//! admission/batching outcome against a nominal service cost, execution
-//! fans out as pure per-frame functions, and a serial fold replays
-//! outcomes in arrival order — so the whole fleet run (including the
-//! [`OccupancyTrajectory`] digest) is bit-reproducible at any pool
-//! width. `crates/bench/benches/serve.rs` drives load ramps and fault
-//! storms over this crate and writes `BENCH_serve.json`.
+//! admission/batching/failover outcome against a nominal service cost,
+//! execution fans out as pure per-frame functions, and a serial fold
+//! replays outcomes in arrival order — so the whole fleet run (including
+//! the [`OccupancyTrajectory`] digest) is bit-reproducible at any pool
+//! width, crashes included. `crates/bench/benches/serve.rs` drives load
+//! ramps, fault storms and crash storms over this crate and writes
+//! `BENCH_serve.json`.
 //!
 //! [`IrDataset::session_stream_window`]: pcount_dataset::IrDataset::session_stream_window
 
+mod failover;
 mod msg;
 mod node;
 mod report;
 mod service;
 
+pub use failover::{
+    plan_crashes, AdaptiveConfig, CrashConfig, CrashEvent, CrashPolicy, NodeFusionCkpt,
+    ShardCheckpoint,
+};
 pub use msg::{Delivery, DeliveryStatus, FrameMsg};
 pub use node::SensorNode;
 pub use report::{
-    FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals, ShardReport,
+    CrashReport, FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals,
+    ShardReport,
 };
-pub use service::{FleetConfig, FleetService, StormConfig};
+pub use service::{ConfigError, FleetConfig, FleetService, StormConfig};

@@ -46,6 +46,11 @@ pub enum DeliveryStatus {
     /// Admitted, but every attempt faulted; the node's hold-last-good
     /// estimate was used instead.
     Fallback,
+    /// Lost in a shard crash: the frame was queued on a shard that went
+    /// down and the crash policy disposed of it (shed outright, or no
+    /// surviving shard could absorb a re-route). The room holds its last
+    /// good estimate.
+    CrashLost,
 }
 
 impl DeliveryStatus {
@@ -76,6 +81,7 @@ impl DeliveryStatus {
             DeliveryStatus::Ok => "ok",
             DeliveryStatus::Recovered { .. } => "recovered",
             DeliveryStatus::Fallback => "fallback",
+            DeliveryStatus::CrashLost => "crash_lost",
         }
     }
 }
@@ -102,4 +108,8 @@ pub struct Delivery {
     pub quarantined: bool,
     /// `true` when this message's fresh prediction reached room fusion.
     pub fused: bool,
+    /// `true` when the message was served away from its room's home
+    /// shard (admitted to a failover shard while the home was down, or
+    /// re-routed out of a crashing shard's queue).
+    pub rerouted: bool,
 }

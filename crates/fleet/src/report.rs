@@ -28,6 +28,18 @@ pub struct ServeTotals {
     pub quarantine_trips: u64,
     /// Quarantined nodes readmitted after a clean streak.
     pub readmissions: u64,
+    /// Frames lost in shard crashes (queued at the crash instant and
+    /// never executed).
+    pub crash_lost: u64,
+    /// Frames served away from their room's home shard (failover
+    /// admissions plus live queue re-routes).
+    pub rerouted: u64,
+    /// Planned shard crashes executed during the run.
+    pub crashes: u64,
+    /// Room migrations performed by crash/restart rebalancing.
+    pub migrations: u64,
+    /// Periodic shard checkpoints taken.
+    pub checkpoints: u64,
 }
 
 impl ServeTotals {
@@ -44,6 +56,11 @@ impl ServeTotals {
             (slo::FLEET_QUARANTINED_FRAMES, self.quarantined_frames),
             (slo::FLEET_QUARANTINE_TRIPS, self.quarantine_trips),
             (slo::FLEET_READMISSIONS, self.readmissions),
+            (slo::FLEET_CRASHES, self.crashes),
+            (slo::FLEET_CRASH_LOST, self.crash_lost),
+            (slo::FLEET_REROUTED, self.rerouted),
+            (slo::FLEET_MIGRATIONS, self.migrations),
+            (slo::FLEET_CHECKPOINTS, self.checkpoints),
         ]
     }
 
@@ -75,6 +92,10 @@ pub struct NodeReport {
     pub shed: u64,
     /// Frames downsampled under backpressure.
     pub downsampled: u64,
+    /// Frames lost in a shard crash.
+    pub crash_lost: u64,
+    /// Frames served away from the room's home shard.
+    pub rerouted: u64,
     /// Frames inferred on the first attempt.
     pub ok: u64,
     /// Frames recovered by a retry.
@@ -99,6 +120,53 @@ pub struct NodeReport {
     pub slo: SloSnapshot,
 }
 
+/// One shard outage's folded accounting: what happened to the queue at
+/// the crash instant and how fast the shard recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The crashed shard.
+    pub shard: usize,
+    /// Virtual instant of the crash.
+    pub crash_ns: i64,
+    /// Virtual instant of the restart.
+    pub restart_ns: i64,
+    /// Frames sitting in the shard's queue at the crash instant.
+    pub queued_at_crash: u64,
+    /// Queued frames lost in the crash (never executed).
+    pub crash_lost: u64,
+    /// Queued frames re-routed live onto surviving shards.
+    pub rerouted: u64,
+    /// Queued frames held across the downtime (served after restart).
+    pub held: u64,
+    /// Rooms migrated off the shard at the crash.
+    pub migrations_out: u64,
+    /// Recovery time: crash to the first fused delivery the shard
+    /// completed after its restart (falls back to the bare downtime when
+    /// nothing arrived to prove recovery).
+    pub recovery_ns: u64,
+}
+
+impl CrashReport {
+    /// The outage as a JSON object (the `failover.events` array of the
+    /// bench).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\":{},\"crash_ns\":{},\"restart_ns\":{},\"queued_at_crash\":{},\
+             \"crash_lost\":{},\"rerouted\":{},\"held\":{},\"migrations_out\":{},\
+             \"recovery_ns\":{}}}",
+            self.shard,
+            self.crash_ns,
+            self.restart_ns,
+            self.queued_at_crash,
+            self.crash_lost,
+            self.rerouted,
+            self.held,
+            self.migrations_out,
+            self.recovery_ns,
+        )
+    }
+}
+
 /// One shard's folded accounting: the associative merge of its nodes'
 /// SLO snapshots plus the queue/latency instruments of its front-end.
 #[derive(Debug, Clone)]
@@ -121,6 +189,16 @@ pub struct ShardReport {
     pub burn_milli: i64,
     /// Merged SLO snapshot of the shard's nodes.
     pub slo: SloSnapshot,
+    /// Times this shard crashed during the run.
+    pub crashes: u64,
+    /// Adaptive-admission tighten steps this shard took.
+    pub adaptive_tightens: u64,
+    /// Adaptive-admission relax steps this shard took.
+    pub adaptive_relaxes: u64,
+    /// Effective high watermark the shard ended the run with.
+    pub high_watermark: usize,
+    /// Downsample stride the shard ended the run with (2 = static).
+    pub downsample_stride: u32,
 }
 
 impl ShardReport {
@@ -128,13 +206,20 @@ impl ShardReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"shard\":{},\"nodes\":{},\"queue_depth_peak\":{},\"queue_depth\":{},\
-             \"latency_ns\":{},\"burn_milli\":{},\"slo\":{}}}",
+             \"latency_ns\":{},\"burn_milli\":{},\"crashes\":{},\
+             \"adaptive\":{{\"tightens\":{},\"relaxes\":{},\"high_watermark\":{},\
+             \"downsample_stride\":{}}},\"slo\":{}}}",
             self.shard,
             self.nodes,
             self.queue_depth_peak,
             self.queue_depth.to_json(),
             self.latency.to_json(),
             self.burn_milli,
+            self.crashes,
+            self.adaptive_tightens,
+            self.adaptive_relaxes,
+            self.high_watermark,
+            self.downsample_stride,
             self.slo.to_json(),
         )
     }
@@ -241,6 +326,12 @@ pub struct FleetReport {
     pub queue_depth_peak: u64,
     /// Worst per-shard pooled error-budget burn (milli-units).
     pub worst_shard_burn_milli: i64,
+    /// One record per executed shard outage, in crash order.
+    pub crash_reports: Vec<CrashReport>,
+    /// Recovery-time distribution over the run's outages.
+    pub recovery: HistogramSummary,
+    /// Raw buckets behind [`FleetReport::recovery`] (mergeable).
+    pub recovery_counts: HistogramCounts,
     /// Per-shard reports.
     pub shard_reports: Vec<ShardReport>,
     /// Per-node reports.
@@ -257,7 +348,7 @@ impl FleetReport {
     /// disposed of exactly once.
     pub fn conservation_holds(&self) -> bool {
         let t = &self.totals;
-        t.requests == t.admitted + t.shed + t.downsampled
+        t.requests == t.admitted + t.shed + t.downsampled + t.crash_lost
             && self.deliveries.len() as u64 == t.requests + t.gaps
             && t.admitted == t.fused + t.quarantined_frames + self.fallbacks_outside_quarantine()
     }
@@ -275,10 +366,13 @@ impl FleetReport {
     /// `BENCH_serve.json`).
     pub fn to_json(&self) -> String {
         let shards: Vec<String> = self.shard_reports.iter().map(|s| s.to_json()).collect();
+        let crashes: Vec<String> = self.crash_reports.iter().map(|c| c.to_json()).collect();
         format!(
             "{{\"nodes\":{},\"rooms\":{},\"shards\":{},\"deliveries\":{},\"per_frame_ns\":{},\
              \"counters\":{},\"latency_ns\":{},\"queue_depth\":{},\"queue_depth_peak\":{},\
-             \"worst_shard_burn_milli\":{},\"shards_detail\":[{}],\"occupancy\":{}}}",
+             \"worst_shard_burn_milli\":{},\
+             \"failover\":{{\"crashes\":{},\"recovery_ns\":{},\"events\":[{}]}},\
+             \"shards_detail\":[{}],\"occupancy\":{}}}",
             self.nodes,
             self.rooms,
             self.shards,
@@ -289,6 +383,9 @@ impl FleetReport {
             self.queue_depth.to_json(),
             self.queue_depth_peak,
             self.worst_shard_burn_milli,
+            self.crash_reports.len(),
+            self.recovery.to_json(),
+            crashes.join(","),
             shards.join(","),
             self.occupancy.to_json(),
         )

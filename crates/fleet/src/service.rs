@@ -1,6 +1,7 @@
 //! The sharded fusion service: virtual-time message scheduling, admission
-//! control, bounded queues with backpressure, SLO-driven node quarantine
-//! and per-room occupancy fusion.
+//! control, bounded queues with backpressure, SLO-driven node quarantine,
+//! shard crash/failover with checkpointed recovery and per-room occupancy
+//! fusion.
 //!
 //! # Determinism
 //!
@@ -8,30 +9,42 @@
 //! serial-fold pattern of `pcount-resilience`:
 //!
 //! 1. **Plan (serial).** Every node's messages are merged into one global
-//!    virtual-time order `(arrival_ns, node, seq)`, and each shard's
-//!    bounded queue, batch server, admission control and backpressure
-//!    hysteresis are simulated against a *nominal* per-frame service cost
-//!    — so which frames are shed, downsampled or batched is a pure
-//!    function of the fleet seed and the config, never of execution.
+//!    virtual-time order `(arrival_ns, node, seq)` and interleaved with
+//!    the failover timeline (periodic checkpoints, planned shard crashes
+//!    and restarts); each shard's bounded queue, batch server, admission
+//!    control, backpressure hysteresis and adaptive watermarks are
+//!    simulated against a *nominal* per-frame service cost — so which
+//!    frames are shed, downsampled, re-routed, lost in a crash or batched
+//!    is a pure function of the fleet seed and the config, never of
+//!    execution.
 //! 2. **Execute (parallel).** Admitted frames' retry loops
 //!    ([`ResilientDeployment::attempt_frame`]) run across the
 //!    [`CpuPool`], each on a CPU restored from the pristine base, so
 //!    every result is a pure per-frame function.
 //! 3. **Fold (serial).** Outcomes are replayed in arrival order through
-//!    per-node health windows (quarantine/readmission with hysteresis)
-//!    and per-room hold-last-good fusion, producing the occupancy
-//!    trajectory, latency distributions and SLO accounting.
+//!    the same failover timeline (checkpoint snapshots filled, crashed
+//!    shards' fusion state rolled back to the last checkpoint with
+//!    hold-last-good covering the gap) and per-node health windows
+//!    (quarantine/readmission with hysteresis) and per-room fusion,
+//!    producing the occupancy trajectory, latency and recovery-time
+//!    distributions and SLO accounting.
 //!
 //! Consequently a [`FleetReport`] is bit-identical for every pool width
 //! (asserted by the crate's determinism suite and the serve bench
-//! tripwire).
+//! tripwire), crashes included.
 
 use std::collections::VecDeque;
+use std::fmt;
 
+use crate::failover::{
+    plan_crashes, AdaptiveAdmission, AdaptiveConfig, CrashConfig, CrashEvent, CrashPolicy,
+    FailoverEvent, RouteTable, ShardCheckpoint,
+};
 use crate::msg::{Delivery, DeliveryStatus, FrameMsg};
 use crate::node::SensorNode;
 use crate::report::{
-    FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals, ShardReport,
+    CrashReport, FleetReport, NodeReport, OccupancyChange, OccupancyTrajectory, ServeTotals,
+    ShardReport,
 };
 use pcount_dataset::{IrDataset, GRID_SIZE};
 use pcount_kernels::{CpuPool, Deployment, SimError};
@@ -75,6 +88,143 @@ impl Default for StormConfig {
     }
 }
 
+/// Why a [`FleetConfig`] was rejected by [`FleetConfig::validated`]. Each
+/// variant names the offending knobs so a misconfigured fleet fails with
+/// an actionable error instead of a bare assertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `nodes == 0`.
+    NoNodes,
+    /// `rooms` outside `1..=nodes`.
+    BadRooms {
+        /// Configured room count.
+        rooms: usize,
+        /// Configured node count.
+        nodes: usize,
+    },
+    /// `shards` outside `1..=rooms`.
+    BadShards {
+        /// Configured shard count.
+        shards: usize,
+        /// Configured room count.
+        rooms: usize,
+    },
+    /// `frames_per_node == 0`.
+    NoFrames,
+    /// `queue_cap == 0`.
+    ZeroQueueCap,
+    /// Watermarks violate `low < high <= cap`.
+    BadWatermarks {
+        /// Configured low watermark.
+        low: usize,
+        /// Configured high watermark.
+        high: usize,
+        /// Configured queue capacity.
+        cap: usize,
+    },
+    /// `health_window == 0`.
+    ZeroHealthWindow,
+    /// `readmit_after == 0`.
+    ZeroReadmitStreak,
+    /// `service_clock_hz == 0`.
+    ZeroServiceClock,
+    /// `checkpoint_period_ms == 0`.
+    ZeroCheckpointPeriod,
+    /// Crash window violates `0 <= start < end`.
+    BadCrashWindow {
+        /// Configured crash instant (fraction of the run span).
+        start: f64,
+        /// Configured restart instant (fraction of the run span).
+        end: f64,
+    },
+    /// Crash jitter is negative or not finite.
+    BadCrashJitter,
+    /// Adaptive evaluation window is zero.
+    BadAdaptiveWindow,
+    /// Adaptive `watermark_step == 0` (the controller could never move).
+    ZeroAdaptiveStep,
+    /// Adaptive thresholds violate `relax < tighten` (no hysteresis gap).
+    BadAdaptiveThresholds {
+        /// Configured relax threshold (milli-units).
+        relax: i64,
+        /// Configured tighten threshold (milli-units).
+        tighten: i64,
+    },
+    /// Adaptive watermark floor is zero or above the configured high
+    /// watermark.
+    BadAdaptiveWatermarkFloor {
+        /// Configured floor.
+        floor: usize,
+        /// Configured high watermark.
+        high: usize,
+    },
+    /// Adaptive `max_downsample_stride < 2` (below the static stride).
+    BadAdaptiveStride {
+        /// Configured stride ceiling.
+        max: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "fleet needs at least one node"),
+            ConfigError::BadRooms { rooms, nodes } => {
+                write!(
+                    f,
+                    "rooms must be in 1..=nodes ({rooms} rooms, {nodes} nodes)"
+                )
+            }
+            ConfigError::BadShards { shards, rooms } => {
+                write!(
+                    f,
+                    "shards must be in 1..=rooms ({shards} shards, {rooms} rooms)"
+                )
+            }
+            ConfigError::NoFrames => write!(f, "nodes need at least one frame"),
+            ConfigError::ZeroQueueCap => write!(f, "queue capacity must be positive"),
+            ConfigError::BadWatermarks { low, high, cap } => write!(
+                f,
+                "watermarks must satisfy low < high <= cap (low {low}, high {high}, cap {cap})"
+            ),
+            ConfigError::ZeroHealthWindow => write!(f, "health window must be positive"),
+            ConfigError::ZeroReadmitStreak => write!(f, "readmission streak must be positive"),
+            ConfigError::ZeroServiceClock => write!(f, "service clock must be positive"),
+            ConfigError::ZeroCheckpointPeriod => {
+                write!(f, "checkpoint period must be positive")
+            }
+            ConfigError::BadCrashWindow { start, end } => write!(
+                f,
+                "crash window must satisfy 0 <= start < end (start {start}, end {end})"
+            ),
+            ConfigError::BadCrashJitter => {
+                write!(f, "crash jitter must be finite and non-negative")
+            }
+            ConfigError::BadAdaptiveWindow => {
+                write!(f, "adaptive evaluation window must be positive")
+            }
+            ConfigError::ZeroAdaptiveStep => {
+                write!(f, "adaptive watermark step must be positive")
+            }
+            ConfigError::BadAdaptiveThresholds { relax, tighten } => write!(
+                f,
+                "adaptive thresholds need a hysteresis gap: relax < tighten \
+                 (relax {relax}, tighten {tighten})"
+            ),
+            ConfigError::BadAdaptiveWatermarkFloor { floor, high } => write!(
+                f,
+                "adaptive watermark floor must be in 1..=high_watermark \
+                 (floor {floor}, high {high})"
+            ),
+            ConfigError::BadAdaptiveStride { max } => {
+                write!(f, "adaptive max downsample stride must be >= 2 (got {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Configuration of a [`FleetService`] co-simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -82,8 +232,9 @@ pub struct FleetConfig {
     pub nodes: usize,
     /// Number of rooms; node `i` reports into room `i % rooms`.
     pub rooms: usize,
-    /// Number of service shards; room `r` is served by shard
-    /// `r % shards`, so a room never splits across shards.
+    /// Number of service shards; room `r` is *homed* on shard
+    /// `r % shards` (a crash may migrate it to a failover shard until
+    /// the home restarts), so a room never splits across shards.
     pub shards: usize,
     /// Frames in each node's (wrapping) session window.
     pub frames_per_node: usize,
@@ -98,6 +249,17 @@ pub struct FleetConfig {
     pub fault_intensity: f64,
     /// Optional time-windowed fault storm on top of the baseline chaos.
     pub storm: Option<StormConfig>,
+    /// Optional deterministic shard-crash/restart schedule (the
+    /// shard-level sibling of [`storm`](Self::storm)).
+    pub crash: Option<CrashConfig>,
+    /// Virtual period of the shard checkpoints a restarting shard
+    /// recovers from, in milliseconds. Only exercised when a crash
+    /// schedule is configured.
+    pub checkpoint_period_ms: u64,
+    /// Optional burn-driven adaptive admission: effective watermarks and
+    /// downsample stride derived from each shard's live windowed
+    /// [`SloSnapshot`] burn. `None` keeps the static knobs.
+    pub adaptive: Option<AdaptiveConfig>,
     /// Maximum per-node constant clock skew (± milliseconds), drawn from
     /// the fleet seed.
     pub clock_skew_max_ms: u32,
@@ -108,7 +270,8 @@ pub struct FleetConfig {
     /// Fixed virtual cost of dispatching one batch, in nanoseconds.
     pub batch_overhead_ns: u64,
     /// Queue depth at or above which the shard throttles its nodes
-    /// (backpressure: throttled nodes downsample every other frame).
+    /// (backpressure: throttled nodes downsample at the source). The
+    /// *static* knob — adaptive admission tightens from here.
     pub high_watermark: usize,
     /// Queue depth at or below which the shard releases the throttle.
     pub low_watermark: usize,
@@ -126,13 +289,14 @@ pub struct FleetConfig {
     /// Per-frame supervision policy (retries, backoff, budgets) and the
     /// error budget nodes are graded against.
     pub resilience: ResilienceConfig,
-    /// Root seed: all per-node chaos, phases and skews derive from it.
+    /// Root seed: all per-node chaos, phases, skews and the crash
+    /// schedule derive from it.
     pub seed: u64,
 }
 
 impl Default for FleetConfig {
     /// A 240-node / 24-room / 4-shard building at 10 FPS with mild
-    /// baseline chaos.
+    /// baseline chaos, no crashes and static admission.
     fn default() -> Self {
         Self {
             nodes: 240,
@@ -142,6 +306,9 @@ impl Default for FleetConfig {
             frame_period_ms: 100,
             fault_intensity: 0.08,
             storm: None,
+            crash: None,
+            checkpoint_period_ms: 400,
+            adaptive: None,
             clock_skew_max_ms: 150,
             queue_cap: 64,
             batch_max: 8,
@@ -170,30 +337,101 @@ impl FleetConfig {
         }
     }
 
-    /// Panics when the knobs are inconsistent (empty fleet, watermarks
-    /// inverted or above the queue cap, zero-length windows).
+    /// Checks every knob for consistency, returning the first violation
+    /// as a typed [`ConfigError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] naming the offending knobs when the
+    /// configuration is inconsistent (empty fleet, watermarks inverted or
+    /// above the queue cap, degenerate crash/adaptive schedules, …).
+    pub fn validated(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.rooms == 0 || self.rooms > self.nodes {
+            return Err(ConfigError::BadRooms {
+                rooms: self.rooms,
+                nodes: self.nodes,
+            });
+        }
+        if self.shards == 0 || self.shards > self.rooms {
+            return Err(ConfigError::BadShards {
+                shards: self.shards,
+                rooms: self.rooms,
+            });
+        }
+        if self.frames_per_node == 0 {
+            return Err(ConfigError::NoFrames);
+        }
+        if self.queue_cap == 0 {
+            return Err(ConfigError::ZeroQueueCap);
+        }
+        if self.low_watermark >= self.high_watermark || self.high_watermark > self.queue_cap {
+            return Err(ConfigError::BadWatermarks {
+                low: self.low_watermark,
+                high: self.high_watermark,
+                cap: self.queue_cap,
+            });
+        }
+        if self.health_window == 0 {
+            return Err(ConfigError::ZeroHealthWindow);
+        }
+        if self.readmit_after == 0 {
+            return Err(ConfigError::ZeroReadmitStreak);
+        }
+        if self.service_clock_hz == 0 {
+            return Err(ConfigError::ZeroServiceClock);
+        }
+        if self.checkpoint_period_ms == 0 {
+            return Err(ConfigError::ZeroCheckpointPeriod);
+        }
+        if let Some(crash) = &self.crash {
+            if !(crash.window.0 >= 0.0 && crash.window.0 < crash.window.1) {
+                return Err(ConfigError::BadCrashWindow {
+                    start: crash.window.0,
+                    end: crash.window.1,
+                });
+            }
+            if !(crash.jitter.is_finite() && crash.jitter >= 0.0) {
+                return Err(ConfigError::BadCrashJitter);
+            }
+        }
+        if let Some(adaptive) = &self.adaptive {
+            if adaptive.window == 0 {
+                return Err(ConfigError::BadAdaptiveWindow);
+            }
+            if adaptive.watermark_step == 0 {
+                return Err(ConfigError::ZeroAdaptiveStep);
+            }
+            if adaptive.relax_burn_milli >= adaptive.tighten_burn_milli {
+                return Err(ConfigError::BadAdaptiveThresholds {
+                    relax: adaptive.relax_burn_milli,
+                    tighten: adaptive.tighten_burn_milli,
+                });
+            }
+            if adaptive.min_high_watermark == 0 || adaptive.min_high_watermark > self.high_watermark
+            {
+                return Err(ConfigError::BadAdaptiveWatermarkFloor {
+                    floor: adaptive.min_high_watermark,
+                    high: self.high_watermark,
+                });
+            }
+            if adaptive.max_downsample_stride < 2 {
+                return Err(ConfigError::BadAdaptiveStride {
+                    max: adaptive.max_downsample_stride,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics when the knobs are inconsistent — the assertion-style path
+    /// over [`validated`](Self::validated).
     pub fn validate(&self) {
-        assert!(self.nodes > 0, "fleet needs at least one node");
-        assert!(
-            self.rooms > 0 && self.rooms <= self.nodes,
-            "rooms in 1..=nodes"
-        );
-        assert!(
-            self.shards > 0 && self.shards <= self.rooms,
-            "shards in 1..=rooms"
-        );
-        assert!(self.frames_per_node > 0, "nodes need at least one frame");
-        assert!(self.queue_cap > 0, "queue capacity must be positive");
-        assert!(
-            self.low_watermark < self.high_watermark && self.high_watermark <= self.queue_cap,
-            "watermarks must satisfy low < high <= cap"
-        );
-        assert!(self.health_window > 0, "health window must be positive");
-        assert!(
-            self.readmit_after > 0,
-            "readmission streak must be positive"
-        );
-        assert!(self.service_clock_hz > 0, "service clock must be positive");
+        if let Err(e) = self.validated() {
+            panic!("invalid fleet config: {e}");
+        }
     }
 }
 
@@ -202,13 +440,18 @@ impl FleetConfig {
 enum Decision {
     /// Dropped at the sensor: nothing arrives.
     Gap,
-    /// Shed by admission control (queue at capacity).
+    /// Shed by admission control (queue at capacity, or every shard
+    /// down).
     Shed,
     /// Downsampled at the source under backpressure.
     Downsampled,
     /// Admitted and waiting for its batch (transient plan state; every
-    /// queued message is resolved to `Execute` by the final drain).
+    /// queued message is resolved to `Execute` or `CrashLost` before the
+    /// plan completes).
     Queued,
+    /// Lost in a shard crash: queued at the crash instant and disposed
+    /// of without executing.
+    CrashLost,
     /// Scheduled onto the shard server.
     Execute {
         /// Index into the execution list (and the parallel results).
@@ -224,19 +467,34 @@ enum Decision {
 struct PlannedDelivery {
     msg: FrameMsg,
     room: usize,
+    /// The shard that disposed of the message (the room's *routed* shard
+    /// at arrival; re-routing out of a crashed queue updates it to the
+    /// shard that actually served the frame).
     shard: usize,
     decision: Decision,
     depth_after: usize,
+    /// Served away from the room's home shard (failover admission or a
+    /// live queue re-route).
+    rerouted: bool,
 }
 
 /// Serial simulation state of one shard's bounded queue + batch server.
 struct ShardSim {
-    /// Queued planned-delivery indices, FIFO.
-    queue: VecDeque<usize>,
+    /// Queued `(planned index, ready instant)` pairs, FIFO. The ready
+    /// instant is the arrival for normal admissions and the crash
+    /// instant for frames re-routed out of a crashed queue (they cannot
+    /// start before the crash that moved them).
+    queue: VecDeque<(usize, i64)>,
     /// When the shard's server is next free (virtual ns).
     server_free_ns: i64,
     /// Backpressure state (hysteresis between the watermarks).
     throttled: bool,
+    /// Whether the shard is currently crashed (serves nothing).
+    down: bool,
+    /// Crashes this shard took during the run.
+    crashes: u64,
+    /// The shard's admission posture (static or burn-driven).
+    adm: AdaptiveAdmission,
     /// Highest queue depth observed.
     peak_depth: usize,
     /// Queue depth sampled at every arrival.
@@ -244,15 +502,44 @@ struct ShardSim {
 }
 
 impl ShardSim {
-    fn new() -> Self {
+    fn new(adm: AdaptiveAdmission) -> Self {
         Self {
             queue: VecDeque::new(),
             server_free_ns: 0,
             throttled: false,
+            down: false,
+            crashes: 0,
+            adm,
             peak_depth: 0,
             depth_counts: HistogramCounts::empty(),
         }
     }
+}
+
+/// Per-crash accounting drafted by the plan phase: how the queue was
+/// disposed of and which rooms were in the shard's scope at the crash
+/// (the fold's fusion rollback set).
+#[derive(Debug, Clone, Default)]
+struct CrashDraft {
+    queued_at_crash: u64,
+    crash_lost: u64,
+    rerouted: u64,
+    held: u64,
+    migrations_out: u64,
+    rooms_at_crash: Vec<u32>,
+}
+
+/// Everything the serial plan hands to execution and the fold: the
+/// per-message decisions plus the failover timeline both phases replay.
+struct PlanOutput {
+    planned: Vec<PlannedDelivery>,
+    sims: Vec<ShardSim>,
+    exec_list: Vec<usize>,
+    crash_events: Vec<CrashEvent>,
+    timeline: Vec<(i64, FailoverEvent)>,
+    ckpts: Vec<ShardCheckpoint>,
+    drafts: Vec<CrashDraft>,
+    migrations: u64,
 }
 
 /// Serial fold state of one node: fusion estimator, health window and
@@ -270,6 +557,8 @@ struct NodeState {
     gaps: u64,
     shed: u64,
     downsampled: u64,
+    crash_lost: u64,
+    rerouted: u64,
     ok: u64,
     recovered: u64,
     fallback: u64,
@@ -295,6 +584,8 @@ impl NodeState {
             gaps: 0,
             shed: 0,
             downsampled: 0,
+            crash_lost: 0,
+            rerouted: 0,
             ok: 0,
             recovered: 0,
             fallback: 0,
@@ -348,6 +639,8 @@ impl NodeState {
                 (slo::FLEET_QUARANTINED_FRAMES, self.quarantined_frames),
                 (slo::FLEET_QUARANTINE_TRIPS, self.trips),
                 (slo::FLEET_READMISSIONS, self.readmissions),
+                (slo::FLEET_CRASH_LOST, self.crash_lost),
+                (slo::FLEET_REROUTED, self.rerouted),
                 (slo::RETRIES, self.retries),
                 (slo::FALLBACK_FRAMES, self.fallback),
                 (slo::QUARANTINES, self.cpu_resets),
@@ -356,6 +649,27 @@ impl NodeState {
             recovery_latency: self.recovery_counts.summarize(),
             recovery_counts: self.recovery_counts.clone(),
         }
+    }
+
+    /// Restores the fusion/health estimator from a checkpointed node
+    /// record. The emitted room contribution is deliberately untouched —
+    /// hold-last-good covers the rolled-back gap.
+    fn restore(&mut self, ck: &crate::failover::NodeFusionCkpt) {
+        self.voter = ck.voter.clone();
+        self.last_good = ck.last_good;
+        self.window = ck.health.clone();
+        self.quarantined = ck.quarantined;
+        self.clean_streak = ck.clean_streak;
+    }
+
+    /// Resets the fusion/health estimator to boot state — what a shard
+    /// that crashed before any checkpoint existed recovers with.
+    fn reset_estimator(&mut self, voter_window: usize) {
+        self.voter = MajorityVoter::new(voter_window.max(1));
+        self.last_good = None;
+        self.window.clear();
+        self.quarantined = false;
+        self.clean_streak = 0;
     }
 }
 
@@ -421,6 +735,34 @@ impl FleetService {
         self.per_frame_ns
     }
 
+    /// The crash schedule this fleet would execute, in crash order —
+    /// a pure function of the config and seed (empty without a
+    /// [`FleetConfig::crash`] schedule).
+    pub fn crash_schedule(&self) -> Vec<CrashEvent> {
+        let Some(crash) = &self.cfg.crash else {
+            return Vec::new();
+        };
+        let (start_ns, end_ns) = self.run_span();
+        plan_crashes(crash, self.cfg.shards, self.cfg.seed, start_ns, end_ns)
+    }
+
+    /// First/last arrival instants over every node's messages.
+    fn run_span(&self) -> (i64, i64) {
+        let mut start = i64::MAX;
+        let mut end = i64::MIN;
+        for node in &self.nodes {
+            for m in node.messages() {
+                start = start.min(m.arrival_ns);
+                end = end.max(m.arrival_ns);
+            }
+        }
+        if start > end {
+            (0, 0)
+        } else {
+            (start, end)
+        }
+    }
+
     /// A warmed CPU pool sized for `threads` workers.
     ///
     /// # Errors
@@ -433,45 +775,92 @@ impl FleetService {
     /// Runs the whole co-simulation across `pool` and folds it into a
     /// [`FleetReport`]. Bit-identical for every pool width.
     pub fn run(&self, pool: &mut CpuPool) -> FleetReport {
-        let (planned, mut sims, exec_list) = self.plan();
-        let execs = self.execute(&planned, &exec_list, pool);
-        self.fold(planned, &mut sims, execs)
+        let plan = self.plan();
+        let execs = self.execute(&plan.planned, &plan.exec_list, pool);
+        self.fold(plan, execs)
     }
 
-    /// Phase 1 (serial): merge all node messages into virtual-time order
+    /// Phase 1 (serial): merge all node messages into virtual-time order,
+    /// interleave the failover timeline (checkpoints, crashes, restarts)
     /// and simulate every shard's admission control, bounded queue,
     /// backpressure hysteresis and batch server against the nominal
     /// per-frame cost.
-    fn plan(&self) -> (Vec<PlannedDelivery>, Vec<ShardSim>, Vec<usize>) {
+    fn plan(&self) -> PlanOutput {
+        let cfg = &self.cfg;
         let mut events: Vec<FrameMsg> = self.nodes.iter().flat_map(|n| n.messages()).collect();
         events.sort_by_key(|m| (m.arrival_ns, m.node, m.seq));
+        let start_ns = events.first().map(|m| m.arrival_ns).unwrap_or(0);
+        let end_ns = events.last().map(|m| m.arrival_ns).unwrap_or(0);
+        let crash_events = match &cfg.crash {
+            Some(crash) => plan_crashes(crash, cfg.shards, cfg.seed, start_ns, end_ns),
+            None => Vec::new(),
+        };
+        let period_ns = (cfg.checkpoint_period_ms as i64).saturating_mul(1_000_000);
+        let timeline =
+            crate::failover::failover_timeline(&crash_events, start_ns, end_ns, period_ns);
+        let mut route = RouteTable::new(cfg.rooms, cfg.shards);
+        let mut ckpts: Vec<ShardCheckpoint> = Vec::new();
+        let mut drafts: Vec<CrashDraft> = (0..crash_events.len())
+            .map(|_| CrashDraft::default())
+            .collect();
+        let mut migrations = 0u64;
         let mut planned: Vec<PlannedDelivery> = Vec::with_capacity(events.len());
-        let mut sims: Vec<ShardSim> = (0..self.cfg.shards).map(|_| ShardSim::new()).collect();
+        let mut sims: Vec<ShardSim> = (0..cfg.shards)
+            .map(|_| {
+                ShardSim::new(AdaptiveAdmission::new(
+                    cfg.adaptive.clone(),
+                    cfg.high_watermark,
+                    cfg.low_watermark,
+                ))
+            })
+            .collect();
         let mut throttle_ctr = vec![0u64; self.nodes.len()];
         let mut exec_list: Vec<usize> = Vec::new();
+        let mut ti = 0usize;
         for msg in events {
+            while ti < timeline.len() && timeline[ti].0 <= msg.arrival_ns {
+                self.apply_plan_event(
+                    timeline[ti],
+                    &crash_events,
+                    &mut planned,
+                    &mut sims,
+                    &mut exec_list,
+                    &mut route,
+                    &mut ckpts,
+                    &mut drafts,
+                    &mut migrations,
+                );
+                ti += 1;
+            }
             let node = &self.nodes[msg.node];
-            let (room, shard) = (node.room, node.shard);
-            // Let this shard's server catch up to the arrival instant
-            // before judging the queue: frames it has already started
-            // serving no longer occupy queue slots.
+            let room = node.room;
+            let shard = route.shard_for(room);
+            let rerouted = shard != node.shard;
+            // Let the routed shard's server catch up to the arrival
+            // instant before judging the queue: frames it has already
+            // started serving no longer occupy queue slots.
             Self::drain(
                 &mut planned,
                 &mut sims[shard],
                 msg.arrival_ns,
                 &mut exec_list,
-                &self.cfg,
+                cfg,
                 self.per_frame_ns,
             );
             let idx = planned.len();
             let sim = &mut sims[shard];
-            let decision = if node.stream.ticks[msg.seq].frame.is_none() {
+            let is_gap = node.stream.ticks[msg.seq].frame.is_none();
+            let decision = if is_gap {
                 Decision::Gap
-            } else if sim.queue.len() >= self.cfg.queue_cap {
+            } else if route.is_down(shard) {
+                // Every shard is down (a live survivor would have
+                // adopted the room): nothing can admit the frame.
+                Decision::Shed
+            } else if sim.queue.len() >= cfg.queue_cap {
                 Decision::Shed
             } else if sim.throttled && {
                 throttle_ctr[msg.node] += 1;
-                throttle_ctr[msg.node] % 2 == 1
+                !throttle_ctr[msg.node].is_multiple_of(sim.adm.stride as u64)
             } {
                 Decision::Downsampled
             } else {
@@ -483,19 +872,40 @@ impl FleetService {
                 shard,
                 decision,
                 depth_after: 0,
+                rerouted,
             });
             if decision == Decision::Queued {
-                sim.queue.push_back(idx);
+                sim.queue.push_back((idx, msg.arrival_ns));
             }
             let depth = sim.queue.len();
             planned[idx].depth_after = depth;
             sim.peak_depth = sim.peak_depth.max(depth);
             sim.depth_counts.record(depth as u64);
-            if depth >= self.cfg.high_watermark {
-                sim.throttled = true;
-            } else if depth <= self.cfg.low_watermark {
-                sim.throttled = false;
+            if !route.is_down(shard) {
+                if depth >= sim.adm.eff_high {
+                    sim.throttled = true;
+                } else if depth <= sim.adm.eff_low {
+                    sim.throttled = false;
+                }
+                if !is_gap {
+                    let degraded = matches!(decision, Decision::Shed | Decision::Downsampled);
+                    sim.adm.observe(degraded, &cfg.resilience.error_budget);
+                }
             }
+        }
+        while ti < timeline.len() {
+            self.apply_plan_event(
+                timeline[ti],
+                &crash_events,
+                &mut planned,
+                &mut sims,
+                &mut exec_list,
+                &mut route,
+                &mut ckpts,
+                &mut drafts,
+                &mut migrations,
+            );
+            ti += 1;
         }
         for sim in &mut sims {
             Self::drain(
@@ -503,17 +913,156 @@ impl FleetService {
                 sim,
                 i64::MAX,
                 &mut exec_list,
-                &self.cfg,
+                cfg,
                 self.per_frame_ns,
             );
             debug_assert!(sim.queue.is_empty(), "final drain empties every queue");
         }
-        (planned, sims, exec_list)
+        PlanOutput {
+            planned,
+            sims,
+            exec_list,
+            crash_events,
+            timeline,
+            ckpts,
+            drafts,
+            migrations,
+        }
+    }
+
+    /// Applies one failover-timeline event to the plan state: checkpoint
+    /// boundaries snapshot every live shard's admission posture, crashes
+    /// dispose of the queue per policy and migrate rooms, restarts
+    /// recover admission state from the last pre-crash checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_plan_event(
+        &self,
+        (t, ev): (i64, FailoverEvent),
+        crash_events: &[CrashEvent],
+        planned: &mut [PlannedDelivery],
+        sims: &mut [ShardSim],
+        exec_list: &mut Vec<usize>,
+        route: &mut RouteTable,
+        ckpts: &mut Vec<ShardCheckpoint>,
+        drafts: &mut [CrashDraft],
+        migrations: &mut u64,
+    ) {
+        let cfg = &self.cfg;
+        match ev {
+            FailoverEvent::Checkpoint => {
+                for (shard, sim) in sims.iter_mut().enumerate() {
+                    if route.is_down(shard) {
+                        continue;
+                    }
+                    Self::drain(planned, sim, t, exec_list, cfg, self.per_frame_ns);
+                    let sim = &*sim;
+                    ckpts.push(ShardCheckpoint {
+                        shard,
+                        taken_ns: t,
+                        throttled: sim.throttled,
+                        eff_high: sim.adm.eff_high,
+                        eff_low: sim.adm.eff_low,
+                        stride: sim.adm.stride,
+                        rooms: (0..cfg.rooms)
+                            .filter(|&r| route.shard_for(r) == shard)
+                            .map(|r| r as u32)
+                            .collect(),
+                        nodes: Vec::new(),
+                    });
+                }
+            }
+            FailoverEvent::Crash(k) => {
+                let e = crash_events[k];
+                let shard = e.shard;
+                // Batches the server started before the crash complete
+                // (batch-granular failure); only queued frames are at
+                // the policy's mercy.
+                Self::drain(
+                    planned,
+                    &mut sims[shard],
+                    e.crash_ns,
+                    exec_list,
+                    cfg,
+                    self.per_frame_ns,
+                );
+                let (migrated, rooms_at_crash) = route.crash(shard);
+                *migrations += migrated;
+                let draft = &mut drafts[k];
+                draft.migrations_out = migrated;
+                draft.rooms_at_crash = rooms_at_crash;
+                let queue = std::mem::take(&mut sims[shard].queue);
+                draft.queued_at_crash = queue.len() as u64;
+                let policy = cfg
+                    .crash
+                    .as_ref()
+                    .map(|c| c.policy)
+                    .unwrap_or(CrashPolicy::Reroute);
+                match policy {
+                    CrashPolicy::Hold => {
+                        draft.held = queue.len() as u64;
+                        sims[shard].queue = queue;
+                    }
+                    CrashPolicy::Shed => {
+                        draft.crash_lost = queue.len() as u64;
+                        for (idx, _) in queue {
+                            planned[idx].decision = Decision::CrashLost;
+                        }
+                    }
+                    CrashPolicy::Reroute => {
+                        for (idx, _) in queue {
+                            let target = route.shard_for(planned[idx].room);
+                            if route.is_down(target) || sims[target].queue.len() >= cfg.queue_cap {
+                                // No surviving shard can absorb it.
+                                planned[idx].decision = Decision::CrashLost;
+                                draft.crash_lost += 1;
+                            } else {
+                                // The frame becomes the target's problem;
+                                // it cannot start before the crash that
+                                // moved it.
+                                sims[target].queue.push_back((idx, e.crash_ns));
+                                planned[idx].shard = target;
+                                planned[idx].rerouted = true;
+                                draft.rerouted += 1;
+                            }
+                        }
+                    }
+                }
+                sims[shard].down = true;
+                sims[shard].crashes += 1;
+                sims[shard].throttled = false;
+            }
+            FailoverEvent::Restart(k) => {
+                let e = crash_events[k];
+                let shard = e.shard;
+                let sim = &mut sims[shard];
+                sim.down = false;
+                sim.server_free_ns = sim.server_free_ns.max(e.restart_ns);
+                // Recover the admission posture from the last checkpoint
+                // that survived the crash; a shard that crashed before
+                // any checkpoint boots with the configured knobs.
+                match ckpts
+                    .iter()
+                    .rev()
+                    .find(|c| c.shard == shard && c.taken_ns <= e.crash_ns)
+                {
+                    Some(ck) => {
+                        sim.throttled = ck.throttled;
+                        sim.adm.restore(ck);
+                    }
+                    None => {
+                        sim.throttled = false;
+                        sim.adm.reset();
+                    }
+                }
+                *migrations += route.restart(shard);
+            }
+        }
     }
 
     /// Forms and schedules batches on one shard server up to virtual time
     /// `now`: while the server can start a batch no later than `now`, up
-    /// to `batch_max` queued frames are dispatched as one unit.
+    /// to `batch_max` queued frames are dispatched as one unit. A downed
+    /// shard serves nothing until its restart.
     fn drain(
         planned: &mut [PlannedDelivery],
         sim: &mut ShardSim,
@@ -522,8 +1071,11 @@ impl FleetService {
         cfg: &FleetConfig,
         per_frame_ns: u64,
     ) {
-        while let Some(&front) = sim.queue.front() {
-            let start = sim.server_free_ns.max(planned[front].msg.arrival_ns);
+        if sim.down {
+            return;
+        }
+        while let Some(&(_, ready_ns)) = sim.queue.front() {
+            let start = sim.server_free_ns.max(ready_ns);
             if start > now {
                 break;
             }
@@ -531,7 +1083,7 @@ impl FleetService {
             let service_ns = cfg.batch_overhead_ns + per_frame_ns * take as u64;
             let completion_ns = start.saturating_add(service_ns as i64);
             for _ in 0..take {
-                let idx = sim.queue.pop_front().expect("batch members queued");
+                let (idx, _) = sim.queue.pop_front().expect("batch members queued");
                 let exec_idx = exec_list.len();
                 exec_list.push(idx);
                 planned[idx].decision = Decision::Execute {
@@ -581,15 +1133,21 @@ impl FleetService {
             .collect()
     }
 
-    /// Phase 3 (serial): replay outcomes in arrival order through node
+    /// Phase 3 (serial): replay outcomes in arrival order through the
+    /// same failover timeline (checkpoint fills, crash rollbacks), node
     /// health windows, quarantine hysteresis and room fusion, and fold
     /// everything into the report.
-    fn fold(
-        &self,
-        planned: Vec<PlannedDelivery>,
-        sims: &mut [ShardSim],
-        execs: Vec<AttemptOutcome>,
-    ) -> FleetReport {
+    fn fold(&self, plan: PlanOutput, execs: Vec<AttemptOutcome>) -> FleetReport {
+        let PlanOutput {
+            planned,
+            sims,
+            exec_list: _,
+            crash_events,
+            timeline,
+            mut ckpts,
+            drafts,
+            migrations,
+        } = plan;
         let cfg = &self.cfg;
         let budget = &cfg.resilience.error_budget;
         let max_retries = cfg.resilience.retry.max_retries;
@@ -597,15 +1155,41 @@ impl FleetService {
         let mut states: Vec<NodeState> = (0..self.nodes.len())
             .map(|_| NodeState::new(cfg.resilience.voter_window))
             .collect();
+        // Which nodes report into each room — the crash rollback scope.
+        let mut room_nodes: Vec<Vec<usize>> = vec![Vec::new(); cfg.rooms];
+        for node in &self.nodes {
+            room_nodes[node.room].push(node.id);
+        }
         let mut shard_latency: Vec<HistogramCounts> =
             (0..cfg.shards).map(|_| HistogramCounts::empty()).collect();
         let mut room_totals = vec![0usize; cfg.rooms];
         let mut building = 0usize;
         let mut changes: Vec<OccupancyChange> = Vec::new();
         let mut deliveries: Vec<Delivery> = Vec::with_capacity(planned.len());
+        // Earliest fused completion each crashed shard managed after its
+        // restart (the recovery-time metric).
+        let mut recovery_min: Vec<Option<i64>> = vec![None; crash_events.len()];
+        let mut ti = 0usize;
+        let mut ci = 0usize;
         for (i, p) in planned.iter().enumerate() {
+            while ti < timeline.len() && timeline[ti].0 <= p.msg.arrival_ns {
+                Self::apply_fold_event(
+                    timeline[ti],
+                    cfg,
+                    &crash_events,
+                    &drafts,
+                    &mut ckpts,
+                    &mut ci,
+                    &mut states,
+                    &room_nodes,
+                );
+                ti += 1;
+            }
             let ns = &mut states[p.msg.node];
             ns.deliveries += 1;
+            if p.rerouted {
+                ns.rerouted += 1;
+            }
             let (status, prediction, latency_ns) = match p.decision {
                 Decision::Gap => {
                     ns.gaps += 1;
@@ -618,6 +1202,10 @@ impl FleetService {
                 Decision::Downsampled => {
                     ns.downsampled += 1;
                     (DeliveryStatus::Downsampled, None, None)
+                }
+                Decision::CrashLost => {
+                    ns.crash_lost += 1;
+                    (DeliveryStatus::CrashLost, None, None)
                 }
                 Decision::Queued => unreachable!("final drain resolves every queued frame"),
                 Decision::Execute {
@@ -702,6 +1290,19 @@ impl FleetService {
                     }
                 }
             };
+            if fused {
+                if let Some(lat) = latency_ns {
+                    let completion = p.msg.arrival_ns.saturating_add(lat as i64);
+                    for (k, e) in crash_events.iter().enumerate() {
+                        if e.shard == p.shard && completion >= e.restart_ns {
+                            recovery_min[k] = Some(match recovery_min[k] {
+                                Some(best) => best.min(completion),
+                                None => completion,
+                            });
+                        }
+                    }
+                }
+            }
             if new_contrib != ns.contrib {
                 room_totals[p.room] = room_totals[p.room] - ns.contrib + new_contrib;
                 building = building - ns.contrib + new_contrib;
@@ -714,12 +1315,15 @@ impl FleetService {
                 });
             }
             // Health accounting: only node-caused outcomes move the
-            // detector (shed/downsampled frames are the service's doing).
+            // detector (shed/downsampled/crash-lost frames are the
+            // service's doing).
             let health_sample = match status {
                 DeliveryStatus::Gap => Some(1u8),
                 DeliveryStatus::Fallback => Some(2u8),
                 DeliveryStatus::Ok | DeliveryStatus::Recovered { .. } => Some(0u8),
-                DeliveryStatus::Shed | DeliveryStatus::Downsampled => None,
+                DeliveryStatus::Shed | DeliveryStatus::Downsampled | DeliveryStatus::CrashLost => {
+                    None
+                }
             };
             if let Some(sample) = health_sample {
                 if ns.quarantined {
@@ -759,8 +1363,50 @@ impl FleetService {
                 latency_ns,
                 quarantined: was_quarantined,
                 fused,
+                rerouted: p.rerouted,
             });
         }
+        while ti < timeline.len() {
+            Self::apply_fold_event(
+                timeline[ti],
+                cfg,
+                &crash_events,
+                &drafts,
+                &mut ckpts,
+                &mut ci,
+                &mut states,
+                &room_nodes,
+            );
+            ti += 1;
+        }
+        // Finalise the recovery metric: first post-restart fused
+        // completion, or the bare downtime when nothing arrived to prove
+        // recovery.
+        let mut recovery_counts = HistogramCounts::empty();
+        let crash_reports: Vec<CrashReport> = crash_events
+            .iter()
+            .zip(drafts.iter())
+            .enumerate()
+            .map(|(k, (e, draft))| {
+                let recovery_ns = match recovery_min[k] {
+                    Some(completion) => completion.saturating_sub(e.crash_ns).max(0) as u64,
+                    None => e.restart_ns.saturating_sub(e.crash_ns).max(0) as u64,
+                };
+                recovery_counts.record(recovery_ns);
+                pcount_telemetry::histogram(slo::FLEET_RECOVERY_LATENCY).record(recovery_ns);
+                CrashReport {
+                    shard: e.shard,
+                    crash_ns: e.crash_ns,
+                    restart_ns: e.restart_ns,
+                    queued_at_crash: draft.queued_at_crash,
+                    crash_lost: draft.crash_lost,
+                    rerouted: draft.rerouted,
+                    held: draft.held,
+                    migrations_out: draft.migrations_out,
+                    recovery_ns,
+                }
+            })
+            .collect();
         self.reports(
             states,
             sims,
@@ -768,7 +1414,72 @@ impl FleetService {
             deliveries,
             changes,
             room_totals,
+            crash_reports,
+            recovery_counts,
+            crash_events.len() as u64,
+            migrations,
+            ckpts.len() as u64,
         )
+    }
+
+    /// Applies one failover-timeline event to the fold state: checkpoint
+    /// boundaries capture every in-scope node's fusion/health estimator
+    /// into the plan's [`ShardCheckpoint`]s, crashes roll the affected
+    /// nodes back to their last checkpointed estimator (hold-last-good
+    /// keeps the emitted contribution), restarts need nothing — the
+    /// recovered state already lives forward from the rollback.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fold_event(
+        (t, ev): (i64, FailoverEvent),
+        cfg: &FleetConfig,
+        crash_events: &[CrashEvent],
+        drafts: &[CrashDraft],
+        ckpts: &mut [ShardCheckpoint],
+        ci: &mut usize,
+        states: &mut [NodeState],
+        room_nodes: &[Vec<usize>],
+    ) {
+        match ev {
+            FailoverEvent::Checkpoint => {
+                while *ci < ckpts.len() && ckpts[*ci].taken_ns == t {
+                    let ckpt = &mut ckpts[*ci];
+                    for &room in &ckpt.rooms {
+                        for &node in &room_nodes[room as usize] {
+                            let ns = &states[node];
+                            ckpt.nodes.push(crate::failover::NodeFusionCkpt {
+                                node,
+                                voter: ns.voter.clone(),
+                                last_good: ns.last_good,
+                                health: ns.window.clone(),
+                                quarantined: ns.quarantined,
+                                clean_streak: ns.clean_streak,
+                            });
+                        }
+                    }
+                    *ci += 1;
+                }
+            }
+            FailoverEvent::Crash(k) => {
+                let crash_ns = crash_events[k].crash_ns;
+                for &room in &drafts[k].rooms_at_crash {
+                    for &node in &room_nodes[room as usize] {
+                        // The crashed shard's in-memory estimator since
+                        // the last checkpoint is gone; whoever serves the
+                        // room next resumes from the checkpoint store.
+                        let recovered = ckpts[..*ci]
+                            .iter()
+                            .rev()
+                            .filter(|c| c.taken_ns <= crash_ns)
+                            .find_map(|c| c.node(node).cloned());
+                        match recovered {
+                            Some(ck) => states[node].restore(&ck),
+                            None => states[node].reset_estimator(cfg.resilience.voter_window),
+                        }
+                    }
+                }
+            }
+            FailoverEvent::Restart(_) => {}
+        }
     }
 
     /// Assembles node/shard/fleet reports and mirrors the run's totals
@@ -777,11 +1488,16 @@ impl FleetService {
     fn reports(
         &self,
         states: Vec<NodeState>,
-        sims: &mut [ShardSim],
+        sims: Vec<ShardSim>,
         shard_latency: Vec<HistogramCounts>,
         deliveries: Vec<Delivery>,
         changes: Vec<OccupancyChange>,
         room_totals: Vec<usize>,
+        crash_reports: Vec<CrashReport>,
+        recovery_counts: HistogramCounts,
+        crashes: u64,
+        migrations: u64,
+        checkpoints: u64,
     ) -> FleetReport {
         let cfg = &self.cfg;
         let budget = &cfg.resilience.error_budget;
@@ -797,6 +1513,8 @@ impl FleetService {
                 gaps: ns.gaps,
                 shed: ns.shed,
                 downsampled: ns.downsampled,
+                crash_lost: ns.crash_lost,
+                rerouted: ns.rerouted,
                 ok: ns.ok,
                 recovered: ns.recovered,
                 fallback: ns.fallback,
@@ -837,6 +1555,11 @@ impl FleetService {
                     latency_counts: shard_latency[shard].clone(),
                     burn_milli,
                     slo,
+                    crashes: sim.crashes,
+                    adaptive_tightens: sim.adm.tightens,
+                    adaptive_relaxes: sim.adm.relaxes,
+                    high_watermark: sim.adm.eff_high,
+                    downsample_stride: sim.adm.stride,
                 }
             })
             .collect();
@@ -850,6 +1573,11 @@ impl FleetService {
             quarantined_frames: states.iter().map(|s| s.quarantined_frames).sum(),
             quarantine_trips: states.iter().map(|s| s.trips).sum(),
             readmissions: states.iter().map(|s| s.readmissions).sum(),
+            crash_lost: states.iter().map(|s| s.crash_lost).sum(),
+            rerouted: states.iter().map(|s| s.rerouted).sum(),
+            crashes,
+            migrations,
+            checkpoints,
         };
         for (name, value) in totals.as_counters() {
             if value > 0 {
@@ -864,6 +1592,14 @@ impl FleetService {
             .unwrap_or(0);
         pcount_telemetry::gauge(slo::FLEET_QUEUE_DEPTH_PEAK).set(queue_depth_peak as i64);
         pcount_telemetry::gauge(slo::FLEET_ERROR_BUDGET_BURN).set(worst_burn);
+        let tightest_high = sims
+            .iter()
+            .map(|s| s.adm.eff_high)
+            .min()
+            .unwrap_or(cfg.high_watermark);
+        let widest_stride = sims.iter().map(|s| s.adm.stride).max().unwrap_or(2);
+        pcount_telemetry::gauge(slo::FLEET_ADAPTIVE_HIGH_WATERMARK).set(tightest_high as i64);
+        pcount_telemetry::gauge(slo::FLEET_ADAPTIVE_DOWNSAMPLE_STRIDE).set(widest_stride as i64);
         let latency_counts = shard_latency
             .iter()
             .fold(HistogramCounts::empty(), |acc, c| acc.merge(c));
@@ -883,6 +1619,9 @@ impl FleetService {
             queue_depth: queue_depth_counts.summarize(),
             queue_depth_peak,
             worst_shard_burn_milli: worst_burn,
+            crash_reports,
+            recovery: recovery_counts.summarize(),
+            recovery_counts,
             shard_reports,
             node_reports,
             deliveries,

@@ -5,7 +5,7 @@
 
 mod common;
 
-use pcount_fleet::{DeliveryStatus, FleetConfig, FleetService};
+use pcount_fleet::{CrashPolicy, DeliveryStatus, FleetConfig, FleetService};
 
 fn service(cfg: FleetConfig) -> FleetService {
     FleetService::new(common::tiny_deployment(31), cfg, &common::tiny_dataset()).expect("fleet")
@@ -84,6 +84,59 @@ fn every_offered_frame_is_counted_exactly_once() {
             n.deliveries,
             n.gaps + n.shed + n.downsampled + n.ok + n.recovered + n.fallback
         );
+    }
+}
+
+#[test]
+fn every_offered_frame_is_counted_exactly_once_under_crashes() {
+    // The crash-aware conservation identity, at pool widths 1 and 4 and
+    // under every disposal policy: fused/executed + shed + downsampled +
+    // lost-in-crash covers every request exactly once.
+    for policy in [CrashPolicy::Reroute, CrashPolicy::Shed, CrashPolicy::Hold] {
+        let svc = service(common::crashy_cfg(policy));
+        for width in [1usize, 4] {
+            let mut pool = svc.make_pool(width).expect("pool");
+            let report = svc.run(&mut pool);
+            assert!(
+                report.conservation_holds(),
+                "{policy:?} width {width}: conservation violated"
+            );
+            let count = |f: &dyn Fn(DeliveryStatus) -> bool| -> u64 {
+                report.deliveries.iter().filter(|d| f(d.status)).count() as u64
+            };
+            let gaps = count(&|s| s == DeliveryStatus::Gap);
+            let shed = count(&|s| s == DeliveryStatus::Shed);
+            let down = count(&|s| s == DeliveryStatus::Downsampled);
+            let lost = count(&|s| s == DeliveryStatus::CrashLost);
+            let executed = count(&|s| s.executed());
+            assert_eq!(report.totals.crash_lost, lost);
+            assert_eq!(
+                report.totals.requests,
+                shed + down + lost + executed,
+                "{policy:?} width {width}: a request escaped the algebra"
+            );
+            assert_eq!(
+                report.deliveries.len() as u64,
+                report.totals.requests + gaps
+            );
+            // Per crash event, the queue is disposed of exactly once.
+            for c in &report.crash_reports {
+                assert_eq!(c.queued_at_crash, c.crash_lost + c.rerouted + c.held);
+            }
+            // The same identity holds per node (no cross-node leakage).
+            for n in &report.node_reports {
+                assert_eq!(
+                    n.deliveries,
+                    n.gaps
+                        + n.shed
+                        + n.downsampled
+                        + n.crash_lost
+                        + n.ok
+                        + n.recovered
+                        + n.fallback
+                );
+            }
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! path (admission, backpressure, quarantine) in seconds.
 
 use pcount_dataset::{DatasetConfig, IrDataset};
-use pcount_fleet::FleetConfig;
+use pcount_fleet::{CrashConfig, CrashPolicy, FleetConfig};
 use pcount_kernels::{Deployment, Target};
 use pcount_nn::{CnnConfig, TrainConfig};
 use pcount_quant::{fold_sequential, Precision, PrecisionAssignment, QatCnn, QuantizedCnn};
@@ -48,6 +48,29 @@ pub fn tiny_deployment(seed: u64) -> Deployment {
 /// The synthetic LINAIGE-like dataset the nodes replay.
 pub fn tiny_dataset() -> IrDataset {
     IrDataset::generate(&DatasetConfig::tiny(), 77)
+}
+
+/// `small_cfg` slowed down until queues back up, plus a mid-run crash of
+/// shard 0 (shard 1 survives and takes the failover traffic). The slow
+/// virtual service clock guarantees a non-empty queue at the crash.
+#[allow(dead_code)]
+pub fn crashy_cfg(policy: CrashPolicy) -> FleetConfig {
+    FleetConfig {
+        service_clock_hz: 2_000_000,
+        queue_cap: 8,
+        batch_max: 2,
+        high_watermark: 6,
+        low_watermark: 2,
+        frames_per_node: 12,
+        crash: Some(CrashConfig {
+            shard_stride: 2,
+            window: (0.35, 0.7),
+            jitter: 0.02,
+            policy,
+        }),
+        checkpoint_period_ms: 300,
+        ..small_cfg()
+    }
 }
 
 /// A compact fleet: 24 nodes over 6 rooms on 2 shards, short windows.

@@ -5,7 +5,7 @@
 
 mod common;
 
-use pcount_fleet::{FleetConfig, FleetService, StormConfig};
+use pcount_fleet::{CrashPolicy, FleetConfig, FleetService, StormConfig};
 
 fn service(cfg: FleetConfig) -> FleetService {
     FleetService::new(common::tiny_deployment(30), cfg, &common::tiny_dataset()).expect("fleet")
@@ -40,6 +40,44 @@ fn same_seed_reproduces_and_different_seed_diverges() {
     let c = reseeded.run(&mut pool);
     // A different fleet seed redraws every node's chaos, phase and skew;
     // the occupancy trajectory digest cannot survive that.
+    assert_ne!(a.occupancy.hash, c.occupancy.hash);
+}
+
+#[test]
+fn failover_run_is_bit_identical_across_pool_widths_1_and_4() {
+    // A mid-run shard crash + restart (queue re-routed, rooms migrated,
+    // checkpointed recovery) must not cost one bit of reproducibility.
+    let svc = service(common::crashy_cfg(CrashPolicy::Reroute));
+    let mut narrow = svc.make_pool(1).expect("pool");
+    let mut wide = svc.make_pool(4).expect("pool");
+    let a = svc.run(&mut narrow);
+    let b = svc.run(&mut wide);
+    assert!(a.totals.crashes > 0, "the crash schedule must fire");
+    assert!(a.totals.rerouted > 0, "failover traffic must exist");
+    // The full delivery log — statuses, re-route flags, latencies — and
+    // the failover accounting compare equal, not just the digest.
+    assert_eq!(a.deliveries, b.deliveries);
+    assert_eq!(a.occupancy, b.occupancy);
+    assert_eq!(a.crash_reports, b.crash_reports);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn failover_schedule_diverges_with_the_seed() {
+    let svc = service(common::crashy_cfg(CrashPolicy::Reroute));
+    let reseeded = service(FleetConfig {
+        seed: 12,
+        ..common::crashy_cfg(CrashPolicy::Reroute)
+    });
+    let mut pool = svc.make_pool(2).expect("pool");
+    let a = svc.run(&mut pool);
+    let c = reseeded.run(&mut pool);
+    // A different fleet seed redraws the crash jitter along with every
+    // node's chaos: the outage instants and the trajectory both move.
+    assert_ne!(
+        a.crash_reports[0].crash_ns, c.crash_reports[0].crash_ns,
+        "crash jitter must follow the seed"
+    );
     assert_ne!(a.occupancy.hash, c.occupancy.hash);
 }
 

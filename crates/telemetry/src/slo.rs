@@ -94,6 +94,37 @@ pub const FLEET_REQUEST_LATENCY: &str = "fleet/request_latency_ns";
 /// Histogram: shard queue depth sampled at every arrival.
 pub const FLEET_QUEUE_DEPTH: &str = "fleet/queue_depth";
 
+// The `fleet/failover_*` and `fleet/adaptive_*` names cover the shard
+// crash/recovery drill and the burn-driven admission controller.
+
+/// Counter: planned shard crashes executed during the run.
+pub const FLEET_CRASHES: &str = "fleet/failover_crashes";
+/// Counter: frames lost in a shard crash (queued at the crash instant
+/// and disposed of without ever executing).
+pub const FLEET_CRASH_LOST: &str = "fleet/failover_crash_lost";
+/// Counter: frames re-routed off a crashing shard (either live from its
+/// queue or admitted to a failover shard while the home shard was down).
+pub const FLEET_REROUTED: &str = "fleet/failover_rerouted";
+/// Counter: room migrations performed by crash/restart rebalancing.
+pub const FLEET_MIGRATIONS: &str = "fleet/failover_migrations";
+/// Counter: periodic shard checkpoints taken.
+pub const FLEET_CHECKPOINTS: &str = "fleet/failover_checkpoints";
+/// Counter: adaptive-admission tighten steps (watermarks down, stride
+/// up) across all shards.
+pub const FLEET_ADAPTIVE_TIGHTENS: &str = "fleet/adaptive_tightens";
+/// Counter: adaptive-admission relax steps back toward the configured
+/// knobs.
+pub const FLEET_ADAPTIVE_RELAXES: &str = "fleet/adaptive_relaxes";
+/// Histogram: shard recovery time (crash to first post-restart fused
+/// delivery) in simulated nanoseconds.
+pub const FLEET_RECOVERY_LATENCY: &str = "fleet/failover_recovery_ns";
+/// Gauge: tightest effective high watermark any shard ended the most
+/// recent run with (== the configured watermark when static).
+pub const FLEET_ADAPTIVE_HIGH_WATERMARK: &str = "fleet/adaptive_high_watermark";
+/// Gauge: widest downsample stride any shard ended the most recent run
+/// with (2 = the static every-other-frame policy).
+pub const FLEET_ADAPTIVE_DOWNSAMPLE_STRIDE: &str = "fleet/adaptive_downsample_stride";
+
 /// Every fleet-serving counter name, in canonical export order.
 pub fn fleet_counter_names() -> Vec<&'static str> {
     vec![
@@ -106,6 +137,13 @@ pub fn fleet_counter_names() -> Vec<&'static str> {
         FLEET_QUARANTINED_FRAMES,
         FLEET_QUARANTINE_TRIPS,
         FLEET_READMISSIONS,
+        FLEET_CRASHES,
+        FLEET_CRASH_LOST,
+        FLEET_REROUTED,
+        FLEET_MIGRATIONS,
+        FLEET_CHECKPOINTS,
+        FLEET_ADAPTIVE_TIGHTENS,
+        FLEET_ADAPTIVE_RELAXES,
     ]
 }
 

@@ -5,12 +5,15 @@
 //! 8×8 IR sensors across rooms and floors feeding a sharded fusion
 //! service with admission control, backpressure and sick-node
 //! quarantine — and ride out a fault storm without losing the building
-//! occupancy estimate.
+//! occupancy estimate. A final segment crashes half the fusion shards
+//! mid-run: queued frames re-route to the survivors, rooms migrate and
+//! return home, and each restart recovers from its last checkpoint —
+//! all in virtual time, so the outage replays bit-identically.
 //!
 //! Run with: `cargo run --release --example smart_building_occupancy`
 
 use maupiti::dataset::{DatasetConfig, IrDataset};
-use maupiti::fleet::{FleetConfig, FleetService, StormConfig};
+use maupiti::fleet::{CrashConfig, FleetConfig, FleetService, StormConfig};
 use maupiti::flow::{pareto_front_by, run_flow, select_table1_models, FlowConfig};
 use maupiti::kernels::{Deployment, Target};
 
@@ -119,4 +122,57 @@ fn main() {
     let replay = svc.run(&mut serial);
     assert_eq!(replay.occupancy.hash, report.occupancy.hash);
     println!("  replay on 1 thread reproduced the digest — run is deterministic");
+
+    // Part 3 — shard failover. Every other fusion shard crashes mid-run
+    // and restarts from its last checkpoint; the crashed queues re-route
+    // to the survivors and the building estimate rides out the outage.
+    let crash_cfg = FleetConfig {
+        crash: Some(CrashConfig::default()),
+        ..FleetConfig::default()
+    };
+    println!(
+        "\ncrashing every other shard mid-run (reroute policy, {} ms checkpoints)...",
+        crash_cfg.checkpoint_period_ms
+    );
+    let crashy = FleetService::new(
+        Deployment::new(&mini.quantized, Target::Maupiti).expect("deploy"),
+        crash_cfg,
+        &data,
+    )
+    .expect("fleet");
+    let mut pool = crashy.make_pool(4).expect("pool");
+    let outage = crashy.run(&mut pool);
+    assert!(outage.conservation_holds(), "every frame disposed of once");
+    for c in &outage.crash_reports {
+        println!(
+            "  shard {} down {} -> {} ms: {} queued ({} rerouted, {} lost), \
+             {} rooms migrated, recovered in {} ms",
+            c.shard,
+            c.crash_ns / 1_000_000,
+            c.restart_ns / 1_000_000,
+            c.queued_at_crash,
+            c.rerouted,
+            c.crash_lost,
+            c.migrations_out,
+            c.recovery_ns / 1_000_000,
+        );
+    }
+    let t = &outage.totals;
+    println!(
+        "  failover: {} crashes, {} checkpoints, {} migrations, {} frames rerouted, \
+         {} lost — occupancy digest {}",
+        t.crashes,
+        t.checkpoints,
+        t.migrations,
+        t.rerouted,
+        t.crash_lost,
+        outage.occupancy.hash_hex()
+    );
+
+    // The crash schedule lives in the same virtual clock, so even the
+    // outage replays bit-identically on a single thread.
+    let mut serial = crashy.make_pool(1).expect("pool");
+    let replay = crashy.run(&mut serial);
+    assert_eq!(replay.to_json(), outage.to_json());
+    println!("  replay on 1 thread reproduced the outage — failover is deterministic");
 }
